@@ -1,0 +1,194 @@
+//! `cni-run` — command-line driver for the CNI cluster simulator.
+//!
+//! ```text
+//! cni-run --app jacobi --n 256 --iters 25 --procs 8 --nic cni
+//! cni-run --app water --molecules 216 --procs 16 --nic standard
+//! cni-run --app cholesky --matrix bcsstk14 --procs 8 --page-bytes 4096
+//! cni-run --app jacobi --n 128 --procs 8 --compare   # CNI vs standard
+//! ```
+//!
+//! Prints the run report (completion time, overhead breakdown, network
+//! cache hit ratio, NIC counters) as text, or JSON with `--json`.
+
+use cni::{Config, RunReport};
+use cni_apps::cholesky::CholeskyMatrix;
+use cni_apps::experiments::{run_app, App};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cni-run --app <jacobi|water|cholesky|latency> [options]\n\
+         \n\
+         common options:\n\
+           --procs N           processors (default 8)\n\
+           --nic <cni|standard>  interface (default cni)\n\
+           --compare           run both interfaces and print both\n\
+           --page-bytes N      shared page size (default 2048)\n\
+           --msg-cache-bytes N Message Cache capacity (default 32768)\n\
+           --jumbo             unrestricted ATM cell size\n\
+           --tree-barrier      combining-tree barrier (extension)\n\
+           --seed N            timing-jitter seed (workloads are fixed)\n\
+           --json              machine-readable output\n\
+         jacobi:   --n N (grid, default 256)   --iters N (default 25)\n\
+         water:    --molecules N (default 216) --steps N (default 2)\n\
+         cholesky: --matrix <bcsstk14|bcsstk15> (default bcsstk14)\n\
+         latency:  --bytes N (message size, default 4096)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument {a:?}");
+            usage();
+        };
+        match key {
+            "compare" | "jumbo" | "json" | "help" | "tree-barrier" => {
+                out.insert(key.to_string(), "true".to_string());
+            }
+            _ => {
+                let Some(v) = args.next() else {
+                    eprintln!("missing value for --{key}");
+                    usage();
+                };
+                out.insert(key.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+fn get<T: std::str::FromStr>(args: &HashMap<String, String>, key: &str, default: T) -> T {
+    match args.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --{key}: {v:?}");
+            usage();
+        }),
+    }
+}
+
+fn print_report(label: &str, cfg: &Config, r: &RunReport, json: bool) {
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "nic": label,
+                "wall_ms": r.wall.as_ms_f64(),
+                "hit_ratio": r.hit_ratio(),
+                "messages": r.messages,
+                "interrupts": r.interrupts(),
+                "dma_bytes_to_board": r.dma_bytes_to_board(),
+                "mean_breakdown_gcycles": {
+                    "compute": RunReport::gcycles(r.mean_breakdown().compute, cfg.nic.host_clock),
+                    "overhead": RunReport::gcycles(r.mean_breakdown().overhead, cfg.nic.host_clock),
+                    "delay": RunReport::gcycles(r.mean_breakdown().delay, cfg.nic.host_clock),
+                },
+            })
+        );
+        return;
+    }
+    let b = r.mean_breakdown();
+    println!("--- {label} ---");
+    println!("completion time     : {}", r.wall);
+    println!("mean compute        : {}", b.compute);
+    println!("mean synch overhead : {}", b.overhead);
+    println!("mean synch delay    : {}", b.delay);
+    println!("protocol messages   : {}", r.messages);
+    println!("net cache hit ratio : {:.1}%", r.hit_ratio() * 100.0);
+    println!("host interrupts     : {}", r.interrupts());
+    println!("host->board DMA     : {} bytes", r.dma_bytes_to_board());
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.contains_key("help") {
+        usage();
+    }
+    let json = args.contains_key("json");
+    let procs: usize = get(&args, "procs", 8);
+    if !(1..=32).contains(&procs) {
+        eprintln!("--procs must be between 1 and 32 (the switch has 32 ports)");
+        return ExitCode::from(2);
+    }
+    let mut base = Config::paper_default()
+        .with_procs(procs)
+        .with_page_bytes(get(&args, "page-bytes", 2048))
+        .with_msg_cache_bytes(get(&args, "msg-cache-bytes", 32 * 1024));
+    base.seed = get(&args, "seed", 0x5EED_u64);
+    if args.contains_key("jumbo") {
+        base = base.with_unrestricted_cells();
+    }
+    if args.contains_key("tree-barrier") {
+        base = base.with_tree_barrier();
+    }
+
+    let app_name = args.get("app").map(String::as_str).unwrap_or_else(|| usage());
+    if app_name == "latency" {
+        let bytes: usize = get(&args, "bytes", 4096);
+        let pts = cni_apps::experiments::latency_curve(base, &[bytes], 5);
+        let p = pts[0];
+        if json {
+            println!(
+                "{}",
+                serde_json::json!({"bytes": p.bytes, "cni_us": p.cni_us, "std_us": p.std_us})
+            );
+        } else {
+            println!(
+                "{} bytes: CNI {:.1} us, standard {:.1} us ({:.1}% reduction)",
+                p.bytes,
+                p.cni_us,
+                p.std_us,
+                (1.0 - p.cni_us / p.std_us) * 100.0
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let app = match app_name {
+        "jacobi" => App::Jacobi {
+            n: get(&args, "n", 256),
+            iters: get(&args, "iters", 25),
+        },
+        "water" => App::Water {
+            molecules: get(&args, "molecules", 216),
+            steps: get(&args, "steps", 2),
+        },
+        "cholesky" => App::Cholesky {
+            matrix: match args.get("matrix").map(String::as_str).unwrap_or("bcsstk14") {
+                "bcsstk14" => CholeskyMatrix::Bcsstk14,
+                "bcsstk15" => CholeskyMatrix::Bcsstk15,
+                other => {
+                    eprintln!("unknown matrix {other:?}");
+                    usage();
+                }
+            },
+        },
+        other => {
+            eprintln!("unknown app {other:?}");
+            usage();
+        }
+    };
+
+    let kinds: Vec<(&str, Config)> = if args.contains_key("compare") {
+        vec![("cni", base.cni()), ("standard", base.standard())]
+    } else {
+        match args.get("nic").map(String::as_str).unwrap_or("cni") {
+            "cni" => vec![("cni", base.cni())],
+            "standard" => vec![("standard", base.standard())],
+            other => {
+                eprintln!("unknown nic {other:?}");
+                usage();
+            }
+        }
+    };
+    for (label, cfg) in kinds {
+        let report = run_app(cfg, app);
+        print_report(label, &cfg, &report, json);
+    }
+    ExitCode::SUCCESS
+}

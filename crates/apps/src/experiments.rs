@@ -1,0 +1,431 @@
+//! Experiment harness: the runs behind every table and figure of the
+//! paper's evaluation (§3), shared by the bench targets, the examples and
+//! the integration tests.
+//!
+//! Each function builds fresh worlds (CNI and standard-NIC) with identical
+//! workloads and returns the measurements the corresponding figure plots:
+//! speedups + network-cache hit ratios (Figures 2–4, 6–8, 10–11),
+//! page-size sensitivity (5, 9, 12), overhead breakdowns (Tables 2–4),
+//! Message-Cache size sensitivity (Figure 13), node-to-node latency
+//! (Figure 14) and the unrestricted-cell-size improvement (Table 5).
+
+use crate::{cholesky, jacobi, water};
+use cni::{Config, ProcTimes, RunReport, World};
+use serde::{Deserialize, Serialize};
+
+/// Which application an experiment runs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum App {
+    /// Jacobi relaxation with an `n × n` grid.
+    Jacobi {
+        /// Grid dimension.
+        n: usize,
+        /// Iterations.
+        iters: usize,
+    },
+    /// Water molecular dynamics.
+    Water {
+        /// Molecule count.
+        molecules: usize,
+        /// Time steps.
+        steps: usize,
+    },
+    /// Sparse Cholesky factorisation.
+    Cholesky {
+        /// Which matrix.
+        matrix: cholesky::CholeskyMatrix,
+    },
+}
+
+impl App {
+    /// Human-readable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            App::Jacobi { n, .. } => format!("Jacobi {n}x{n}"),
+            App::Water { molecules, .. } => format!("Water {molecules} molecules"),
+            App::Cholesky { matrix } => format!("Cholesky {matrix:?}"),
+        }
+    }
+}
+
+/// The workload seed used throughout the evaluation.
+pub const SEED: u64 = 0x5EED;
+
+/// Run `app` on a cluster configured by `cfg`.
+pub fn run_app(cfg: Config, app: App) -> RunReport {
+    let mut world = World::new(cfg);
+    let progs = match app {
+        App::Jacobi { n, iters } => {
+            let (_, progs) = jacobi::programs(
+                &mut world,
+                jacobi::JacobiParams {
+                    n,
+                    iters,
+                    verify: false,
+                },
+            );
+            progs
+        }
+        App::Water { molecules, steps } => {
+            let (_, progs) = water::programs(
+                &mut world,
+                water::WaterParams {
+                    molecules,
+                    steps,
+                    verify: false,
+                },
+            );
+            progs
+        }
+        App::Cholesky { matrix } => {
+            let (_, _, progs) = cholesky::programs(&mut world, matrix, SEED, false);
+            progs
+        }
+    };
+    world.run(progs)
+}
+
+/// One point of a speedup figure.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SpeedupPoint {
+    /// Processor count.
+    pub procs: usize,
+    /// Speedup of the CNI cluster over its own 1-processor run.
+    pub cni_speedup: f64,
+    /// Speedup of the standard-NIC cluster over its own 1-processor run.
+    pub std_speedup: f64,
+    /// The CNI's network cache hit ratio (percent).
+    pub hit_ratio_pct: f64,
+}
+
+/// Mean completion time over `runs` seeds: convoy formation in
+/// lock-heavy phases makes single deterministic runs noisy, and
+/// experiments that *difference* two similar walls (page-size sweeps,
+/// Table 5) need the averaging.
+pub fn mean_wall(cfg: Config, app: App, runs: u64) -> f64 {
+    (0..runs)
+        .map(|k| {
+            let mut c = cfg;
+            c.seed = cfg.seed.wrapping_add(k * 0x9E37);
+            run_app(c, app).wall.as_ps() as f64
+        })
+        .sum::<f64>()
+        / runs as f64
+}
+
+/// A full speedup curve (Figures 2–4, 6–8, 10–11): both configurations at
+/// each processor count, normalised to their own single-processor runs.
+pub fn speedup_curve(base: Config, app: App, procs: &[usize]) -> Vec<SpeedupPoint> {
+    let cni_base = run_app(base.cni().with_procs(1), app).wall;
+    let std_base = run_app(base.standard().with_procs(1), app).wall;
+    procs
+        .iter()
+        .map(|&p| {
+            let cni = run_app(base.cni().with_procs(p), app);
+            let std_ = run_app(base.standard().with_procs(p), app);
+            SpeedupPoint {
+                procs: p,
+                cni_speedup: cni_base.as_ps() as f64 / cni.wall.as_ps() as f64,
+                std_speedup: std_base.as_ps() as f64 / std_.wall.as_ps() as f64,
+                hit_ratio_pct: cni.hit_ratio() * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// One point of a page-size sensitivity figure.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PageSizePoint {
+    /// Shared page size in bytes.
+    pub page_bytes: usize,
+    /// CNI speedup (vs the CNI 1-processor run at the same page size).
+    pub cni_speedup: f64,
+    /// Standard speedup (vs the standard 1-processor run, same page size).
+    pub std_speedup: f64,
+}
+
+/// Page-size sensitivity (Figures 5, 9, 12).
+pub fn page_size_sweep(
+    base: Config,
+    app: App,
+    procs: usize,
+    sizes: &[usize],
+) -> Vec<PageSizePoint> {
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let cfg = base.with_page_bytes(bytes);
+            let cni_base = run_app(cfg.cni().with_procs(1), app).wall.as_ps() as f64;
+            let std_base = run_app(cfg.standard().with_procs(1), app).wall.as_ps() as f64;
+            let cni = mean_wall(cfg.cni().with_procs(procs), app, 3);
+            let std_ = mean_wall(cfg.standard().with_procs(procs), app, 3);
+            PageSizePoint {
+                page_bytes: bytes,
+                cni_speedup: cni_base / cni,
+                std_speedup: std_base / std_,
+            }
+        })
+        .collect()
+}
+
+/// An overhead-breakdown row (Tables 2–4): mean per-processor times in
+/// units of 10⁹ CPU cycles, as the paper reports them.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OverheadRow {
+    /// Synchronisation overhead.
+    pub synch_overhead: f64,
+    /// Synchronisation delay.
+    pub synch_delay: f64,
+    /// Computation.
+    pub computation: f64,
+    /// Total.
+    pub total: f64,
+}
+
+impl OverheadRow {
+    fn from_times(t: ProcTimes, cfg: &Config) -> Self {
+        let c = cfg.nic.host_clock;
+        OverheadRow {
+            synch_overhead: RunReport::gcycles(t.overhead, c),
+            synch_delay: RunReport::gcycles(t.delay, c),
+            computation: RunReport::gcycles(t.compute, c),
+            total: RunReport::gcycles(t.total, c),
+        }
+    }
+}
+
+/// Overhead breakdowns for both configurations (Tables 2–4).
+pub fn overhead_table(base: Config, app: App, procs: usize) -> (OverheadRow, OverheadRow) {
+    let cni_cfg = base.cni().with_procs(procs);
+    let std_cfg = base.standard().with_procs(procs);
+    let cni = run_app(cni_cfg, app);
+    let std_ = run_app(std_cfg, app);
+    (
+        OverheadRow::from_times(cni.mean_breakdown(), &cni_cfg),
+        OverheadRow::from_times(std_.mean_breakdown(), &std_cfg),
+    )
+}
+
+/// One point of the Message-Cache size sensitivity figure (Figure 13).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CacheSizePoint {
+    /// Message Cache capacity in bytes.
+    pub cache_bytes: usize,
+    /// Network cache hit ratio (percent).
+    pub hit_ratio_pct: f64,
+}
+
+/// Hit ratio as a function of Message-Cache size (Figure 13).
+pub fn cache_size_sweep(base: Config, app: App, procs: usize, sizes: &[usize]) -> Vec<CacheSizePoint> {
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let r = run_app(base.cni().with_procs(procs).with_msg_cache_bytes(bytes), app);
+            CacheSizePoint {
+                cache_bytes: bytes,
+                hit_ratio_pct: r.hit_ratio() * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Percentage improvement from the unrestricted (jumbo) cell size
+/// (Table 5), for the CNI configuration.
+pub fn jumbo_improvement_pct(base: Config, app: App, procs: usize) -> f64 {
+    let with_cells = mean_wall(base.cni().with_procs(procs), app, 3);
+    let jumbo = mean_wall(base.cni().with_procs(procs).with_unrestricted_cells(), app, 3);
+    (with_cells - jumbo) / with_cells * 100.0
+}
+
+/// One row of the mechanism-ablation study: the CNI with one mechanism
+/// removed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Which variant ("full CNI", "no message cache", ...).
+    pub variant: String,
+    /// Completion time in milliseconds of virtual time.
+    pub wall_ms: f64,
+    /// Slowdown relative to the full CNI.
+    pub slowdown_vs_cni: f64,
+    /// Network cache hit ratio (percent).
+    pub hit_ratio_pct: f64,
+    /// Host interrupts taken.
+    pub interrupts: u64,
+}
+
+/// Ablation study: which of the paper's three mechanisms buys what.
+/// Runs the full CNI, then the CNI minus each mechanism, then the
+/// standard interface (= minus all three).
+pub fn ablation(base: Config, app: App, procs: usize) -> Vec<AblationRow> {
+    use cni_nic::config::CniFeatures;
+    let variants: Vec<(&str, Config)> = vec![
+        ("full CNI", base.cni().with_procs(procs)),
+        (
+            "no Message Cache",
+            base.cni().with_procs(procs).with_cni_features(CniFeatures {
+                msg_cache: false,
+                ..CniFeatures::default()
+            }),
+        ),
+        (
+            "no AIH (protocol on host)",
+            base.cni().with_procs(procs).with_cni_features(CniFeatures {
+                aih: false,
+                ..CniFeatures::default()
+            }),
+        ),
+        (
+            "no polling (interrupts)",
+            base.cni().with_procs(procs).with_cni_features(CniFeatures {
+                polling: false,
+                ..CniFeatures::default()
+            }),
+        ),
+        ("standard NIC", base.standard().with_procs(procs)),
+    ];
+    let mut rows = Vec::new();
+    let mut cni_wall = 0.0;
+    for (name, cfg) in variants {
+        let r = run_app(cfg, app);
+        let wall_ms = r.wall.as_ms_f64();
+        if rows.is_empty() {
+            cni_wall = wall_ms;
+        }
+        rows.push(AblationRow {
+            variant: name.to_string(),
+            wall_ms,
+            slowdown_vs_cni: wall_ms / cni_wall,
+            hit_ratio_pct: r.hit_ratio() * 100.0,
+            interrupts: r.interrupts(),
+        });
+    }
+    rows
+}
+
+/// One point of the node-to-node latency microbenchmark (Figure 14).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LatencyPoint {
+    /// Message size in bytes.
+    pub bytes: usize,
+    /// CNI one-way latency in microseconds (100% Message-Cache hits).
+    pub cni_us: f64,
+    /// Standard-NIC one-way latency in microseconds.
+    pub std_us: f64,
+}
+
+/// Measure best-case one-way latency via a warmed-up ping-pong: the sender
+/// reuses one page-backed buffer, so after the cold start every CNI
+/// transmit hits the Message Cache (the paper's "assuming a 100% network
+/// cache hit ratio").
+pub fn latency_curve(base: Config, sizes: &[usize], rounds: u32) -> Vec<LatencyPoint> {
+    sizes
+        .iter()
+        .map(|&bytes| LatencyPoint {
+            bytes,
+            cni_us: one_way_latency(base.cni(), bytes, rounds),
+            std_us: one_way_latency(base.standard(), bytes, rounds),
+        })
+        .collect()
+}
+
+fn one_way_latency(cfg: Config, bytes: usize, rounds: u32) -> f64 {
+    let cfg = cfg.with_procs(2);
+    let mut world = World::new(cfg);
+    let warmup: u32 = 2;
+    let total = warmup + rounds;
+    let line_bytes = cfg.nic.cache_line_bytes as u32;
+    let r = world.run(vec![
+        Box::new(move |ctx| {
+            for i in 0..total {
+                // The first (warm-up) send pays the flush + DMA and binds
+                // the buffer; steady-state sends reuse the same clean
+                // buffer — the best case the paper plots.
+                let dirty = if i == 0 { bytes as u32 / line_bytes } else { 0 };
+                ctx.send_to(1, bytes as u32, Some(0x0100_0000), true, dirty);
+                let _ = ctx.recv();
+            }
+        }),
+        Box::new(move |ctx| {
+            for i in 0..total {
+                let _ = ctx.recv();
+                let dirty = if i == 0 { bytes as u32 / line_bytes } else { 0 };
+                ctx.send_to(0, bytes as u32, Some(0x0200_0000), true, dirty);
+            }
+        }),
+    ]);
+    // Round-trip time for the measured rounds, halved.
+    // Total wall covers all rounds including warm-up; subtract the warm-up
+    // cost by measuring with a second run of only the warm-up rounds.
+    let mut warm_world = World::new(cfg);
+    let w = warm_world.run(vec![
+        Box::new(move |ctx| {
+            for i in 0..warmup {
+                let dirty = if i == 0 { bytes as u32 / line_bytes } else { 0 };
+                ctx.send_to(1, bytes as u32, Some(0x0100_0000), true, dirty);
+                let _ = ctx.recv();
+            }
+        }),
+        Box::new(move |ctx| {
+            for i in 0..warmup {
+                let _ = ctx.recv();
+                let dirty = if i == 0 { bytes as u32 / line_bytes } else { 0 };
+                ctx.send_to(0, bytes as u32, Some(0x0200_0000), true, dirty);
+            }
+        }),
+    ]);
+    let steady = r.wall.saturating_sub(w.wall);
+    steady.as_us_f64() / (rounds as f64) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_jacobi() -> App {
+        App::Jacobi { n: 16, iters: 3 }
+    }
+
+    #[test]
+    fn speedup_curve_shape() {
+        // Small but not degenerate: 64² has enough computation per
+        // processor for parallelism to pay.
+        let pts = speedup_curve(
+            Config::paper_default(),
+            App::Jacobi { n: 64, iters: 5 },
+            &[2, 4],
+        );
+        assert_eq!(pts.len(), 2);
+        assert!(pts[1].cni_speedup > pts[0].cni_speedup, "{pts:?}");
+        for p in &pts {
+            assert!(p.cni_speedup > 1.0, "{p:?}");
+            assert!(p.cni_speedup >= p.std_speedup * 0.99, "{p:?}");
+            assert!(p.hit_ratio_pct > 0.0 && p.hit_ratio_pct <= 100.0);
+        }
+    }
+
+    #[test]
+    fn latency_cni_beats_standard_and_grows_with_size() {
+        let pts = latency_curve(Config::paper_default(), &[256, 4096], 3);
+        assert!(pts[0].cni_us < pts[0].std_us);
+        assert!(pts[1].cni_us < pts[1].std_us);
+        assert!(pts[1].cni_us > pts[0].cni_us);
+        assert!(pts[1].std_us > pts[0].std_us);
+    }
+
+    #[test]
+    fn jumbo_cells_help() {
+        let pct = jumbo_improvement_pct(Config::paper_default(), tiny_jacobi(), 2);
+        assert!(pct > 0.0, "jumbo improvement {pct}%");
+    }
+
+    #[test]
+    fn overhead_rows_are_consistent() {
+        let (cni, std_) = overhead_table(Config::paper_default(), tiny_jacobi(), 2);
+        assert!(cni.total > 0.0 && std_.total > 0.0);
+        assert!(cni.synch_overhead <= std_.synch_overhead);
+        for row in [cni, std_] {
+            let sum = row.synch_overhead + row.synch_delay + row.computation;
+            assert!((sum - row.total).abs() < row.total * 0.02 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `cni-apps` — the paper's benchmark applications, "representing the
+//! spectrum of granularity" (§3.1): Jacobi (coarse), Water (medium) and
+//! sparse Cholesky (fine), plus the synthetic sparse-matrix substrate the
+//! Cholesky runs need.
+//!
+//! Every application is expressed as a set of per-processor programs over
+//! the [`cni::ProcCtx`] API — real computation over simulated distributed
+//! shared memory — so the same binaries drive both the CNI and the
+//! standard-NIC configurations, exactly as in the paper's methodology
+//! ("Message passing applications were not used because we wanted to vary
+//! the granularity of the applications keeping the programming paradigm
+//! constant").
+
+pub mod cholesky;
+pub mod experiments;
+pub mod jacobi;
+pub mod mp_jacobi;
+pub mod sparse;
+pub mod water;
+
+pub use cholesky::{CholeskyLayout, CholeskyMatrix};
+pub use jacobi::{JacobiLayout, JacobiParams};
+pub use sparse::{SparseSpd, SymbolicFactor};
+pub use water::{WaterLayout, WaterParams};

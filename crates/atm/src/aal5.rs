@@ -1,0 +1,297 @@
+//! AAL5-style segmentation and reassembly (SAR).
+//!
+//! On transmit a PDU is padded to a whole number of cells and an 8-byte
+//! trailer (UU, CPI, 16-bit length, CRC-32) is appended; the final cell is
+//! marked end-of-PDU in the payload-type field. On receive, cells
+//! accumulate per VCI until the end-of-PDU cell arrives, then length and
+//! CRC are checked. This per-cell tax — the padding, the trailer, and the
+//! 5-byte header per 48 payload bytes — is exactly the "small cell size"
+//! overhead the paper's Table 5 quantifies; the [`Segmenter`] therefore also
+//! supports an unrestricted (jumbo) mode that carries the whole PDU in one
+//! cell.
+
+use crate::cell::{Cell, ATM_PAYLOAD_BYTES};
+use crate::crc::crc32;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+
+/// Size of the AAL5 CPCS trailer.
+pub const AAL5_TRAILER_BYTES: usize = 8;
+
+/// Largest PDU a single AAL5 frame can carry (16-bit length field).
+pub const AAL5_MAX_PDU: usize = u16::MAX as usize;
+
+/// Errors detected while reassembling a PDU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReassemblyError {
+    /// The CRC-32 in the trailer does not match the received bytes.
+    CrcMismatch,
+    /// The length field disagrees with the number of received payload bytes.
+    LengthMismatch,
+    /// The end-of-PDU cell arrived but fewer than `AAL5_TRAILER_BYTES` were
+    /// accumulated.
+    Truncated,
+}
+
+/// Segments PDUs into ATM cells.
+#[derive(Clone, Copy, Debug)]
+pub struct Segmenter {
+    /// Payload capacity per cell. [`ATM_PAYLOAD_BYTES`] for standard ATM;
+    /// `None` selects unrestricted (jumbo) mode with one cell per PDU.
+    cell_payload: Option<usize>,
+}
+
+impl Segmenter {
+    /// A standard ATM segmenter (48-byte cell payloads).
+    pub fn standard() -> Self {
+        Segmenter {
+            cell_payload: Some(ATM_PAYLOAD_BYTES),
+        }
+    }
+
+    /// A segmenter with a custom cell payload size (model exploration).
+    pub fn with_cell_payload(bytes: usize) -> Self {
+        assert!(bytes > 0, "cell payload must be positive");
+        Segmenter {
+            cell_payload: Some(bytes),
+        }
+    }
+
+    /// The paper's mythical unrestricted-cell-size network: one cell per
+    /// PDU, no padding beyond the trailer.
+    pub fn unrestricted() -> Self {
+        Segmenter { cell_payload: None }
+    }
+
+    /// True when in unrestricted (jumbo) mode.
+    pub fn is_unrestricted(&self) -> bool {
+        self.cell_payload.is_none()
+    }
+
+    /// Number of cells `pdu_len` bytes of user data will occupy.
+    pub fn cell_count(&self, pdu_len: usize) -> usize {
+        match self.cell_payload {
+            Some(cap) => (pdu_len + AAL5_TRAILER_BYTES).div_ceil(cap),
+            None => 1,
+        }
+    }
+
+    /// Total wire bytes (headers + payloads + pad + trailer) for a PDU.
+    pub fn wire_bytes(&self, pdu_len: usize) -> usize {
+        match self.cell_payload {
+            Some(cap) => self.cell_count(pdu_len) * (cap + crate::cell::ATM_HEADER_BYTES),
+            None => pdu_len + AAL5_TRAILER_BYTES + crate::cell::ATM_HEADER_BYTES,
+        }
+    }
+
+    /// Segment `data` into cells on `vci`.
+    ///
+    /// # Panics
+    /// Panics if `data` exceeds [`AAL5_MAX_PDU`].
+    pub fn segment(&self, vci: u16, data: &[u8]) -> Vec<Cell> {
+        assert!(
+            data.len() <= AAL5_MAX_PDU,
+            "PDU too large for AAL5: {} bytes",
+            data.len()
+        );
+        let cap = self.cell_payload.unwrap_or(data.len() + AAL5_TRAILER_BYTES);
+        let total = (data.len() + AAL5_TRAILER_BYTES).div_ceil(cap).max(1) * cap;
+        let pad = total - data.len() - AAL5_TRAILER_BYTES;
+
+        let mut pdu = BytesMut::with_capacity(total);
+        pdu.put_slice(data);
+        pdu.put_bytes(0, pad);
+        pdu.put_u8(0); // CPCS-UU
+        pdu.put_u8(0); // CPI
+        pdu.put_u16(data.len() as u16);
+        // CRC over everything up to (not including) the CRC field itself.
+        let crc = crc32(&pdu);
+        pdu.put_u32(crc);
+        let pdu: Bytes = pdu.freeze();
+
+        let n = pdu.len() / cap;
+        let mut cells = Vec::with_capacity(n);
+        for i in 0..n {
+            let chunk = pdu.slice(i * cap..(i + 1) * cap);
+            cells.push(Cell::new(vci, i + 1 == n, chunk));
+        }
+        cells
+    }
+}
+
+/// Per-VCI reassembly state.
+#[derive(Default)]
+pub struct Reassembler {
+    partial: HashMap<u16, BytesMut>,
+}
+
+impl Reassembler {
+    /// Fresh reassembler with no partial PDUs.
+    pub fn new() -> Self {
+        Reassembler::default()
+    }
+
+    /// Accept one cell. Returns `Some(..)` when this cell completes a PDU:
+    /// the user payload on success, or the detected error.
+    pub fn push(&mut self, cell: &Cell) -> Option<Result<Bytes, ReassemblyError>> {
+        let buf = self.partial.entry(cell.header.vci).or_default();
+        buf.extend_from_slice(&cell.payload);
+        if !cell.header.end_of_pdu {
+            return None;
+        }
+        let pdu = self.partial.remove(&cell.header.vci).expect("entry exists");
+        Some(Self::finish(pdu.freeze()))
+    }
+
+    fn finish(pdu: Bytes) -> Result<Bytes, ReassemblyError> {
+        if pdu.len() < AAL5_TRAILER_BYTES {
+            return Err(ReassemblyError::Truncated);
+        }
+        let body_end = pdu.len() - 4;
+        let rx_crc = u32::from_be_bytes(pdu[body_end..].try_into().expect("4 bytes"));
+        if crc32(&pdu[..body_end]) != rx_crc {
+            return Err(ReassemblyError::CrcMismatch);
+        }
+        let len = u16::from_be_bytes(
+            pdu[pdu.len() - 6..pdu.len() - 4]
+                .try_into()
+                .expect("2 bytes"),
+        ) as usize;
+        if len > pdu.len() - AAL5_TRAILER_BYTES {
+            return Err(ReassemblyError::LengthMismatch);
+        }
+        Ok(pdu.slice(..len))
+    }
+
+    /// Number of VCIs with a partially reassembled PDU.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(seg: &Segmenter, data: &[u8]) {
+        let cells = seg.segment(9, data);
+        assert_eq!(cells.len(), seg.cell_count(data.len()));
+        let mut rx = Reassembler::new();
+        let mut out = None;
+        for (i, c) in cells.iter().enumerate() {
+            let done = rx.push(c);
+            if i + 1 < cells.len() {
+                assert!(done.is_none(), "completed early at cell {i}");
+            } else {
+                out = done;
+            }
+        }
+        let pdu = out.expect("last cell completes").expect("valid PDU");
+        assert_eq!(&pdu[..], data);
+        assert_eq!(rx.pending(), 0);
+    }
+
+    #[test]
+    fn roundtrip_various_sizes_standard() {
+        let seg = Segmenter::standard();
+        for len in [0usize, 1, 39, 40, 41, 47, 48, 49, 96, 1024, 4096, 8191] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            roundtrip(&seg, &data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_unrestricted() {
+        let seg = Segmenter::unrestricted();
+        for len in [0usize, 1, 48, 4096] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let cells = seg.segment(3, &data);
+            assert_eq!(cells.len(), 1);
+            roundtrip(&seg, &data);
+        }
+    }
+
+    #[test]
+    fn cell_count_matches_formula() {
+        let seg = Segmenter::standard();
+        // 40 bytes + 8 trailer = 48 -> exactly one cell.
+        assert_eq!(seg.cell_count(40), 1);
+        // 41 bytes + 8 = 49 -> two cells.
+        assert_eq!(seg.cell_count(41), 2);
+        // A 4 KB page: (4096+8)/48 -> 86 cells.
+        assert_eq!(seg.cell_count(4096), 86);
+    }
+
+    #[test]
+    fn wire_bytes_overhead() {
+        let seg = Segmenter::standard();
+        assert_eq!(seg.wire_bytes(40), 53);
+        assert_eq!(seg.wire_bytes(4096), 86 * 53);
+        let jumbo = Segmenter::unrestricted();
+        assert_eq!(jumbo.wire_bytes(4096), 4096 + 8 + 5);
+    }
+
+    #[test]
+    fn corrupted_payload_detected() {
+        let seg = Segmenter::standard();
+        let data = vec![7u8; 500];
+        let mut cells = seg.segment(1, &data);
+        let mut corrupted: Vec<u8> = cells[3].payload.to_vec();
+        corrupted[10] ^= 0x80;
+        cells[3].payload = Bytes::from(corrupted);
+        let mut rx = Reassembler::new();
+        let mut result = None;
+        for c in &cells {
+            if let Some(r) = rx.push(c) {
+                result = Some(r);
+            }
+        }
+        assert_eq!(result, Some(Err(ReassemblyError::CrcMismatch)));
+    }
+
+    #[test]
+    fn interleaved_vcis_reassemble_independently() {
+        let seg = Segmenter::standard();
+        let a: Vec<u8> = vec![0xAA; 300];
+        let b: Vec<u8> = vec![0xBB; 200];
+        let ca = seg.segment(1, &a);
+        let cb = seg.segment(2, &b);
+        let mut rx = Reassembler::new();
+        let mut done = Vec::new();
+        // Interleave the two cell streams.
+        let mut ia = ca.iter();
+        let mut ib = cb.iter();
+        loop {
+            let mut any = false;
+            if let Some(c) = ia.next() {
+                any = true;
+                if let Some(r) = rx.push(c) {
+                    done.push((1u16, r.unwrap()));
+                }
+            }
+            if let Some(c) = ib.next() {
+                any = true;
+                if let Some(r) = rx.push(c) {
+                    done.push((2u16, r.unwrap()));
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 2);
+        let got_a = done.iter().find(|(v, _)| *v == 1).unwrap();
+        let got_b = done.iter().find(|(v, _)| *v == 2).unwrap();
+        assert_eq!(&got_a.1[..], &a[..]);
+        assert_eq!(&got_b.1[..], &b[..]);
+    }
+
+    #[test]
+    fn lone_eop_cell_with_no_trailer_is_truncated() {
+        // A single end-of-PDU cell whose accumulated bytes are fewer than
+        // the trailer cannot be a valid AAL5 frame.
+        let cell = Cell::new(5, true, Bytes::from(vec![0u8; 4]));
+        let mut rx = Reassembler::new();
+        assert_eq!(rx.push(&cell), Some(Err(ReassemblyError::Truncated)));
+    }
+}

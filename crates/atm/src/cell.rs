@@ -1,0 +1,147 @@
+//! ATM cells.
+//!
+//! A standard ATM cell is 53 bytes: a 5-byte header and a 48-byte payload.
+//! We model the header fields that matter to the CNI design — the VCI used
+//! for connection demultiplexing, the AAL5 end-of-PDU indication carried in
+//! the payload-type field, and the cell-loss-priority bit — and keep the
+//! payload as owned bytes. The *unrestricted cell size* experiment of the
+//! paper's Table 5 is supported by allowing payloads larger than 48 bytes;
+//! [`Cell::is_jumbo`] reports when a cell exceeds the standard size.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Bytes in a standard ATM cell header.
+pub const ATM_HEADER_BYTES: usize = 5;
+/// Bytes of payload in a standard ATM cell.
+pub const ATM_PAYLOAD_BYTES: usize = 48;
+/// Total bytes in a standard ATM cell.
+pub const ATM_CELL_BYTES: usize = ATM_HEADER_BYTES + ATM_PAYLOAD_BYTES;
+
+/// The modelled fields of an ATM cell header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellHeader {
+    /// Virtual channel identifier: selects the connection (and, in the
+    /// OSIRIS design, implicitly the application) this cell belongs to.
+    pub vci: u16,
+    /// AAL5 end-of-PDU marker (payload-type bit 0).
+    pub end_of_pdu: bool,
+    /// Cell loss priority: low-priority cells are dropped first under
+    /// congestion.
+    pub clp: bool,
+}
+
+impl CellHeader {
+    /// Encode the modelled fields into the 5 header bytes.
+    ///
+    /// Layout (simplified UNI format): bytes 0–1 carry the VCI, byte 2
+    /// carries PT/CLP flags, byte 3 is reserved, byte 4 is the HEC slot
+    /// (computed as a simple XOR checksum of bytes 0–3 here; real ATM uses
+    /// a CRC-8, but nothing in the simulation depends on its algebra).
+    pub fn encode(&self) -> [u8; ATM_HEADER_BYTES] {
+        let mut h = [0u8; ATM_HEADER_BYTES];
+        h[0] = (self.vci >> 8) as u8;
+        h[1] = self.vci as u8;
+        h[2] = (self.end_of_pdu as u8) | ((self.clp as u8) << 1);
+        h[3] = 0;
+        h[4] = h[0] ^ h[1] ^ h[2] ^ h[3];
+        h
+    }
+
+    /// Decode header bytes; returns `None` if the HEC check fails.
+    pub fn decode(h: &[u8; ATM_HEADER_BYTES]) -> Option<CellHeader> {
+        if h[4] != h[0] ^ h[1] ^ h[2] ^ h[3] {
+            return None;
+        }
+        Some(CellHeader {
+            vci: ((h[0] as u16) << 8) | h[1] as u16,
+            end_of_pdu: h[2] & 1 != 0,
+            clp: h[2] & 2 != 0,
+        })
+    }
+}
+
+/// An ATM cell: header plus payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Header fields.
+    pub header: CellHeader,
+    /// Payload bytes. Exactly [`ATM_PAYLOAD_BYTES`] for standard cells;
+    /// longer for jumbo cells in the unrestricted-cell-size experiment.
+    pub payload: Bytes,
+}
+
+impl Cell {
+    /// Build a cell on `vci` carrying `payload`.
+    pub fn new(vci: u16, end_of_pdu: bool, payload: Bytes) -> Self {
+        Cell {
+            header: CellHeader {
+                vci,
+                end_of_pdu,
+                clp: false,
+            },
+            payload,
+        }
+    }
+
+    /// Total on-the-wire size of this cell in bytes (header + payload).
+    pub fn wire_bytes(&self) -> usize {
+        ATM_HEADER_BYTES + self.payload.len()
+    }
+
+    /// True when the payload exceeds the standard 48 bytes (unrestricted
+    /// cell-size mode).
+    pub fn is_jumbo(&self) -> bool {
+        self.payload.len() > ATM_PAYLOAD_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        for vci in [0u16, 1, 255, 256, 0xABCD, u16::MAX] {
+            for eop in [false, true] {
+                for clp in [false, true] {
+                    let h = CellHeader {
+                        vci,
+                        end_of_pdu: eop,
+                        clp,
+                    };
+                    let enc = h.encode();
+                    assert_eq!(CellHeader::decode(&enc), Some(h));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_header_fails_hec() {
+        let h = CellHeader {
+            vci: 42,
+            end_of_pdu: true,
+            clp: false,
+        };
+        let mut enc = h.encode();
+        enc[1] ^= 0x10;
+        assert_eq!(CellHeader::decode(&enc), None);
+    }
+
+    #[test]
+    fn wire_size_and_jumbo() {
+        let std_cell = Cell::new(7, false, Bytes::from(vec![0u8; ATM_PAYLOAD_BYTES]));
+        assert_eq!(std_cell.wire_bytes(), ATM_CELL_BYTES);
+        assert!(!std_cell.is_jumbo());
+        let jumbo = Cell::new(7, true, Bytes::from(vec![0u8; 4096]));
+        assert_eq!(jumbo.wire_bytes(), 4096 + ATM_HEADER_BYTES);
+        assert!(jumbo.is_jumbo());
+    }
+
+    #[test]
+    fn standard_constants() {
+        assert_eq!(ATM_CELL_BYTES, 53);
+        assert_eq!(ATM_PAYLOAD_BYTES, 48);
+    }
+}

@@ -1,0 +1,36 @@
+//! `cni-atm` — the ATM interconnect substrate for the CNI reproduction.
+//!
+//! The paper connects its workstation cluster with an STS-12 (622 Mb/s) ATM
+//! fabric built around a 32-port banyan switch, and identifies the 53-byte
+//! ATM cell as the main limit on its latency gains (Table 5). This crate
+//! models that substrate:
+//!
+//! * [`cell`] — ATM cells: 5-byte header (VCI, payload type, CLP) plus a
+//!   48-byte payload, with an optional "jumbo" mode used for the paper's
+//!   *unrestricted cell size* experiment.
+//! * [`crc`] — the CRC-32 used by the AAL5 trailer.
+//! * [`aal5`] — AAL5-style segmentation and reassembly: pad + 8-byte
+//!   trailer (length + CRC) on transmit, per-VCI reassembly with integrity
+//!   checking on receive.
+//! * [`link`] — serialising point-to-point links (rate + propagation
+//!   delay) with next-free-time contention.
+//! * [`switch`] — a multistage banyan fabric of 2×2 crossbars with
+//!   per-stage internal-link contention and cut-through forwarding.
+//! * [`fabric`] — the whole network seen by a NIC: segments a PDU into
+//!   cells and pipelines them through source link → banyan stages → sink
+//!   link, returning cell-accurate first/last arrival times.
+
+pub mod aal5;
+pub mod cell;
+pub mod crc;
+pub mod fabric;
+pub mod link;
+pub mod pipe;
+pub mod switch;
+
+pub use aal5::{ReassemblyError, Reassembler, Segmenter};
+pub use cell::{Cell, CellHeader, ATM_CELL_BYTES, ATM_HEADER_BYTES, ATM_PAYLOAD_BYTES};
+pub use fabric::{AtmConfig, Fabric, PduTiming};
+pub use link::Link;
+pub use pipe::{CellPipe, FaultModel, PipeOutcome};
+pub use switch::BanyanSwitch;

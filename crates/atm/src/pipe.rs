@@ -1,0 +1,247 @@
+//! A fault-injecting cell pipe: the AAL5 data path end to end.
+//!
+//! [`CellPipe`] pushes PDUs through segmentation, a lossy/corrupting
+//! channel, and reassembly. Its contract is the one real AAL5 gives
+//! transport protocols: a delivered PDU is *exactly* the transmitted one —
+//! cell loss and corruption surface as detected errors (CRC-32 / length
+//! check), never as silently wrong data. The property tests in this module
+//! drive that contract with arbitrary payloads and fault patterns.
+
+use crate::aal5::{ReassemblyError, Reassembler, Segmenter};
+use bytes::Bytes;
+use cni_sim::SplitMix64;
+
+/// Channel fault model: per-cell corruption and drop probabilities, in
+/// 1/65536 units, driven by a seeded deterministic generator.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultModel {
+    /// Probability (×2⁻¹⁶) that a cell has one payload bit flipped.
+    pub corrupt_per_64k: u32,
+    /// Probability (×2⁻¹⁶) that a cell is lost entirely.
+    pub drop_per_64k: u32,
+}
+
+impl FaultModel {
+    /// A perfect channel.
+    pub fn none() -> Self {
+        FaultModel {
+            corrupt_per_64k: 0,
+            drop_per_64k: 0,
+        }
+    }
+}
+
+/// What came out of the pipe for one transmitted PDU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipeOutcome {
+    /// The PDU was delivered intact.
+    Delivered(Bytes),
+    /// The reassembler rejected the PDU (integrity failure detected).
+    Rejected(ReassemblyError),
+    /// The end-of-PDU cell was lost; nothing was delivered (the PDU is
+    /// pending until a later PDU on the same VCI flushes it as a reject).
+    Pending,
+}
+
+/// Statistics of one pipe.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipeStats {
+    /// PDUs delivered intact.
+    pub delivered: u64,
+    /// PDUs rejected by integrity checks.
+    pub rejected: u64,
+    /// PDUs still pending (EOP lost).
+    pub pending: u64,
+    /// Cells corrupted by the channel.
+    pub cells_corrupted: u64,
+    /// Cells dropped by the channel.
+    pub cells_dropped: u64,
+}
+
+/// Segmentation → faulty channel → reassembly.
+///
+/// ```
+/// use cni_atm::{CellPipe, FaultModel, PipeOutcome};
+///
+/// let mut pipe = CellPipe::new(FaultModel::none(), 7);
+/// match pipe.transfer(3, b"hello cluster") {
+///     PipeOutcome::Delivered(pdu) => assert_eq!(&pdu[..], b"hello cluster"),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+pub struct CellPipe {
+    segmenter: Segmenter,
+    reassembler: Reassembler,
+    faults: FaultModel,
+    rng: SplitMix64,
+    stats: PipeStats,
+}
+
+impl CellPipe {
+    /// A pipe with standard 48-byte cells and the given fault model.
+    pub fn new(faults: FaultModel, seed: u64) -> Self {
+        CellPipe {
+            segmenter: Segmenter::standard(),
+            reassembler: Reassembler::new(),
+            faults,
+            rng: SplitMix64::new(seed),
+            stats: PipeStats::default(),
+        }
+    }
+
+    /// Transfer one PDU over `vci`.
+    pub fn transfer(&mut self, vci: u16, data: &[u8]) -> PipeOutcome {
+        let cells = self.segmenter.segment(vci, data);
+        let mut outcome = PipeOutcome::Pending;
+        for mut cell in cells {
+            if (self.rng.next_u64() & 0xFFFF) < self.faults.drop_per_64k as u64 {
+                self.stats.cells_dropped += 1;
+                continue;
+            }
+            if (self.rng.next_u64() & 0xFFFF) < self.faults.corrupt_per_64k as u64 {
+                self.stats.cells_corrupted += 1;
+                let mut payload = cell.payload.to_vec();
+                let byte = (self.rng.next_below(payload.len() as u64)) as usize;
+                let bit = (self.rng.next_below(8)) as u8;
+                payload[byte] ^= 1 << bit;
+                cell.payload = Bytes::from(payload);
+            }
+            if let Some(done) = self.reassembler.push(&cell) {
+                outcome = match done {
+                    Ok(pdu) => PipeOutcome::Delivered(pdu),
+                    Err(e) => PipeOutcome::Rejected(e),
+                };
+            }
+        }
+        match &outcome {
+            PipeOutcome::Delivered(_) => self.stats.delivered += 1,
+            PipeOutcome::Rejected(_) => self.stats.rejected += 1,
+            PipeOutcome::Pending => self.stats.pending += 1,
+        }
+        outcome
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> PipeStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_delivers_everything() {
+        let mut pipe = CellPipe::new(FaultModel::none(), 1);
+        for len in [0usize, 1, 48, 100, 2048, 4096] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            match pipe.transfer(7, &data) {
+                PipeOutcome::Delivered(pdu) => assert_eq!(&pdu[..], &data[..]),
+                other => panic!("clean channel produced {other:?}"),
+            }
+        }
+        assert_eq!(pipe.stats().delivered, 6);
+        assert_eq!(pipe.stats().rejected, 0);
+    }
+
+    #[test]
+    fn always_corrupting_channel_is_always_detected() {
+        let mut pipe = CellPipe::new(
+            FaultModel {
+                corrupt_per_64k: 0x10000,
+                drop_per_64k: 0,
+            },
+            2,
+        );
+        for _ in 0..50 {
+            match pipe.transfer(3, &[0xAB; 500]) {
+                PipeOutcome::Rejected(ReassemblyError::CrcMismatch) => {}
+                other => panic!("corruption escaped detection: {other:?}"),
+            }
+        }
+        assert_eq!(pipe.stats().rejected, 50);
+        assert!(pipe.stats().cells_corrupted >= 50);
+    }
+
+    #[test]
+    fn dropping_everything_delivers_nothing() {
+        let mut pipe = CellPipe::new(
+            FaultModel {
+                corrupt_per_64k: 0,
+                drop_per_64k: 0x10000,
+            },
+            3,
+        );
+        assert_eq!(pipe.transfer(1, &[1; 300]), PipeOutcome::Pending);
+        assert_eq!(pipe.stats().pending, 1);
+    }
+
+    #[test]
+    fn lost_eop_surfaces_on_the_next_pdu() {
+        // Drop exactly the final cell of the first PDU by hand: send a
+        // second PDU on the same VCI and watch the merged mess get
+        // rejected, never delivered as wrong data.
+        let seg = Segmenter::standard();
+        let mut rx = Reassembler::new();
+        let first = seg.segment(5, &[1u8; 200]);
+        for cell in &first[..first.len() - 1] {
+            assert!(rx.push(cell).is_none());
+        }
+        let second = seg.segment(5, &[2u8; 200]);
+        let mut outcome = None;
+        for cell in &second {
+            if let Some(r) = rx.push(cell) {
+                outcome = Some(r);
+            }
+        }
+        match outcome {
+            Some(Err(_)) => {}
+            Some(Ok(pdu)) => panic!("merged PDUs delivered as data: {} bytes", pdu.len()),
+            None => panic!("second PDU never completed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The AAL5 contract under arbitrary faults: whatever comes out
+        /// `Delivered` equals what went in — loss and corruption may cost
+        /// delivery, never integrity.
+        #[test]
+        fn no_silent_corruption(
+            seed in any::<u64>(),
+            corrupt in 0u32..0x8000,
+            drop in 0u32..0x8000,
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..300), 1..20),
+        ) {
+            let mut pipe = CellPipe::new(
+                FaultModel { corrupt_per_64k: corrupt, drop_per_64k: drop },
+                seed,
+            );
+            for (i, data) in payloads.iter().enumerate() {
+                // A fresh VCI per PDU isolates pending fragments.
+                if let PipeOutcome::Delivered(pdu) = pipe.transfer(i as u16, data) {
+                    prop_assert_eq!(&pdu[..], &data[..]);
+                }
+            }
+        }
+
+        /// A clean channel is lossless for every size.
+        #[test]
+        fn clean_channel_is_identity(
+            data in proptest::collection::vec(any::<u8>(), 0..5000),
+        ) {
+            let mut pipe = CellPipe::new(FaultModel::none(), 0);
+            match pipe.transfer(9, &data) {
+                PipeOutcome::Delivered(pdu) => prop_assert_eq!(&pdu[..], &data[..]),
+                other => prop_assert!(false, "clean channel produced {:?}", other),
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! Run all: `cargo bench --bench figures`
+//! Run some: `cargo bench --bench figures -- fig04 table5`
+
+fn main() {
+    // Cargo's bench runner may pass `--bench`; everything else is a filter.
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    cni_bench::run_filtered(&filters);
+}

@@ -1,0 +1,177 @@
+//! Criterion micro-benchmarks of the substrate data structures: the hot
+//! paths a real CNI board and DSM implementation would care about.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cni_atm::{AtmConfig, Fabric, Reassembler, Segmenter};
+use cni_dsm::{Diff, NodeSpace, PageId};
+use cni_nic::hostcache::HostCache;
+use cni_nic::msgcache::MessageCache;
+use cni_nic::queues::{ChannelQueues, Descriptor};
+use cni_pathfinder::{Classifier, FieldTest, Pattern};
+use cni_sim::SimTime;
+
+fn bench_pathfinder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pathfinder");
+    let mut cls: Classifier<u32> = Classifier::new();
+    // 32 connections on two header fields plus protocol-kind patterns.
+    for k in 0..32u16 {
+        cls.install(
+            Pattern::new(vec![FieldTest::byte(0, 1), FieldTest::u16(2, k)]),
+            k as u32,
+        );
+    }
+    for kind in 0xD0u8..=0xD8 {
+        cls.install(Pattern::new(vec![FieldTest::byte(0, kind)]), kind as u32);
+    }
+    let pkt = [1u8, 0, 0, 17, 0, 0, 0, 0];
+    g.bench_function("classify_match", |b| {
+        b.iter(|| cls.classify(black_box(&pkt)))
+    });
+    let miss = [9u8, 0, 0, 17, 0, 0, 0, 0];
+    g.bench_function("classify_miss", |b| {
+        b.iter(|| cls.classify(black_box(&miss)))
+    });
+    g.bench_function("flow_binding_lookup", |b| {
+        cls.bind_flow(7, 3);
+        b.iter(|| cls.lookup_flow(black_box(7)))
+    });
+    g.finish();
+}
+
+fn bench_msgcache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("message_cache");
+    g.bench_function("lookup_hit", |b| {
+        let mut mc = MessageCache::new(16, 256);
+        mc.insert(5);
+        b.iter(|| mc.lookup_tx(black_box(5)))
+    });
+    g.bench_function("insert_with_clock_eviction", |b| {
+        let mut mc = MessageCache::new(16, 256);
+        let mut page = 0u64;
+        b.iter(|| {
+            page += 1;
+            mc.insert(black_box(page))
+        })
+    });
+    g.bench_function("snoop_write", |b| {
+        let mut mc = MessageCache::new(16, 256);
+        mc.insert(3);
+        b.iter(|| mc.snoop_write(black_box(3)))
+    });
+    g.finish();
+}
+
+fn bench_aal5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aal5");
+    let seg = Segmenter::standard();
+    let page = vec![0xA5u8; 2048];
+    g.bench_function("segment_2k_page", |b| {
+        b.iter(|| seg.segment(9, black_box(&page)))
+    });
+    let cells = seg.segment(9, &page);
+    g.bench_function("reassemble_2k_page", |b| {
+        b.iter_batched(
+            Reassembler::new,
+            |mut rx| {
+                let mut out = None;
+                for cell in &cells {
+                    if let Some(r) = rx.push(cell) {
+                        out = Some(r);
+                    }
+                }
+                out.unwrap().unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    g.bench_function("send_2k_pdu_timing", |b| {
+        let mut f = Fabric::new(AtmConfig::default());
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimTime::from_us(100);
+            f.send_pdu(black_box(t), 0, 7, 2048, SimTime::from_ns(242))
+        })
+    });
+    g.finish();
+}
+
+fn bench_diffs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsm_diff");
+    let ns = NodeSpace::new(2048, 32);
+    let h = ns.page(PageId(0));
+    for i in 0..256 {
+        h.frame.store(i, i as u64);
+    }
+    let twin = h.frame.snapshot();
+    // Dirty a quarter of the page.
+    for i in (0..256).step_by(4) {
+        h.frame.store(i, i as u64 + 1_000_000);
+    }
+    g.bench_function("create_quarter_dirty", |b| {
+        b.iter(|| Diff::create(black_box(&twin), &h.frame))
+    });
+    let d = Diff::create(&twin, &h.frame);
+    let target = ns.page(PageId(1));
+    g.bench_function("apply_quarter_dirty", |b| b.iter(|| d.apply(&target.frame)));
+    g.bench_function("twin_snapshot", |b| b.iter(|| h.frame.snapshot()));
+    g.finish();
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adc_queues");
+    let mut q = ChannelQueues::new(64);
+    q.register_region(0x1000, 1 << 20);
+    let d = Descriptor {
+        vaddr: 0x2000,
+        len: 2048,
+        cacheable: true,
+    };
+    g.bench_function("enqueue_dequeue_transmit", |b| {
+        b.iter(|| {
+            q.enqueue_transmit(black_box(d)).unwrap();
+            q.dequeue_transmit().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_hostcache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("host_cache");
+    g.bench_function("access_stream", |b| {
+        let mut hc = HostCache::paper_default();
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 64) & 0xF_FFFF;
+            hc.access(black_box(addr), addr.is_multiple_of(3))
+        })
+    });
+    g.bench_function("flush_2k_page", |b| {
+        let mut hc = HostCache::paper_default();
+        b.iter(|| {
+            for line in 0..64u64 {
+                hc.access(0x8000 + line * 32, true);
+            }
+            hc.flush_range(0x8000, 2048)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pathfinder,
+    bench_msgcache,
+    bench_aal5,
+    bench_fabric,
+    bench_diffs,
+    bench_queues,
+    bench_hostcache
+);
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! Cluster configuration: the paper's Table 1 as data.
+
+use cni_atm::AtmConfig;
+use cni_nic::{NicConfig, NicKind};
+use cni_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Cost constants for protocol processing, in cycles of whichever
+/// processor runs the protocol (host under the standard NIC, the NIC
+/// processor under the CNI — the paper's Application Interrupt Handlers).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ProtoCosts {
+    /// Taking a shared-memory access fault (trap + protocol entry), host
+    /// cycles.
+    pub fault_trap_cycles: u64,
+    /// Application-side cost of a lock acquire/release call, host cycles.
+    pub lock_op_cycles: u64,
+    /// Application-side cost of a barrier call, host cycles.
+    pub barrier_op_cycles: u64,
+    /// Base cost of handling one protocol message.
+    pub msg_base_cycles: u64,
+    /// Cost per word of twin/diff/page data touched.
+    pub per_word_cycles: u64,
+    /// Cost per write notice processed.
+    pub per_notice_cycles: u64,
+    /// Fast-path cost of one shared-memory read (fault-free).
+    pub shared_read_cycles: u64,
+    /// Fast-path cost of one shared-memory write (fault-free).
+    pub shared_write_cycles: u64,
+}
+
+impl Default for ProtoCosts {
+    fn default() -> Self {
+        ProtoCosts {
+            fault_trap_cycles: 400,
+            lock_op_cycles: 60,
+            barrier_op_cycles: 80,
+            msg_base_cycles: 300,
+            per_word_cycles: 2,
+            per_notice_cycles: 12,
+            shared_read_cycles: 2,
+            shared_write_cycles: 2,
+        }
+    }
+}
+
+/// Full configuration of one simulated cluster.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Config {
+    /// Processors (= workstations) in the cluster.
+    pub procs: usize,
+    /// NIC personality: the paper's CNI or the standard baseline.
+    pub nic_kind: NicKind,
+    /// Host/NIC boundary cost model (Table 1 rows).
+    pub nic: NicConfig,
+    /// Interconnect parameters (Table 1 rows).
+    pub atm: AtmConfig,
+    /// Shared page size in bytes (default 2 KB, swept by the page-size
+    /// sensitivity figures).
+    pub page_bytes: usize,
+    /// Protocol cost constants.
+    pub costs: ProtoCosts,
+    /// Use a combining-tree barrier instead of the centralised manager
+    /// (extension; the paper's protocol is centralised).
+    pub tree_barrier: bool,
+    /// Seed for workload generation.
+    pub seed: u64,
+}
+
+impl Config {
+    /// The paper's simulation parameters (Table 1) with the CNI interface.
+    pub fn paper_default() -> Self {
+        Config {
+            procs: 8,
+            nic_kind: NicKind::Cni,
+            nic: NicConfig::default(),
+            atm: AtmConfig::default(),
+            page_bytes: 2048,
+            costs: ProtoCosts::default(),
+            tree_barrier: false,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Same cluster with the standard (baseline) network interface.
+    pub fn standard(mut self) -> Self {
+        self.nic_kind = NicKind::Standard;
+        self
+    }
+
+    /// Same cluster with the CNI.
+    pub fn cni(mut self) -> Self {
+        self.nic_kind = NicKind::Cni;
+        self
+    }
+
+    /// Set the processor count.
+    pub fn with_procs(mut self, procs: usize) -> Self {
+        assert!(procs >= 1 && procs <= self.atm.ports, "1..=ports processors");
+        self.procs = procs;
+        self
+    }
+
+    /// Set the shared page size (also the Message Cache buffer size).
+    pub fn with_page_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes >= 512 && bytes.is_multiple_of(8), "page size >= 512, word aligned");
+        self.page_bytes = bytes;
+        self.nic.page_bytes = bytes;
+        self
+    }
+
+    /// Set the Message Cache capacity.
+    pub fn with_msg_cache_bytes(mut self, bytes: usize) -> Self {
+        self.nic.msg_cache_bytes = bytes;
+        self
+    }
+
+    /// Disable individual CNI mechanisms (ablation studies): the Message
+    /// Cache, the Application Interrupt Handlers, or the polling hybrid.
+    pub fn with_cni_features(mut self, features: cni_nic::config::CniFeatures) -> Self {
+        self.nic.cni_features = features;
+        self
+    }
+
+    /// Use the combining-tree barrier (extension).
+    pub fn with_tree_barrier(mut self) -> Self {
+        self.tree_barrier = true;
+        self
+    }
+
+    /// Switch the interconnect to the paper's "mythical" unrestricted cell
+    /// size (Table 5).
+    pub fn with_unrestricted_cells(mut self) -> Self {
+        self.atm.cell_payload = None;
+        self
+    }
+
+    /// Render the Table 1 parameter listing.
+    pub fn table1(&self) -> String {
+        let n = &self.nic;
+        let mut s = String::new();
+        let mut row = |k: &str, v: String| s.push_str(&format!("{k:<32} {v}\n"));
+        row("CPU Frequency", "166 MHz".into());
+        row("Primary Cache Access Time", "1 cycle".into());
+        row("Primary Cache Size", "32K unified".into());
+        row("Secondary Cache Access Time", "10 cycles".into());
+        row("Secondary Cache Size", "1 MB unified".into());
+        row("Cache Organization", "Direct-mapped".into());
+        row("Cache Policy", "Write-back".into());
+        row("Memory Latency", "20 cycles".into());
+        row("Bus Acquisition Time", format!("{} cycles", n.bus_acquire_cycles));
+        row(
+            "Bus Transfer rate",
+            format!("{} cycles per word", n.bus_cycles_per_word),
+        );
+        row("Bus Frequency", "25 MHz".into());
+        row(
+            "Switch Latency",
+            format!("{} ns", self.atm.switch_latency.as_ns()),
+        );
+        row("Network Processor Frequency", "33 MHz".into());
+        row(
+            "Network Latency",
+            format!("{} ns", self.atm.prop_delay.as_ns()),
+        );
+        row(
+            "Interrupt Latency",
+            format!(
+                "{} us",
+                SimTime::from_ps(n.host_clock.cycles(n.interrupt_cycles).as_ps()).as_us_f64()
+                    as u64
+            ),
+        );
+        row(
+            "Message Cache Size",
+            format!("{} KB", n.msg_cache_bytes / 1024),
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_table1() {
+        let c = Config::paper_default();
+        assert_eq!(c.procs, 8);
+        assert_eq!(c.page_bytes, 2048);
+        assert_eq!(c.nic.msg_cache_bytes, 32 * 1024);
+        assert_eq!(c.atm.ports, 32);
+        let t = c.table1();
+        assert!(t.contains("166 MHz"));
+        assert!(t.contains("Message Cache Size"));
+        assert!(t.contains("32 KB"));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::paper_default()
+            .standard()
+            .with_procs(16)
+            .with_page_bytes(4096)
+            .with_msg_cache_bytes(512 * 1024);
+        assert_eq!(c.nic_kind, NicKind::Standard);
+        assert_eq!(c.procs, 16);
+        assert_eq!(c.page_bytes, 4096);
+        assert_eq!(c.nic.page_bytes, 4096);
+        assert_eq!(c.nic.msg_cache_bytes, 512 * 1024);
+        let j = c.with_unrestricted_cells();
+        assert!(j.atm.cell_payload.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "processors")]
+    fn too_many_procs_rejected() {
+        let _ = Config::paper_default().with_procs(33);
+    }
+}

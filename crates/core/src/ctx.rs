@@ -1,0 +1,324 @@
+//! The application programming interface: what a simulated processor's
+//! program sees.
+//!
+//! A program is a closure receiving a [`ProcCtx`]. Shared-memory reads and
+//! writes take the fast path — a relaxed atomic state check plus the word
+//! access — and only *yield* to the simulation engine on faults,
+//! synchronisation, message passing, and at termination. Computation is
+//! charged with [`ProcCtx::compute`] and batched locally, so the handshake
+//! cost is paid per simulated *communication event*, not per arithmetic
+//! operation (the execution-driven trade Proteus made).
+
+use cni_dsm::{access, LockId, PageHandle, PageId, VAddr};
+use cni_dsm::NodeSpace;
+use cni_sim::Port;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Operations that reach the simulation engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Shared read faulted on `page`.
+    ReadFault(PageId),
+    /// Shared write faulted on `page`.
+    WriteFault(PageId),
+    /// Acquire a DSM lock.
+    Acquire(LockId),
+    /// Release a DSM lock.
+    Release(LockId),
+    /// Arrive at the global barrier.
+    Barrier,
+    /// Send an application-level message (message-passing paradigm).
+    SendTo {
+        /// Destination processor.
+        dst: u32,
+        /// Payload length in bytes.
+        len: u32,
+        /// Backing page, if the payload is a page-sized buffer (enables
+        /// transmit caching).
+        page: Option<u64>,
+        /// Message-header cache bit.
+        cacheable: bool,
+        /// Dirty host-cache lines to flush before the board may read the
+        /// buffer.
+        dirty_lines: u32,
+        /// Payload words, if the receiver needs the data (execution-driven
+        /// message passing); `None` for timing-only traffic.
+        data: Option<Arc<Vec<u64>>>,
+    },
+    /// Spin-wait politely: charge synchronisation-overhead cycles without
+    /// calling them computation (bag-of-tasks pollers).
+    Backoff(u64),
+    /// Block until an application-level message arrives.
+    Recv,
+    /// Program finished (issued automatically).
+    Done,
+}
+
+/// A yield to the engine: accumulated computation plus the operation.
+#[derive(Clone, Debug)]
+pub struct YieldMsg {
+    /// Host CPU cycles of computation since the last yield.
+    pub pending_cycles: u64,
+    /// The operation.
+    pub op: Op,
+}
+
+/// The engine's reply to a yield.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Operation complete.
+    Ok,
+    /// A message was received (reply to [`Op::Recv`]).
+    Received {
+        /// Sending processor.
+        src: u32,
+        /// Payload length in bytes.
+        len: u32,
+        /// Payload words, when the sender attached data.
+        data: Option<Arc<Vec<u64>>>,
+    },
+}
+
+/// Per-access fast-path costs (host cycles), captured from the cluster
+/// configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessCosts {
+    /// Cycles per fault-free shared read.
+    pub read: u64,
+    /// Cycles per fault-free shared write.
+    pub write: u64,
+}
+
+/// The program-side context for one simulated processor.
+pub struct ProcCtx<'a> {
+    me: u32,
+    procs: u32,
+    page_bytes: usize,
+    line_bytes: usize,
+    costs: AccessCosts,
+    space: Arc<NodeSpace>,
+    mru: Option<(u32, PageHandle)>,
+    cache: HashMap<u32, PageHandle>,
+    pending: u64,
+    port: &'a mut Port<YieldMsg, Reply>,
+}
+
+impl<'a> ProcCtx<'a> {
+    /// Engine-side constructor (used by the world's program wrapper).
+    pub fn new(
+        me: u32,
+        procs: u32,
+        page_bytes: usize,
+        line_bytes: usize,
+        costs: AccessCosts,
+        space: Arc<NodeSpace>,
+        port: &'a mut Port<YieldMsg, Reply>,
+    ) -> Self {
+        ProcCtx {
+            me,
+            procs,
+            page_bytes,
+            line_bytes,
+            costs,
+            space,
+            mru: None,
+            cache: HashMap::new(),
+            pending: 0,
+            port,
+        }
+    }
+
+    /// This processor's id.
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.me
+    }
+
+    /// Cluster size.
+    #[inline]
+    pub fn procs(&self) -> u32 {
+        self.procs
+    }
+
+    /// Shared page size in bytes.
+    #[inline]
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Charge `cycles` of computation.
+    #[inline]
+    pub fn compute(&mut self, cycles: u64) {
+        self.pending += cycles;
+    }
+
+    fn yield_op(&mut self, op: Op) -> Reply {
+        let pending = std::mem::take(&mut self.pending);
+        self.port.call(YieldMsg {
+            pending_cycles: pending,
+            op,
+        })
+    }
+
+    #[inline]
+    fn handle(&mut self, page: u32) -> &PageHandle {
+        if let Some((mp, _)) = &self.mru {
+            if *mp == page {
+                // NLL limitation workaround: re-borrow through the Option.
+                return &self.mru.as_ref().expect("just checked").1;
+            }
+        }
+        let h = match self.cache.get(&page) {
+            Some(h) => h.clone(),
+            None => {
+                let h = self.space.page(PageId(page));
+                self.cache.insert(page, h.clone());
+                h
+            }
+        };
+        self.mru = Some((page, h));
+        &self.mru.as_ref().expect("just set").1
+    }
+
+    /// Read a shared 64-bit word. Faults transparently.
+    #[inline]
+    pub fn read_u64(&mut self, addr: VAddr) -> u64 {
+        let page = addr.page(self.page_bytes);
+        let word = addr.word(self.page_bytes);
+        loop {
+            let h = self.handle(page.0);
+            if h.flags.state() != access::INVALID {
+                let v = h.frame.load(word);
+                self.pending += self.costs.read;
+                return v;
+            }
+            self.yield_op(Op::ReadFault(page));
+        }
+    }
+
+    /// Write a shared 64-bit word. Faults transparently and records the
+    /// dirty cache line for the flush model.
+    #[inline]
+    pub fn write_u64(&mut self, addr: VAddr, v: u64) {
+        let page = addr.page(self.page_bytes);
+        let word = addr.word(self.page_bytes);
+        let line = addr.offset(self.page_bytes) / self.line_bytes;
+        loop {
+            let h = self.handle(page.0);
+            if h.flags.state() == access::WRITE {
+                h.frame.store(word, v);
+                h.flags.mark_dirty(line);
+                self.pending += self.costs.write;
+                return;
+            }
+            self.yield_op(Op::WriteFault(page));
+        }
+    }
+
+    /// Read a shared `f64`.
+    #[inline]
+    pub fn read_f64(&mut self, addr: VAddr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Write a shared `f64`.
+    #[inline]
+    pub fn write_f64(&mut self, addr: VAddr, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    /// Acquire a DSM lock (blocks in virtual time).
+    pub fn acquire(&mut self, lock: LockId) {
+        self.yield_op(Op::Acquire(lock));
+    }
+
+    /// Release a DSM lock (closes the interval: diffs + write notices).
+    pub fn release(&mut self, lock: LockId) {
+        self.yield_op(Op::Release(lock));
+    }
+
+    /// Cross the global barrier.
+    pub fn barrier(&mut self) {
+        self.yield_op(Op::Barrier);
+    }
+
+    /// Spin politely for `cycles` host cycles: the time is charged as
+    /// synchronisation overhead, not computation (idle task-queue polling
+    /// must not inflate the computation bucket of Tables 2–4).
+    pub fn backoff(&mut self, cycles: u64) {
+        self.yield_op(Op::Backoff(cycles));
+    }
+
+    /// Send an application-level message of `len` bytes to `dst`.
+    /// `dirty_lines` models how much of the buffer sits dirty in the host
+    /// cache (flushed before transmission, per the write-back discipline).
+    pub fn send_to(
+        &mut self,
+        dst: u32,
+        len: u32,
+        page: Option<u64>,
+        cacheable: bool,
+        dirty_lines: u32,
+    ) {
+        assert!(dst < self.procs && dst != self.me, "bad destination");
+        self.yield_op(Op::SendTo {
+            dst,
+            len,
+            page,
+            cacheable,
+            dirty_lines,
+            data: None,
+        });
+    }
+
+    /// Send an application-level message carrying `data` (one simulated
+    /// byte of payload per... precisely `data.len() * 8` bytes) to `dst`.
+    /// This is the execution-driven message-passing path: the receiver's
+    /// [`ProcCtx::recv_data`] gets the actual words.
+    pub fn send_data(
+        &mut self,
+        dst: u32,
+        data: Vec<u64>,
+        page: Option<u64>,
+        cacheable: bool,
+        dirty_lines: u32,
+    ) {
+        assert!(dst < self.procs && dst != self.me, "bad destination");
+        let len = (data.len() * 8) as u32;
+        self.yield_op(Op::SendTo {
+            dst,
+            len,
+            page,
+            cacheable,
+            dirty_lines,
+            data: Some(Arc::new(data)),
+        });
+    }
+
+    /// Block until an application-level message arrives; returns
+    /// (sender, length).
+    pub fn recv(&mut self) -> (u32, u32) {
+        match self.yield_op(Op::Recv) {
+            Reply::Received { src, len, .. } => (src, len),
+            Reply::Ok => panic!("engine replied Ok to Recv"),
+        }
+    }
+
+    /// Block until an application-level message arrives; returns the
+    /// sender and the payload words (empty if the sender attached none).
+    pub fn recv_data(&mut self) -> (u32, Arc<Vec<u64>>) {
+        match self.yield_op(Op::Recv) {
+            Reply::Received { src, data, .. } => {
+                (src, data.unwrap_or_else(|| Arc::new(Vec::new())))
+            }
+            Reply::Ok => panic!("engine replied Ok to Recv"),
+        }
+    }
+
+    /// Flush accumulated computation and signal completion. Called by the
+    /// program wrapper after the user closure returns.
+    pub fn finish(&mut self) {
+        self.yield_op(Op::Done);
+    }
+}

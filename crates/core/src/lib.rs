@@ -1,0 +1,44 @@
+//! `cni` — the public facade of the CNI reproduction: configure a
+//! simulated workstation cluster, run programs on it, and measure what the
+//! paper measures.
+//!
+//! ```
+//! use cni::{Config, World};
+//!
+//! // A 2-processor CNI cluster with the paper's Table-1 parameters.
+//! let mut world = World::new(Config::paper_default().with_procs(2));
+//! let base = world.alloc(4096);
+//! let report = world.run(vec![
+//!     Box::new(move |ctx| {
+//!         ctx.write_u64(base, 42);
+//!         ctx.barrier();
+//!     }),
+//!     Box::new(move |ctx| {
+//!         ctx.barrier();
+//!         assert_eq!(ctx.read_u64(base), 42);
+//!     }),
+//! ]);
+//! assert!(report.wall > cni_sim::SimTime::ZERO);
+//! ```
+//!
+//! The crate wires together the substrates built for this reproduction:
+//! [`cni_sim`] (deterministic discrete-event kernel and co-threaded
+//! processors), [`cni_atm`] (cells, AAL5, banyan switch), [`cni_pathfinder`]
+//! (the packet classifier), [`cni_nic`] (Message Cache, Application Device
+//! Channels, Application Interrupt Handler runtime, and the standard
+//! baseline NIC) and [`cni_dsm`] (lazy invalidate release consistency).
+
+pub mod config;
+pub mod ctx;
+pub mod report;
+pub mod world;
+
+pub use config::{Config, ProtoCosts};
+pub use ctx::{ProcCtx, Reply};
+pub use report::{speedup, ProcTimes, RunReport};
+pub use world::{Program, World};
+
+// Re-export the identifiers applications use.
+pub use cni_dsm::{LockId, PageId, ProcId, VAddr};
+pub use cni_nic::NicKind;
+pub use cni_sim::SimTime;

@@ -1,0 +1,169 @@
+//! Run reports: the numbers the paper's tables and figures are made of.
+
+use cni_dsm::DsmStats;
+use cni_nic::stats::NicStats;
+use cni_nic::msgcache::MsgCacheStats;
+use cni_sim::{Clock, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-processor time breakdown, in virtual time.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ProcTimes {
+    /// Application computation.
+    pub compute: SimTime,
+    /// Synchronisation overhead: cycles the CPU spent executing protocol,
+    /// kernel, interrupt, poll and flush code.
+    pub overhead: SimTime,
+    /// Synchronisation delay: time stalled waiting for remote pages, locks
+    /// and barriers.
+    pub delay: SimTime,
+    /// Completion time of this processor.
+    pub total: SimTime,
+}
+
+/// Everything measured in one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Completion time of the whole run (max over processors).
+    pub wall: SimTime,
+    /// Per-processor breakdowns.
+    pub procs: Vec<ProcTimes>,
+    /// Per-node NIC counters.
+    pub nic: Vec<NicStats>,
+    /// Per-node Message Cache counters (zeroes for standard NICs).
+    pub msg_cache: Vec<MsgCacheStats>,
+    /// Per-node protocol counters.
+    pub dsm: Vec<DsmStats>,
+    /// Protocol messages transported.
+    pub messages: u64,
+    /// Protocol messages by kind: [acquire-req, acquire-fwd, grant,
+    /// barrier-arrive, barrier-release, page-req, page-resp, diff-req,
+    /// diff-resp].
+    pub msg_kinds: [u64; 9],
+}
+
+impl RunReport {
+    /// The paper's *network cache hit ratio*, aggregated across nodes:
+    /// board-resident transmissions over page-backed transmissions.
+    pub fn hit_ratio(&self) -> f64 {
+        let hits: u64 = self.nic.iter().map(|n| n.tx_cache_hits).sum();
+        let lookups: u64 = self.nic.iter().map(|n| n.tx_page_lookups).sum();
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
+    }
+
+    /// Mean per-processor breakdown (what Tables 2–4 report).
+    pub fn mean_breakdown(&self) -> ProcTimes {
+        let n = self.procs.len().max(1) as u64;
+        let mut acc = ProcTimes::default();
+        for p in &self.procs {
+            acc.compute += p.compute;
+            acc.overhead += p.overhead;
+            acc.delay += p.delay;
+            acc.total += p.total;
+        }
+        ProcTimes {
+            compute: SimTime::from_ps(acc.compute.as_ps() / n),
+            overhead: SimTime::from_ps(acc.overhead.as_ps() / n),
+            delay: SimTime::from_ps(acc.delay.as_ps() / n),
+            total: SimTime::from_ps(acc.total.as_ps() / n),
+        }
+    }
+
+    /// Convert a time into units of 10⁹ CPU cycles of `clock` (the unit of
+    /// Tables 2–4).
+    pub fn gcycles(t: SimTime, clock: Clock) -> f64 {
+        clock.cycles_in(t) as f64 / 1e9
+    }
+
+    /// Total host interrupts taken across the cluster.
+    pub fn interrupts(&self) -> u64 {
+        self.nic.iter().map(|n| n.interrupts).sum()
+    }
+
+    /// Total bytes DMAed host→board across the cluster.
+    pub fn dma_bytes_to_board(&self) -> u64 {
+        self.nic.iter().map(|n| n.dma_bytes_to_board).sum()
+    }
+
+    /// Full-page protocol transfers (the Message Cache's traffic).
+    pub fn page_transfers(&self) -> u64 {
+        self.msg_kinds[6]
+    }
+
+    /// Diff transfers (concurrent-write-sharing merges).
+    pub fn diff_transfers(&self) -> u64 {
+        self.msg_kinds[8]
+    }
+}
+
+/// Speedup of a parallel run against a baseline (usually 1 processor).
+pub fn speedup(baseline: &RunReport, parallel: &RunReport) -> f64 {
+    baseline.wall.as_ps() as f64 / parallel.wall.as_ps() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(walls: &[(u64, u64)]) -> RunReport {
+        // (hits, lookups) per node
+        RunReport {
+            wall: SimTime::from_us(10),
+            procs: vec![
+                ProcTimes {
+                    compute: SimTime::from_us(4),
+                    overhead: SimTime::from_us(1),
+                    delay: SimTime::from_us(5),
+                    total: SimTime::from_us(10),
+                };
+                walls.len()
+            ],
+            nic: walls
+                .iter()
+                .map(|&(h, l)| NicStats {
+                    tx_cache_hits: h,
+                    tx_page_lookups: l,
+                    ..NicStats::default()
+                })
+                .collect(),
+            msg_cache: vec![MsgCacheStats::default(); walls.len()],
+            dsm: vec![DsmStats::default(); walls.len()],
+            messages: 0,
+            msg_kinds: [0; 9],
+        }
+    }
+
+    #[test]
+    fn hit_ratio_aggregates_across_nodes() {
+        let r = report(&[(3, 4), (1, 4)]);
+        assert!((r.hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(report(&[(0, 0)]).hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn mean_breakdown_averages() {
+        let r = report(&[(0, 0), (0, 0)]);
+        let m = r.mean_breakdown();
+        assert_eq!(m.compute, SimTime::from_us(4));
+        assert_eq!(m.total, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let base = report(&[(0, 0)]);
+        let mut par = report(&[(0, 0)]);
+        par.wall = SimTime::from_us(2);
+        assert!((speedup(&base, &par) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gcycles_conversion() {
+        let clock = Clock::from_mhz(166);
+        let t = clock.cycles(2_000_000_000);
+        assert!((RunReport::gcycles(t, clock) - 2.0).abs() < 1e-9);
+    }
+}

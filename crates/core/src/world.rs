@@ -1,0 +1,851 @@
+//! The timed cluster simulation: co-threaded processors + DSM protocol +
+//! NIC/ATM transport, composed into one deterministic discrete-event run.
+//!
+//! This is the reproduction's equivalent of the paper's modified Proteus:
+//! application code executes for real on co-threads, and every
+//! communication event is costed through the configured NIC personality
+//! and the ATM fabric. The **only** difference between a CNI run and a
+//! standard run is the cost path — the protocol logic, the applications
+//! and the workloads are bit-identical:
+//!
+//! * **sends**: ADC enqueue vs kernel entry; Message-Cache hit (no DMA) vs
+//!   unconditional DMA.
+//! * **receives**: PATHFINDER → Application Interrupt Handler on the 33 MHz
+//!   NIC processor vs host interrupt + kernel + host protocol processing.
+//! * **notification**: poll/interrupt hybrid vs interrupt-only.
+//!
+//! ### Accounting
+//!
+//! Per processor, virtual time is split into the paper's three buckets
+//! (Tables 2–4): *computation* (cycles the program charged), *synch
+//! overhead* (protocol/kernel/interrupt/poll/flush work executed by this
+//! CPU) and *synch delay* (stall time waiting for remote events). Protocol
+//! work performed asynchronously on the host (standard NIC) is "stolen"
+//! from the running program and surfaces as overhead at its next yield;
+//! under the CNI the same work runs on the NIC processor and never touches
+//! the host buckets.
+
+use crate::config::Config;
+use crate::ctx::{AccessCosts, Op, ProcCtx, Reply, YieldMsg};
+use crate::report::{ProcTimes, RunReport};
+use cni_atm::Fabric;
+use cni_dsm::{
+    DsmConfig, DsmNode, HandleResult, Msg, NodeSpace, PageId, Payload, ProcId, VAddr, Work,
+};
+use cni_nic::device::TxOrigin;
+use cni_nic::{Nic, NicKind, RxDisposition, TxRequest};
+use cni_pathfinder::{FieldTest, Pattern};
+use cni_sim::{CoThread, EventQueue, SimTime, SplitMix64, Yield};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A program to run on one simulated processor.
+pub type Program = Box<dyn FnOnce(&mut ProcCtx<'_>) + Send + 'static>;
+
+/// An inbox entry: (sender, length, optional payload words).
+type InboxMsg = (u32, u32, Option<Arc<Vec<u64>>>);
+
+enum Ev {
+    /// Resume processor `p`'s co-thread.
+    Resume(usize),
+    /// Hand a protocol message to `src`'s NIC (the host-side work was
+    /// already charged; scheduling this at the right virtual time keeps
+    /// the NIC-processor busy register causal — a lump-charged compute
+    /// quantum must not reserve the NIC into the future and stall
+    /// arrivals).
+    Xmit { src: usize, msg: Msg },
+    /// Hand an application message to `src`'s NIC.
+    XmitApp {
+        src: usize,
+        dst: usize,
+        len: u32,
+        page: Option<u64>,
+        cacheable: bool,
+        data: Option<Arc<Vec<u64>>>,
+    },
+    /// A protocol PDU finished arriving at `dst`'s NIC.
+    Proto { msg: Msg },
+    /// An application-level message finished arriving.
+    App {
+        dst: usize,
+        src: usize,
+        len: u32,
+        page: Option<u64>,
+        cacheable: bool,
+        data: Option<Arc<Vec<u64>>>,
+    },
+    /// Wake a blocked processor; `overhead` is host time already spent on
+    /// its behalf during the wait (delivery, protocol, poll/interrupt).
+    Wake { p: usize, overhead: SimTime },
+}
+
+struct Cpu {
+    thread: Option<CoThread<YieldMsg, Reply>>,
+    started: bool,
+    clock: SimTime,
+    /// The host CPU handles one asynchronous event (interrupt + protocol)
+    /// at a time; later arrivals queue behind this.
+    async_busy: SimTime,
+    compute: SimTime,
+    overhead: SimTime,
+    delay: SimTime,
+    blocked_at: Option<SimTime>,
+    stolen: SimTime,
+    done: bool,
+    inbox: VecDeque<InboxMsg>,
+    waiting_recv: bool,
+    pending_reply: Option<Reply>,
+    blocked_kind: usize,
+    blocked_detail: u64,
+}
+
+impl Cpu {
+    fn new() -> Self {
+        Cpu {
+            thread: None,
+            started: false,
+            clock: SimTime::ZERO,
+            async_busy: SimTime::ZERO,
+            compute: SimTime::ZERO,
+            overhead: SimTime::ZERO,
+            delay: SimTime::ZERO,
+            blocked_at: None,
+            stolen: SimTime::ZERO,
+            done: false,
+            inbox: VecDeque::new(),
+            waiting_recv: false,
+            pending_reply: None,
+            blocked_kind: 0,
+            blocked_detail: 0,
+        }
+    }
+}
+
+/// The simulated cluster.
+pub struct World {
+    cfg: Config,
+    q: EventQueue<Ev>,
+    fabric: Fabric,
+    nics: Vec<Nic>,
+    dsm: Vec<DsmNode>,
+    spaces: Vec<Arc<NodeSpace>>,
+    cpus: Vec<Cpu>,
+    next_page: u32,
+    live: usize,
+    proto_messages: u64,
+    msg_kinds: [u64; 9],
+    /// Wait-time diagnostics per blocking-op kind (lock, fault, barrier,
+    /// recv): (total wait, count). Enabled by `CNI_WAIT_STATS`.
+    wait_stats: [(SimTime, u64); 4],
+    /// Deterministic jitter source for protocol-handling costs. Identical
+    /// critical-section durations phase-lock into pathological convoys that
+    /// no real machine exhibits (cache and DRAM variance break them); a few
+    /// percent of seeded jitter restores realistic desynchronisation while
+    /// keeping runs bit-reproducible.
+    jitter: SplitMix64,
+}
+
+/// The AIH handler id the DSM protocol is installed under.
+const DSM_HANDLER: u32 = 1;
+
+impl World {
+    /// Build a cluster per `cfg`.
+    pub fn new(cfg: Config) -> Self {
+        assert!(cfg.procs >= 1 && cfg.procs <= cfg.atm.ports);
+        let mut nic_cfg = cfg.nic;
+        nic_cfg.page_bytes = cfg.page_bytes;
+        let dsm_cfg = DsmConfig {
+            procs: cfg.procs,
+            page_bytes: cfg.page_bytes,
+            line_bytes: cfg.nic.cache_line_bytes,
+            tree_barrier: cfg.tree_barrier,
+        };
+        let spaces: Vec<Arc<NodeSpace>> = (0..cfg.procs)
+            .map(|_| Arc::new(NodeSpace::new(cfg.page_bytes, cfg.nic.cache_line_bytes)))
+            .collect();
+        let dsm = (0..cfg.procs)
+            .map(|p| DsmNode::new(ProcId(p as u32), dsm_cfg, spaces[p].clone()))
+            .collect();
+        let nics = (0..cfg.procs)
+            .map(|_| {
+                let mut nic = Nic::new(cfg.nic_kind, nic_cfg);
+                if cfg.nic_kind == NicKind::Cni && cfg.nic.cni_features.aih {
+                    // Install the DSM protocol as an Application Interrupt
+                    // Handler: one PATHFINDER pattern per protocol kind
+                    // byte (0xD0..=0xD8).
+                    for kind in 0xD0u8..=0xD8 {
+                        nic.install_handler_pattern(
+                            Pattern::new(vec![FieldTest::byte(0, kind)]),
+                            DSM_HANDLER,
+                        );
+                    }
+                }
+                nic
+            })
+            .collect();
+        World {
+            q: EventQueue::new(),
+            fabric: Fabric::new(cfg.atm),
+            nics,
+            dsm,
+            spaces,
+            cpus: (0..cfg.procs).map(|_| Cpu::new()).collect(),
+            next_page: 0,
+            live: 0,
+            proto_messages: 0,
+            msg_kinds: [0; 9],
+            wait_stats: [(SimTime::ZERO, 0); 4],
+            jitter: SplitMix64::new(cfg.seed ^ 0xC31_0C31),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Processor `p`'s shared-memory space (inspection after a run).
+    pub fn space(&self, p: usize) -> &Arc<NodeSpace> {
+        &self.spaces[p]
+    }
+
+    /// Diagnostic: (total wait, count) per blocking-op kind
+    /// [locks, faults, barriers, receives].
+    pub fn wait_stats(&self) -> [(SimTime, u64); 4] {
+        self.wait_stats
+    }
+
+    /// Allocate shared memory (whole pages, zero-filled, homes assigned
+    /// round-robin). Must be called before [`World::run`].
+    pub fn alloc(&mut self, bytes: usize) -> VAddr {
+        let pages = bytes.div_ceil(self.cfg.page_bytes).max(1);
+        let procs = self.cfg.procs;
+        let first = self.next_page as usize;
+        self.alloc_pages(pages, move |i| (first + i) % procs)
+    }
+
+    /// Allocate shared memory with explicit page placement: `home(i)` gives
+    /// the owning processor of the `i`-th page of this allocation. Matches
+    /// the first-touch placement a real DSM would produce, which keeps
+    /// initialisation local (and is what the paper's applications see).
+    pub fn alloc_with_homes(&mut self, bytes: usize, home: impl Fn(usize) -> usize) -> VAddr {
+        let pages = bytes.div_ceil(self.cfg.page_bytes).max(1);
+        self.alloc_pages(pages, home)
+    }
+
+    fn alloc_pages(&mut self, pages: usize, home: impl Fn(usize) -> usize) -> VAddr {
+        let first = self.next_page;
+        self.next_page += pages as u32;
+        for (i, pg) in (first..self.next_page).enumerate() {
+            let page = PageId(pg);
+            let owner = ProcId((home(i) % self.cfg.procs) as u32);
+            for d in &mut self.dsm {
+                d.set_home(page, owner);
+            }
+            self.dsm[owner.0 as usize].init_home_page(page);
+        }
+        VAddr::of_page(PageId(first), self.cfg.page_bytes)
+    }
+
+    /// Run one program per processor to completion; returns the
+    /// measurements. A `World` is single-shot: allocations and protocol
+    /// state belong to exactly one run.
+    ///
+    /// # Panics
+    /// Panics if called twice, if the programs deadlock (no runnable
+    /// events while programs are unfinished), or if they violate the DSM
+    /// locking discipline.
+    pub fn run(&mut self, programs: Vec<Program>) -> RunReport {
+        assert_eq!(programs.len(), self.cfg.procs, "one program per processor");
+        assert!(
+            self.cpus.iter().all(|c| !c.started),
+            "World::run is single-shot; build a fresh World for another run"
+        );
+        let costs = AccessCosts {
+            read: self.cfg.costs.shared_read_cycles,
+            write: self.cfg.costs.shared_write_cycles,
+        };
+        let page_bytes = self.cfg.page_bytes;
+        let line_bytes = self.cfg.nic.cache_line_bytes;
+        let procs = self.cfg.procs as u32;
+        self.live = programs.len();
+        for (p, prog) in programs.into_iter().enumerate() {
+            let space = self.spaces[p].clone();
+            let me = p as u32;
+            let thread = CoThread::spawn(&format!("cpu{p}"), move |port| {
+                let mut ctx =
+                    ProcCtx::new(me, procs, page_bytes, line_bytes, costs, space, port);
+                prog(&mut ctx);
+                ctx.finish();
+            });
+            self.cpus[p].thread = Some(thread);
+            self.q.schedule_at(SimTime::ZERO, Ev::Resume(p));
+        }
+
+        while let Some((t, ev)) = self.q.pop() {
+            match ev {
+                Ev::Resume(p) => self.resume(p, Reply::Ok),
+                Ev::Xmit { src, msg } => {
+                    self.transport(src, msg, TxOrigin::Board, t);
+                }
+                Ev::XmitApp {
+                    src,
+                    dst,
+                    len,
+                    page,
+                    cacheable,
+                    data,
+                } => self.xmit_app(t, src, dst, len, page, cacheable, data),
+                Ev::Proto { msg } => self.arrive_proto(t, msg),
+                Ev::App {
+                    dst,
+                    src,
+                    len,
+                    page,
+                    cacheable,
+                    data,
+                } => self.arrive_app(t, dst, src, len, page, cacheable, data),
+                Ev::Wake { p, overhead } => self.wake(t, p, overhead),
+            }
+            if self.live == 0 && self.q.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(
+            self.live, 0,
+            "simulation ran out of events with {} programs unfinished (deadlock)",
+            self.live
+        );
+        self.report()
+    }
+
+    fn report(&self) -> RunReport {
+        let wall = self
+            .cpus
+            .iter()
+            .map(|c| c.clock)
+            .fold(SimTime::ZERO, SimTime::max);
+        RunReport {
+            wall,
+            procs: self
+                .cpus
+                .iter()
+                .map(|c| ProcTimes {
+                    compute: c.compute,
+                    overhead: c.overhead,
+                    delay: c.delay,
+                    total: c.clock,
+                })
+                .collect(),
+            nic: self.nics.iter().map(|n| n.stats()).collect(),
+            msg_cache: self.nics.iter().map(|n| n.msg_cache_stats()).collect(),
+            dsm: self.dsm.iter().map(|d| d.stats()).collect(),
+            messages: self.proto_messages,
+            msg_kinds: self.msg_kinds,
+        }
+    }
+
+    // --- time helpers -----------------------------------------------------
+
+    fn host(&self, cycles: u64) -> SimTime {
+        self.cfg.nic.host_clock.cycles(cycles)
+    }
+
+    /// Protocol labour in host-CPU cycles: the host moves page images with
+    /// its own loads/stores (copying between DMA buffers and user pages).
+    fn work_cycles(&self, w: &Work) -> u64 {
+        let c = &self.cfg.costs;
+        c.msg_base_cycles
+            + c.per_word_cycles
+                * (w.twin_words + w.diff_scan_words + w.diff_words + w.page_copy_words)
+            + c.per_notice_cycles * w.notices
+    }
+
+    /// Protocol labour in NIC-processor cycles for an Application Interrupt
+    /// Handler: diff and notice processing run on the 33 MHz core, but page
+    /// images move by DMA/SAR engines (already timed on the bus and wire),
+    /// so `page_copy_words` is not a processor cost here. This asymmetry is
+    /// the paper's offload argument.
+    fn work_cycles_nic(&self, w: &Work) -> u64 {
+        let c = &self.cfg.costs;
+        c.msg_base_cycles
+            + c.per_word_cycles * (w.twin_words + w.diff_scan_words + w.diff_words)
+            + c.per_notice_cycles * w.notices
+    }
+
+    /// Add deterministic jitter of up to ~6% to a protocol-handling cycle
+    /// count.
+    fn jittered(&mut self, cycles: u64) -> u64 {
+        cycles + self.jitter.next_below(cycles / 16 + 1)
+    }
+
+    /// Charge host overhead synchronously on `p`'s clock.
+    fn charge_ov(&mut self, p: usize, cycles: u64) {
+        let dt = self.host(cycles);
+        self.cpus[p].clock += dt;
+        self.cpus[p].overhead += dt;
+    }
+
+    // --- program-side event handling ----------------------------------------
+
+    fn resume(&mut self, p: usize, reply: Reply) {
+        let y = {
+            let cpu = &mut self.cpus[p];
+            let thread = cpu.thread.as_mut().expect("resume of dead cpu");
+            if !cpu.started {
+                cpu.started = true;
+                thread.start()
+            } else {
+                thread.resume(reply)
+            }
+        };
+        match y {
+            Yield::Finished => {
+                self.cpus[p].thread = None;
+            }
+            Yield::Request(ym) => {
+                let comp = self.host(ym.pending_cycles);
+                let stolen = std::mem::take(&mut self.cpus[p].stolen);
+                {
+                    let cpu = &mut self.cpus[p];
+                    cpu.clock += comp;
+                    cpu.compute += comp;
+                    cpu.clock += stolen;
+                    cpu.overhead += stolen;
+                }
+                self.handle_op(p, ym.op);
+            }
+        }
+    }
+
+    fn handle_op(&mut self, p: usize, op: Op) {
+        match op {
+            Op::ReadFault(page) => {
+                self.charge_ov(p, self.cfg.costs.fault_trap_cycles);
+                self.cpus[p].blocked_kind = 1;
+                self.cpus[p].blocked_detail = page.0 as u64;
+                let res = self.dsm[p].on_read_fault(page);
+                self.apply_sync_result(p, res, true);
+            }
+            Op::WriteFault(page) => {
+                self.charge_ov(p, self.cfg.costs.fault_trap_cycles);
+                self.cpus[p].blocked_kind = 1;
+                self.cpus[p].blocked_detail = 0x1_0000_0000 | page.0 as u64;
+                let res = self.dsm[p].on_write_fault(page);
+                self.apply_sync_result(p, res, true);
+            }
+            Op::Acquire(l) => {
+                self.charge_ov(p, self.cfg.costs.lock_op_cycles);
+                self.cpus[p].blocked_kind = 0;
+                self.cpus[p].blocked_detail = l.0 as u64;
+                let res = self.dsm[p].on_acquire(l);
+                self.apply_sync_result(p, res, true);
+            }
+            Op::Release(l) => {
+                self.charge_ov(p, self.cfg.costs.lock_op_cycles);
+                let res = self.dsm[p].on_release(l);
+                self.apply_sync_result(p, res, false);
+            }
+            Op::Barrier => {
+                self.charge_ov(p, self.cfg.costs.barrier_op_cycles);
+                self.cpus[p].blocked_kind = 2;
+                let res = self.dsm[p].on_barrier();
+                self.apply_sync_result(p, res, true);
+            }
+            Op::SendTo {
+                dst,
+                len,
+                page,
+                cacheable,
+                dirty_lines,
+                data,
+            } => {
+                self.charge_ov(p, self.host_send_cycles());
+                if dirty_lines > 0 {
+                    // Write-back flush so the board sees a consistent
+                    // buffer; the snooper applies the flushed writes.
+                    let now = self.cpus[p].clock;
+                    let x = self.nics[p].bus.flush_lines(
+                        now,
+                        dirty_lines as u64,
+                        self.cfg.nic.cache_line_bytes,
+                    );
+                    let dt = x.end - now;
+                    self.cpus[p].clock = x.end;
+                    self.cpus[p].overhead += dt;
+                    if let Some(pg) = page {
+                        self.nics[p].snoop_write(pg);
+                    }
+                }
+                let at = self.cpus[p].clock;
+                self.q.schedule_at(
+                    at,
+                    Ev::XmitApp {
+                        src: p,
+                        dst: dst as usize,
+                        len,
+                        page,
+                        cacheable,
+                        data,
+                    },
+                );
+                self.q.schedule_at(at, Ev::Resume(p));
+            }
+            Op::Backoff(cycles) => {
+                self.charge_ov(p, cycles);
+                let at = self.cpus[p].clock;
+                self.q.schedule_at(at, Ev::Resume(p));
+            }
+            Op::Recv => {
+                if let Some((src, len, data)) = self.cpus[p].inbox.pop_front() {
+                    self.charge_ov(p, self.cfg.nic.poll_cycles);
+                    let at = self.cpus[p].clock;
+                    self.cpus[p].pending_reply = Some(Reply::Received { src, len, data });
+                    self.q.schedule_at(at, Ev::Wake {
+                        p,
+                        overhead: SimTime::ZERO,
+                    });
+                    // Mark as "blocked" for zero time so Wake's accounting
+                    // balances.
+                    self.cpus[p].blocked_at = Some(at);
+                } else {
+                    self.cpus[p].waiting_recv = true;
+                    self.cpus[p].blocked_kind = 3;
+                    self.cpus[p].blocked_at = Some(self.cpus[p].clock);
+                }
+            }
+            Op::Done => {
+                self.cpus[p].done = true;
+                self.live -= 1;
+                // Let the co-thread run to completion.
+                self.resume(p, Reply::Ok);
+            }
+        }
+    }
+
+    /// Apply a protocol result produced synchronously by processor `p`'s
+    /// own operation: charge its work and flushes to `p`, transmit its
+    /// messages host-initiated, and either resume or block `p`.
+    fn apply_sync_result(&mut self, p: usize, res: HandleResult, blocking: bool) {
+        // Data-movement labour only: the base per-operation cost was
+        // already charged by the caller (fault trap / lock op / barrier
+        // op), so don't re-add msg_base here.
+        let c = &self.cfg.costs;
+        let w = &res.work;
+        let labour = c.per_word_cycles
+            * (w.twin_words + w.diff_scan_words + w.diff_words + w.page_copy_words)
+            + c.per_notice_cycles * w.notices;
+        self.charge_ov(p, labour);
+        self.charge_flushes(p, &res.flushed);
+        for m in res.out {
+            self.send_proto_sync(p, m);
+        }
+        if res.wakeup.is_some() || !blocking {
+            let at = self.cpus[p].clock;
+            self.q.schedule_at(at, Ev::Resume(p));
+        } else {
+            self.cpus[p].blocked_at = Some(self.cpus[p].clock);
+        }
+    }
+
+    /// Flush dirty lines over the bus (the releasing CPU stalls for the
+    /// write-backs) and feed the flushed pages to the snooper.
+    fn charge_flushes(&mut self, p: usize, flushed: &[(PageId, u64)]) {
+        if flushed.is_empty() {
+            return;
+        }
+        let line_bytes = self.cfg.nic.cache_line_bytes;
+        let total: u64 = flushed.iter().map(|&(_, l)| l).sum();
+        let now = self.cpus[p].clock;
+        let x = self.nics[p].bus.flush_lines(now, total, line_bytes);
+        for &(page, _) in flushed {
+            self.nics[p].snoop_write(page.0 as u64);
+        }
+        let dt = x.end - now;
+        self.cpus[p].clock = x.end;
+        self.cpus[p].overhead += dt;
+    }
+
+    /// Host cycles to hand one message to the NIC (kernel entry on the
+    /// standard interface, a user-level ADC enqueue on the CNI).
+    fn host_send_cycles(&self) -> u64 {
+        match self.cfg.nic_kind {
+            NicKind::Standard => self.cfg.nic.kernel_send_cycles,
+            NicKind::Cni => self.cfg.nic.adc_enqueue_cycles,
+        }
+    }
+
+    /// Transmit a protocol message initiated by `p`'s own (synchronous)
+    /// operation: the host-side cost advances `p`'s clock now; the
+    /// NIC-side work runs as an [`Ev::Xmit`] at that time.
+    fn send_proto_sync(&mut self, p: usize, msg: Msg) {
+        self.charge_ov(p, self.host_send_cycles());
+        let at = self.cpus[p].clock;
+        self.q.schedule_at(at, Ev::Xmit { src: p, msg });
+    }
+
+    /// Push `msg` through `src`'s NIC and the fabric; returns when the
+    /// host-side part is finished (== `now` for board-origin sends).
+    fn transport(&mut self, src: usize, msg: Msg, origin: TxOrigin, now: SimTime) -> SimTime {
+        let dst = msg.dst.0 as usize;
+        assert_ne!(src, dst, "protocol self-sends are handled locally");
+        let bytes = msg.payload.wire_bytes();
+        let cells = self.fabric.segmenter().cell_count(bytes);
+        let tx = self.nics[src].transmit(
+            now,
+            &TxRequest {
+                len: bytes,
+                cells,
+                page: msg.payload.page_payload().map(|p| p.0 as u64),
+                cacheable: msg.payload.cacheable(),
+                dirty_lines: 0,
+                origin,
+            },
+        );
+        let timing = self
+            .fabric
+            .send_pdu(tx.wire_start, src, dst, bytes, tx.cell_gap);
+        let kind = msg.payload.kind();
+        self.q
+            .schedule_at(timing.last_cell_arrival, Ev::Proto { msg });
+        self.proto_messages += 1;
+        self.msg_kinds[(kind - 0xD0) as usize] += 1;
+        tx.host_done
+    }
+
+    // --- network-side event handling -----------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn xmit_app(
+        &mut self,
+        t: SimTime,
+        src: usize,
+        dst: usize,
+        len: u32,
+        page: Option<u64>,
+        cacheable: bool,
+        data: Option<Arc<Vec<u64>>>,
+    ) {
+        let cells = self.fabric.segmenter().cell_count(len as usize);
+        let tx = self.nics[src].transmit(
+            t,
+            &TxRequest {
+                len: len as usize,
+                cells,
+                page,
+                cacheable,
+                dirty_lines: 0,
+                origin: TxOrigin::Board,
+            },
+        );
+        let timing = self
+            .fabric
+            .send_pdu(tx.wire_start, src, dst, len as usize, tx.cell_gap);
+        self.q.schedule_at(
+            timing.last_cell_arrival,
+            Ev::App {
+                dst,
+                src,
+                len,
+                page,
+                cacheable,
+                data,
+            },
+        );
+    }
+
+    fn arrive_proto(&mut self, t: SimTime, msg: Msg) {
+        let dst = msg.dst.0 as usize;
+        let bytes = msg.payload.wire_bytes();
+        let cells = self.fabric.segmenter().cell_count(bytes);
+        let header = msg.payload.header_bytes(msg.src);
+        let rx = self.nics[dst].receive(t, cells, &header);
+        match (self.cfg.nic_kind, rx.disposition) {
+            (NicKind::Cni, RxDisposition::Handler(h)) => {
+                debug_assert_eq!(h, DSM_HANDLER);
+                let info = delivery_info(&msg.payload);
+                let res = self.dsm[dst].on_message(msg);
+                let cycles = self.work_cycles_nic(&res.work);
+                let cycles = self.jittered(cycles);
+                let t_done = self.nics[dst].run_handler(rx.ready_at, cycles);
+                // AIH replies leave straight from the board.
+                for m in res.out {
+                    self.transport(dst, m, TxOrigin::Board, t_done);
+                }
+                debug_assert!(res.flushed.is_empty(), "AIH handling never flushes");
+                if res.wakeup.is_some() {
+                    let (len, page, cacheable) = info;
+                    // The header cache bit marks pages "likely to migrate
+                    // from one host to another" (§2.2): a requester that
+                    // writes the page (now, or in earlier intervals — the
+                    // read-modify-write critical sections of Water and
+                    // Cholesky fault as reads first) is the page's next
+                    // sender. A pure reader (a Jacobi boundary row) is
+                    // not, and caching its fetches would only pollute the
+                    // buffer map.
+                    let wants_write = self.cpus[dst].blocked_kind == 1
+                        && self.cpus[dst].blocked_detail & 0x1_0000_0000 != 0;
+                    let migratory = wants_write
+                        || page
+                            .map(|pg| self.dsm[dst].has_written(PageId(pg as u32)))
+                            .unwrap_or(false);
+                    let cacheable = cacheable && migratory;
+                    let d = self.nics[dst].deliver_to_host(t_done, len, page, cacheable, true);
+                    let ov = self.host(d.host_cycles);
+                    self.q.schedule_at(d.at + ov, Ev::Wake { p: dst, overhead: ov });
+                }
+            }
+            (NicKind::Standard, RxDisposition::HostBound) => {
+                // DMA the whole message to host memory, interrupt, run the
+                // protocol on the host CPU. The host serialises interrupt
+                // handling: this arrival queues behind any handler still
+                // running.
+                let blocked = self.cpus[dst].blocked_at.is_some();
+                let d = self.nics[dst].deliver_to_host(rx.ready_at, bytes, None, false, blocked);
+                let res = self.dsm[dst].on_message(msg);
+                let work = self.work_cycles(&res.work);
+                // The handler occupies the CPU (and blocks further
+                // interrupts) for the occupancy part; the rest of the
+                // interrupt cost is pipeline/cache disruption charged to
+                // whatever was running.
+                let n = &self.cfg.nic;
+                let occupancy = self
+                    .jittered(n.interrupt_occupancy_cycles + n.kernel_recv_cycles + work);
+                let full = d.host_cycles + work;
+                let start = d.at.max(self.cpus[dst].async_busy);
+                let mut t_occ = start + self.host(occupancy);
+                debug_assert!(res.flushed.is_empty());
+                for m in res.out {
+                    t_occ += self.host(self.cfg.nic.kernel_send_cycles);
+                    self.q.schedule_at(t_occ, Ev::Xmit { src: dst, msg: m });
+                }
+                self.cpus[dst].async_busy = t_occ;
+                if res.wakeup.is_some() {
+                    let wake_t = t_occ.max(start + self.host(full));
+                    self.q.schedule_at(wake_t, Ev::Wake {
+                        p: dst,
+                        overhead: wake_t - start,
+                    });
+                } else {
+                    // Stolen from whatever the host was doing.
+                    let stolen = self.host(full).max(t_occ - start);
+                    self.cpus[dst].stolen += stolen;
+                }
+            }
+            (NicKind::Cni, RxDisposition::HostBound) => {
+                // AIH disabled (ablation): the protocol runs on the host
+                // behind interrupts, but sends still use the ADC path.
+                let blocked = self.cpus[dst].blocked_at.is_some();
+                let d = self.nics[dst].deliver_to_host(rx.ready_at, bytes, None, false, blocked);
+                let res = self.dsm[dst].on_message(msg);
+                let work = self.work_cycles(&res.work);
+                let n = &self.cfg.nic;
+                let occupancy = self.jittered(n.interrupt_occupancy_cycles + work);
+                let full = d.host_cycles + work;
+                let start = d.at.max(self.cpus[dst].async_busy);
+                let mut t_occ = start + self.host(occupancy);
+                for m in res.out {
+                    t_occ += self.host(self.cfg.nic.adc_enqueue_cycles);
+                    self.q.schedule_at(t_occ, Ev::Xmit { src: dst, msg: m });
+                }
+                self.cpus[dst].async_busy = t_occ;
+                if res.wakeup.is_some() {
+                    let wake_t = t_occ.max(start + self.host(full));
+                    self.q.schedule_at(wake_t, Ev::Wake {
+                        p: dst,
+                        overhead: wake_t - start,
+                    });
+                } else {
+                    let stolen = self.host(full).max(t_occ - start);
+                    self.cpus[dst].stolen += stolen;
+                }
+            }
+            (kind, disp) => {
+                panic!("protocol message mis-dispatched: {kind:?} / {disp:?}")
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn arrive_app(
+        &mut self,
+        t: SimTime,
+        dst: usize,
+        src: usize,
+        len: u32,
+        page: Option<u64>,
+        cacheable: bool,
+        data: Option<Arc<Vec<u64>>>,
+    ) {
+        let cells = self.fabric.segmenter().cell_count(len as usize);
+        // Application messages carry an app header PATHFINDER has no AIH
+        // pattern for: they demultiplex to the host channel.
+        let rx = self.nics[dst].receive(t, cells, &[0xA0, src as u8]);
+        debug_assert_eq!(rx.disposition, RxDisposition::HostBound);
+        let waiting = self.cpus[dst].waiting_recv;
+        let d = self.nics[dst].deliver_to_host(rx.ready_at, len as usize, page, cacheable, waiting);
+        let ov = self.host(d.host_cycles);
+        self.cpus[dst].inbox.push_back((src as u32, len, data));
+        if waiting {
+            self.cpus[dst].waiting_recv = false;
+            let (s, l, data) = self.cpus[dst].inbox.pop_front().expect("just pushed");
+            self.cpus[dst].pending_reply = Some(Reply::Received {
+                src: s,
+                len: l,
+                data,
+            });
+            self.q.schedule_at(d.at + ov, Ev::Wake {
+                p: dst,
+                overhead: ov,
+            });
+        } else {
+            self.cpus[dst].stolen += ov;
+        }
+    }
+
+    fn wake(&mut self, t: SimTime, p: usize, overhead: SimTime) {
+        let reply = {
+            let cpu = &mut self.cpus[p];
+            let blocked_at = cpu
+                .blocked_at
+                .take()
+                .expect("wake of a processor that is not blocked");
+            let raw = t.saturating_sub(blocked_at);
+            let slot = &mut self.wait_stats[cpu.blocked_kind.min(3)];
+            slot.0 += raw;
+            slot.1 += 1;
+            if raw > SimTime::from_ms(2) && std::env::var_os("CNI_WAIT_DUMP").is_some() {
+                eprintln!(
+                    "[p{p}] kind={} detail={:#x} wait={} at t={}",
+                    cpu.blocked_kind, cpu.blocked_detail, raw, t
+                );
+            }
+            let stolen = std::mem::take(&mut cpu.stolen);
+            let ov = (overhead + stolen).min(raw);
+            cpu.delay += raw - ov;
+            cpu.overhead += ov;
+            cpu.clock = cpu.clock.max(t);
+            cpu.pending_reply.take().unwrap_or(Reply::Ok)
+        };
+        self.resume(p, reply);
+    }
+}
+
+/// What part of a wakeup-carrying protocol message must be DMAed to host
+/// memory on the CNI (the AIH keeps the rest on the board):
+/// (bytes, destination page for receive caching, cache bit).
+fn delivery_info(p: &Payload) -> (usize, Option<u64>, bool) {
+    match p {
+        Payload::PageResp { page, data, .. } => (data.len() * 8, Some(page.0 as u64), true),
+        Payload::DiffResp { diffs, .. } => (
+            diffs.iter().map(|d| d.wire_bytes()).sum::<usize>().max(16),
+            None,
+            false,
+        ),
+        // Grants and barrier releases update host-side page protections;
+        // a small descriptor write suffices.
+        Payload::AcquireGrant { .. } | Payload::BarrierRelease { .. } => (64, None, false),
+        _ => (0, None, false),
+    }
+}

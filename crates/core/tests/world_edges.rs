@@ -1,0 +1,164 @@
+//! Edge cases and failure modes of the timed cluster: deadlocks are
+//! detected, locking-discipline violations panic loudly, and the
+//! configuration knobs reach the machinery they claim to control.
+
+use cni::{Config, LockId, Program, World};
+use cni_nic::config::CniFeatures;
+
+fn two_procs() -> World {
+    World::new(Config::paper_default().with_procs(2))
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn cross_lock_deadlock_is_detected() {
+    // Classic AB/BA deadlock: the engine runs out of events with live
+    // programs and says so instead of hanging.
+    let mut w = two_procs();
+    let _ = w.alloc(2048);
+    let mk = |first: u32, second: u32| -> Program {
+        Box::new(move |ctx| {
+            ctx.acquire(LockId(first));
+            // Ensure both processors hold their first lock before asking
+            // for the second: a compute gap orders the requests in virtual
+            // time deterministically.
+            ctx.compute(1_000_000);
+            ctx.acquire(LockId(second));
+            ctx.release(LockId(second));
+            ctx.release(LockId(first));
+        })
+    };
+    let _ = w.run(vec![mk(0, 1), mk(1, 0)]);
+}
+
+#[test]
+#[should_panic(expected = "re-acquire")]
+fn double_acquire_panics() {
+    let mut w = two_procs();
+    let _ = w.run(vec![
+        Box::new(|ctx| {
+            ctx.acquire(LockId(0));
+            ctx.acquire(LockId(0));
+        }),
+        Box::new(|_ctx| {}),
+    ]);
+}
+
+#[test]
+#[should_panic(expected = "release of unheld lock")]
+fn release_without_acquire_panics() {
+    let mut w = two_procs();
+    let _ = w.run(vec![
+        Box::new(|ctx| {
+            ctx.acquire(LockId(0));
+            ctx.release(LockId(0));
+            ctx.release(LockId(0));
+        }),
+        Box::new(|_ctx| {}),
+    ]);
+}
+
+#[test]
+#[should_panic(expected = "one program per processor")]
+fn program_count_must_match() {
+    let mut w = two_procs();
+    let _ = w.run(vec![Box::new(|_ctx| {})]);
+}
+
+#[test]
+fn app_panics_propagate_with_context() {
+    let mut w = two_procs();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = w.run(vec![
+            Box::new(|_ctx| panic!("application exploded")),
+            Box::new(|ctx| ctx.barrier()),
+        ]);
+    }));
+    let err = result.expect_err("panic must propagate");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.contains("application exploded"),
+        "panic context lost: {msg}"
+    );
+}
+
+#[test]
+fn message_cache_size_knob_reaches_the_device() {
+    // A 1-page cache thrashes where a big cache hits.
+    let run = |cache_bytes: usize| {
+        let mut w = World::new(
+            Config::paper_default()
+                .with_procs(2)
+                .with_msg_cache_bytes(cache_bytes),
+        );
+        let base = w.alloc(8 * 2048);
+        let r = w.run(vec![
+            Box::new(move |ctx| {
+                for round in 0..6u64 {
+                    for pg in 0..4u64 {
+                        ctx.write_u64(base.add(pg * 2048), round * 10 + pg);
+                    }
+                    ctx.barrier();
+                    ctx.barrier();
+                }
+            }),
+            Box::new(move |ctx| {
+                for _round in 0..6u64 {
+                    ctx.barrier();
+                    let mut acc = 0u64;
+                    for pg in 0..4u64 {
+                        acc = acc.wrapping_add(ctx.read_u64(base.add(pg * 2048)));
+                    }
+                    std::hint::black_box(acc);
+                    ctx.barrier();
+                }
+            }),
+        ]);
+        r.hit_ratio()
+    };
+    let small = run(2048);
+    let large = run(64 * 1024);
+    assert!(
+        large > small,
+        "bigger cache should hit more: {small:.2} vs {large:.2}"
+    );
+}
+
+#[test]
+fn ablation_flags_reach_the_device() {
+    let cfg = Config::paper_default().with_procs(2).with_cni_features(CniFeatures {
+        msg_cache: false,
+        aih: true,
+        polling: true,
+    });
+    let mut w = World::new(cfg);
+    let base = w.alloc(2048);
+    let r = w.run(vec![
+        Box::new(move |ctx| {
+            for round in 0..4u64 {
+                ctx.write_u64(base, round);
+                ctx.barrier();
+                ctx.barrier();
+            }
+        }),
+        Box::new(move |ctx| {
+            for _ in 0..4u64 {
+                ctx.barrier();
+                let _ = ctx.read_u64(base);
+                ctx.barrier();
+            }
+        }),
+    ]);
+    assert_eq!(r.hit_ratio(), 0.0, "disabled message cache must never hit");
+}
+
+#[test]
+fn zero_compute_programs_terminate() {
+    let mut w = two_procs();
+    let r = w.run(vec![Box::new(|_| {}), Box::new(|_| {})]);
+    assert_eq!(r.wall, cni::SimTime::ZERO);
+    assert_eq!(r.messages, 0);
+}

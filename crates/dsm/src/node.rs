@@ -1,0 +1,1247 @@
+//! The per-processor protocol engine: lazy invalidate release consistency.
+//!
+//! One [`DsmNode`] per processor implements the protocol of Keleher et
+//! al. (the paper's reference 7) the paper's evaluation runs: per-processor *intervals* closed at
+//! each release, *write notices* piggybacked on lock grants and barrier
+//! releases, invalidation on uncovered notices, *twins* and word-level
+//! *diffs* for concurrent write sharing, and full-page movement from the
+//! most recent writer on access misses ("pages tend to move from the
+//! releaser to the acquirer", §3.1).
+//!
+//! The engine is **timing-free**: every entry point returns the messages to
+//! transport, an optional wakeup for the blocked application thread, and a
+//! [`Work`] record of the data-movement labour performed. The cluster
+//! simulation charges those to the host CPU (standard NIC) or to the NIC
+//! processor as an Application Interrupt Handler (CNI) — the protocol logic
+//! itself is identical in both configurations, exactly as in the paper.
+//!
+//! Lock management is distributed (manager = `lock mod N`, Li/Hudak-style
+//! probable-owner forwarding with chained grant transfer); the barrier
+//! manager is processor 0.
+
+use crate::diff::Diff;
+use crate::protocol::{Msg, Payload};
+use crate::space::{access, NodeSpace};
+use crate::types::{LockId, PageId, ProcId, VClock, WriteNotice};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Static DSM parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DsmConfig {
+    /// Number of processors.
+    pub procs: usize,
+    /// Shared page size in bytes.
+    pub page_bytes: usize,
+    /// Host cache line size in bytes (dirty-line tracking granularity).
+    pub line_bytes: usize,
+    /// Use a combining-tree barrier instead of the centralised manager
+    /// (extension: the manager serialises 2N messages at one node, which
+    /// is the scalability bottleneck at 32 processors; the tree spreads
+    /// them over log N levels).
+    pub tree_barrier: bool,
+}
+
+/// Data-movement labour performed while handling one event; the cluster
+/// simulation turns this into cycles on whichever processor ran the
+/// protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Work {
+    /// Words copied to create twins.
+    pub twin_words: u64,
+    /// Words compared while creating diffs.
+    pub diff_scan_words: u64,
+    /// Words written by created or applied diffs.
+    pub diff_words: u64,
+    /// Words copied for full-page sends/receives.
+    pub page_copy_words: u64,
+    /// Write notices processed.
+    pub notices: u64,
+}
+
+impl Work {
+    /// Accumulate another record.
+    pub fn add(&mut self, o: &Work) {
+        self.twin_words += o.twin_words;
+        self.diff_scan_words += o.diff_scan_words;
+        self.diff_words += o.diff_words;
+        self.page_copy_words += o.page_copy_words;
+        self.notices += o.notices;
+    }
+}
+
+/// Why the application thread may resume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wakeup {
+    /// The faulted page is now accessible.
+    FaultDone(PageId),
+    /// The lock is now held.
+    AcquireDone(LockId),
+    /// The barrier released.
+    BarrierDone(u32),
+}
+
+/// Result of one protocol entry point.
+#[derive(Debug, Default)]
+pub struct HandleResult {
+    /// Messages to transport.
+    pub out: Vec<Msg>,
+    /// Application wakeup, if the blocking operation completed.
+    pub wakeup: Option<Wakeup>,
+    /// Labour performed.
+    pub work: Work,
+    /// Pages whose dirty cache lines must be written back before the
+    /// network interface can see a consistent copy (write-back flush
+    /// discipline, §2.2 of the paper): (page, dirty lines).
+    pub flushed: Vec<(PageId, u64)>,
+}
+
+/// Per-lock holder-side state.
+#[derive(Debug, Default)]
+struct HolderState {
+    /// This processor possesses the token.
+    held: bool,
+    /// The application is inside the critical section.
+    in_use: bool,
+    /// Requests waiting for this processor to release.
+    pending: VecDeque<(ProcId, VClock)>,
+}
+
+/// Barrier-manager state (processor 0 only).
+#[derive(Debug)]
+struct BarrierMgr {
+    epoch: u32,
+    arrived: u32,
+    vc: VClock,
+    notices: Vec<WriteNotice>,
+}
+
+/// What the application thread is blocked on.
+#[derive(Debug)]
+enum Blocked {
+    Fault {
+        page: PageId,
+        want_write: bool,
+        awaiting_page: bool,
+        /// writer → requested `upto` interval, for outstanding diff fetches.
+        outstanding: HashMap<ProcId, u32>,
+        /// Diffs received but not yet applied; applied at completion in a
+        /// linear extension of their causal order.
+        buffered: Vec<(ProcId, u32, VClock, Diff)>,
+        /// (writer, upto) coverage to commit into the page version when the
+        /// buffered diffs are applied.
+        committed: Vec<(ProcId, u32)>,
+    },
+    Acquire(LockId),
+    Barrier(u32),
+}
+
+/// Protocol statistics for one processor.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct DsmStats {
+    /// Read faults taken.
+    pub read_faults: u64,
+    /// Write faults taken (including twin-only local ones).
+    pub write_faults: u64,
+    /// Full-page fetches issued.
+    pub page_fetches: u64,
+    /// Diff fetches issued.
+    pub diff_fetches: u64,
+    /// Lock acquires satisfied locally (lazy-release reuse).
+    pub lock_local: u64,
+    /// Lock acquires that went remote.
+    pub lock_remote: u64,
+    /// Releases performed.
+    pub releases: u64,
+    /// Barriers crossed.
+    pub barriers: u64,
+    /// Write notices received from others.
+    pub notices_in: u64,
+    /// Page invalidations performed.
+    pub invalidations: u64,
+    /// Intervals closed.
+    pub intervals: u64,
+}
+
+/// One processor's protocol engine.
+pub struct DsmNode {
+    me: ProcId,
+    cfg: DsmConfig,
+    space: Arc<NodeSpace>,
+    vc: VClock,
+    /// Write-notice log per writer, ascending by interval.
+    log: Vec<Vec<(u32, PageId)>>,
+    /// Per page: writer intervals reflected in the local frame.
+    pv: HashMap<PageId, VClock>,
+    /// Per page: max interval each writer is known to have written it.
+    knowledge: HashMap<PageId, VClock>,
+    /// Twins for pages written in the current interval.
+    twins: HashMap<PageId, Vec<u64>>,
+    /// Pages written in the current interval (insertion-ordered).
+    dirty_pages: Vec<PageId>,
+    /// Early diffs taken when a dirty page had to be invalidated.
+    pending_self: HashMap<PageId, Diff>,
+    /// Own diffs with their interval's vector time, keyed by
+    /// (page, interval). Kept for the run's lifetime (bounded runs; a
+    /// production system would garbage-collect at barriers).
+    my_diffs: HashMap<(PageId, u32), (Diff, VClock)>,
+    /// Manager side: probable owner per managed lock.
+    probable: HashMap<LockId, ProcId>,
+    /// Holder side: token state per lock.
+    holders: HashMap<LockId, HolderState>,
+    /// Explicit page-home overrides (first-touch placement); pages not
+    /// listed default to `page mod N`.
+    homes: HashMap<PageId, ProcId>,
+    /// Barrier manager (processor 0).
+    barrier_mgr: Option<BarrierMgr>,
+    /// Next barrier epoch this processor will arrive at.
+    barrier_epoch: u32,
+    /// Own interval watermark already shipped at a barrier.
+    barrier_shipped: u32,
+    blocked: Option<Blocked>,
+    stats: DsmStats,
+}
+
+impl DsmNode {
+    /// Engine for processor `me` of `cfg.procs`, operating on `space`.
+    pub fn new(me: ProcId, cfg: DsmConfig, space: Arc<NodeSpace>) -> Self {
+        let n = cfg.procs;
+        assert!((me.0 as usize) < n, "proc id out of range");
+        DsmNode {
+            me,
+            cfg,
+            space,
+            vc: VClock::zero(n),
+            log: vec![Vec::new(); n],
+            pv: HashMap::new(),
+            knowledge: HashMap::new(),
+            twins: HashMap::new(),
+            dirty_pages: Vec::new(),
+            pending_self: HashMap::new(),
+            my_diffs: HashMap::new(),
+            probable: HashMap::new(),
+            holders: HashMap::new(),
+            homes: HashMap::new(),
+            barrier_mgr: (me.0 == 0 || cfg.tree_barrier).then(|| BarrierMgr {
+                epoch: 0,
+                arrived: 0,
+                vc: VClock::zero(n),
+                notices: Vec::new(),
+            }),
+            barrier_epoch: 0,
+            barrier_shipped: 0,
+            blocked: None,
+            stats: DsmStats::default(),
+        }
+    }
+
+    /// This processor's id.
+    pub fn id(&self) -> ProcId {
+        self.me
+    }
+
+    /// The node's shared-memory space.
+    pub fn space(&self) -> &Arc<NodeSpace> {
+        &self.space
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> DsmStats {
+        self.stats
+    }
+
+    /// The manager of `lock`.
+    pub fn lock_manager(&self, lock: LockId) -> ProcId {
+        ProcId(lock.0 % self.cfg.procs as u32)
+    }
+
+    /// Has this processor ever published a write to `page`? Used by the
+    /// cluster's receive-caching policy: a node that writes a page is a
+    /// future sender of it (the page migrates through it), so its board
+    /// should keep the arriving copy.
+    pub fn has_written(&self, page: PageId) -> bool {
+        self.knowledge
+            .get(&page)
+            .map(|k| k.get(self.me) > 0)
+            .unwrap_or(false)
+    }
+
+    /// The home of `page` (initial copy holder): an explicit placement if
+    /// one was registered, else round-robin.
+    pub fn page_home(&self, page: PageId) -> ProcId {
+        self.homes
+            .get(&page)
+            .copied()
+            .unwrap_or(ProcId(page.0 % self.cfg.procs as u32))
+    }
+
+    /// Register an explicit home for `page` (allocation-time placement;
+    /// must be called identically on every node).
+    pub fn set_home(&mut self, page: PageId, home: ProcId) {
+        self.homes.insert(page, home);
+    }
+
+    /// Install the initial (zero-filled) copy of `page` at its home. Must
+    /// be called exactly on the home processor during allocation.
+    pub fn init_home_page(&mut self, page: PageId) {
+        debug_assert_eq!(self.page_home(page), self.me);
+        let h = self.space.page(page);
+        h.flags.set_state(access::READ);
+        self.pv.insert(page, VClock::zero(self.cfg.procs));
+    }
+
+    // --- Interval machinery -------------------------------------------------
+
+    /// Close the current interval: diff every dirty page against its twin,
+    /// create write notices, and downgrade write access. Runs at every
+    /// release and barrier arrival.
+    fn close_interval(&mut self, res: &mut HandleResult) {
+        if self.dirty_pages.is_empty() && self.pending_self.is_empty() {
+            return;
+        }
+        let work = &mut res.work;
+        let i = self.vc.get(self.me) + 1;
+        let mut any = false;
+        let pages = std::mem::take(&mut self.dirty_pages);
+        for p in pages {
+            let h = self.space.page(p);
+            let lines = h.flags.take_dirty_lines();
+            if lines > 0 {
+                res.flushed.push((p, lines));
+            }
+            let mut d = match self.twins.remove(&p) {
+                Some(twin) => {
+                    work.diff_scan_words += twin.len() as u64;
+                    Diff::create(&twin, &h.frame)
+                }
+                // Twin already consumed by an early (invalidation-forced)
+                // diff and the page was not re-faulted for writing.
+                None => Diff::default(),
+            };
+            if let Some(early) = self.pending_self.remove(&p) {
+                d = merge_diffs(early, d);
+            }
+            if h.flags.state() == access::WRITE {
+                h.flags.set_state(access::READ);
+            }
+            if d.is_empty() {
+                continue;
+            }
+            any = true;
+            work.diff_words += d.words() as u64;
+            let mut ivc = self.vc.clone();
+            ivc.set(self.me, i);
+            self.my_diffs.insert((p, i), (d, ivc));
+            self.log[self.me.0 as usize].push((i, p));
+            self.knowledge
+                .entry(p)
+                .or_insert_with(|| VClock::zero(self.cfg.procs))
+                .raise(self.me, i);
+            self.pv
+                .entry(p)
+                .or_insert_with(|| VClock::zero(self.cfg.procs))
+                .raise(self.me, i);
+        }
+        if any {
+            self.vc.set(self.me, i);
+            self.stats.intervals += 1;
+        }
+    }
+
+    /// All notices in the log newer than `vc` (grant piggybacking).
+    fn notices_since(&self, vc: &VClock) -> Vec<WriteNotice> {
+        let mut out = Vec::new();
+        for (w, entries) in self.log.iter().enumerate() {
+            let writer = ProcId(w as u32);
+            let floor = vc.get(writer);
+            let start = entries.partition_point(|&(i, _)| i <= floor);
+            out.extend(entries[start..].iter().map(|&(interval, page)| WriteNotice {
+                writer,
+                interval,
+                page,
+            }));
+        }
+        out
+    }
+
+    /// Own notices with interval beyond `floor` (barrier arrivals).
+    fn own_notices_since(&self, floor: u32) -> Vec<WriteNotice> {
+        let entries = &self.log[self.me.0 as usize];
+        let start = entries.partition_point(|&(i, _)| i <= floor);
+        entries[start..]
+            .iter()
+            .map(|&(interval, page)| WriteNotice {
+                writer: self.me,
+                interval,
+                page,
+            })
+            .collect()
+    }
+
+    /// Record incoming notices: extend the log, update page knowledge, and
+    /// invalidate uncovered local copies (taking early diffs for pages the
+    /// current interval has dirtied — concurrent write sharing).
+    fn integrate_notices(&mut self, notices: &[WriteNotice], work: &mut Work) {
+        let mut sorted: Vec<&WriteNotice> = notices.iter().filter(|n| n.writer != self.me).collect();
+        sorted.sort_unstable_by_key(|n| (n.writer, n.interval));
+        for n in sorted {
+            work.notices += 1;
+            self.stats.notices_in += 1;
+            let log = &mut self.log[n.writer.0 as usize];
+            let last = log.last().map(|&(i, _)| i).unwrap_or(0);
+            if n.interval > last {
+                log.push((n.interval, n.page));
+            } else {
+                // One interval may dirty several pages, and the same notice
+                // can arrive twice (lock grant then barrier): insert in
+                // sorted position only if it is genuinely new.
+                let mut k = log.partition_point(|&(i, _)| i < n.interval);
+                let mut exists = false;
+                while k < log.len() && log[k].0 == n.interval {
+                    if log[k].1 == n.page {
+                        exists = true;
+                        break;
+                    }
+                    k += 1;
+                }
+                if !exists {
+                    log.insert(k, (n.interval, n.page));
+                }
+            }
+            self.knowledge
+                .entry(n.page)
+                .or_insert_with(|| VClock::zero(self.cfg.procs))
+                .raise(n.writer, n.interval);
+            let covered = self
+                .pv
+                .get(&n.page)
+                .map(|v| v.get(n.writer) >= n.interval)
+                .unwrap_or(true); // no local copy: nothing to invalidate
+            if !covered {
+                self.invalidate_local(n.page, work);
+            }
+        }
+    }
+
+    /// Invalidate the local copy of `page`, preserving current-interval
+    /// writes via an early diff.
+    fn invalidate_local(&mut self, page: PageId, work: &mut Work) {
+        let Some(h) = self.space.try_page(page) else {
+            return;
+        };
+        if h.flags.state() == access::INVALID {
+            return;
+        }
+        if h.flags.state() == access::WRITE {
+            let twin = self
+                .twins
+                .remove(&page)
+                .expect("write-state page must have a twin");
+            work.diff_scan_words += twin.len() as u64;
+            let d = Diff::create(&twin, &h.frame);
+            work.diff_words += d.words() as u64;
+            let merged = match self.pending_self.remove(&page) {
+                Some(early) => merge_diffs(early, d),
+                None => d,
+            };
+            if !merged.is_empty() {
+                self.pending_self.insert(page, merged);
+            }
+        }
+        h.flags.set_state(access::INVALID);
+        self.stats.invalidations += 1;
+    }
+
+    // --- Faults --------------------------------------------------------------
+
+    /// The application read-faulted on `page`.
+    pub fn on_read_fault(&mut self, page: PageId) -> HandleResult {
+        self.stats.read_faults += 1;
+        self.start_fault(page, false)
+    }
+
+    /// The application write-faulted on `page`.
+    pub fn on_write_fault(&mut self, page: PageId) -> HandleResult {
+        self.stats.write_faults += 1;
+        let h = self.space.page(page);
+        if h.flags.state() == access::READ {
+            // Twin-only fault: local.
+            let mut res = HandleResult::default();
+            self.make_writable(page, &mut res.work);
+            res.wakeup = Some(Wakeup::FaultDone(page));
+            return res;
+        }
+        self.start_fault(page, true)
+    }
+
+    fn make_writable(&mut self, page: PageId, work: &mut Work) {
+        let h = self.space.page(page);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.twins.entry(page) {
+            let twin = h.frame.snapshot();
+            work.twin_words += twin.len() as u64;
+            e.insert(twin);
+            if !self.dirty_pages.contains(&page) {
+                self.dirty_pages.push(page);
+            }
+        }
+        self.pv
+            .entry(page)
+            .or_insert_with(|| VClock::zero(self.cfg.procs));
+        h.flags.set_state(access::WRITE);
+    }
+
+    fn start_fault(&mut self, page: PageId, want_write: bool) -> HandleResult {
+        let mut res = HandleResult::default();
+        let h = self.space.page(page);
+        if h.flags.state() != access::INVALID {
+            // Spurious (state changed between the app's check and now).
+            if want_write {
+                self.make_writable(page, &mut res.work);
+            }
+            res.wakeup = Some(Wakeup::FaultDone(page));
+            return res;
+        }
+        assert!(self.blocked.is_none(), "proc {:?} double-blocked", self.me);
+
+        let zero = VClock::zero(self.cfg.procs);
+        let kn = self.knowledge.get(&page).unwrap_or(&zero).clone();
+        let pvv = self.pv.get(&page).cloned();
+        let base = pvv.is_some();
+        let floor = pvv.unwrap_or_else(|| zero.clone());
+        let needed: Vec<(ProcId, u32, u32)> = (0..self.cfg.procs as u32)
+            .map(ProcId)
+            .filter(|&w| w != self.me)
+            .filter_map(|w| {
+                let upto = kn.get(w);
+                let fl = floor.get(w);
+                (upto > fl).then_some((w, fl, upto))
+            })
+            .collect();
+
+        if needed.is_empty() {
+            if base {
+                // Base valid and nothing missing: re-grant access.
+                if want_write {
+                    self.make_writable(page, &mut res.work);
+                } else {
+                    h.flags.set_state(access::READ);
+                }
+                res.wakeup = Some(Wakeup::FaultDone(page));
+                return res;
+            }
+            // Cold miss: fetch the initial copy from the page's home.
+            self.stats.page_fetches += 1;
+            res.out.push(Msg {
+                src: self.me,
+                dst: self.page_home(page),
+                payload: Payload::PageReq {
+                    page,
+                    requester: self.me,
+                },
+            });
+        } else {
+            // Page-movement policy ("pages tend to move from the releaser
+            // to the acquirer"): fetch the whole page from the writer with
+            // the most recent known interval. In a causally ordered chain
+            // (migratory data) that copy covers every missing interval; for
+            // genuinely concurrent writers, [`apply_page_resp`] tops up
+            // with diffs from the writers the served version lacks.
+            let &(best, _, _) = needed
+                .iter()
+                .max_by_key(|&&(w, _, upto)| (upto, std::cmp::Reverse(w)))
+                .expect("nonempty");
+            self.stats.page_fetches += 1;
+            res.out.push(Msg {
+                src: self.me,
+                dst: best,
+                payload: Payload::PageReq {
+                    page,
+                    requester: self.me,
+                },
+            });
+        }
+        self.blocked = Some(Blocked::Fault {
+            page,
+            want_write,
+            awaiting_page: true,
+            outstanding: HashMap::new(),
+            buffered: Vec::new(),
+            committed: Vec::new(),
+        });
+        res
+    }
+
+    fn complete_fault(&mut self, page: PageId, want_write: bool, work: &mut Work) -> Option<Wakeup> {
+        // Re-apply uncommitted local writes over freshly fetched data.
+        if let Some(d) = self.pending_self.get(&page) {
+            let h = self.space.page(page);
+            d.apply(&h.frame);
+            work.diff_words += d.words() as u64;
+        }
+        let h = self.space.page(page);
+        if want_write {
+            self.make_writable(page, work);
+        } else {
+            h.flags.set_state(access::READ);
+        }
+        Some(Wakeup::FaultDone(page))
+    }
+
+    // --- Locks ---------------------------------------------------------------
+
+    /// First touch of a lock's holder state: the manager is born holding
+    /// its token.
+    fn holder_entry(&mut self, lock: LockId) -> &mut HolderState {
+        let born_held = self.lock_manager(lock) == self.me;
+        self.holders.entry(lock).or_insert_with(|| HolderState {
+            held: born_held,
+            ..Default::default()
+        })
+    }
+
+    /// The application wants `lock`.
+    pub fn on_acquire(&mut self, lock: LockId) -> HandleResult {
+        let mut res = HandleResult::default();
+        let hs = self.holder_entry(lock);
+        if hs.held && !hs.in_use {
+            hs.in_use = true;
+            self.stats.lock_local += 1;
+            res.wakeup = Some(Wakeup::AcquireDone(lock));
+            return res;
+        }
+        assert!(
+            !(hs.held && hs.in_use),
+            "re-acquire of a held lock {lock:?} by {:?}",
+            self.me
+        );
+        assert!(self.blocked.is_none(), "proc {:?} double-blocked", self.me);
+        self.stats.lock_remote += 1;
+        self.blocked = Some(Blocked::Acquire(lock));
+        let vc = self.vc.clone();
+        if self.lock_manager(lock) == self.me {
+            self.manage_acquire(lock, self.me, vc, &mut res);
+        } else {
+            res.out.push(Msg {
+                src: self.me,
+                dst: self.lock_manager(lock),
+                payload: Payload::AcquireReq {
+                    lock,
+                    requester: self.me,
+                    vc,
+                },
+            });
+        }
+        res
+    }
+
+    /// Manager-side request routing.
+    fn manage_acquire(&mut self, lock: LockId, requester: ProcId, vc: VClock, res: &mut HandleResult) {
+        debug_assert_eq!(self.lock_manager(lock), self.me);
+        let target = *self.probable.get(&lock).unwrap_or(&self.me);
+        self.probable.insert(lock, requester);
+        if target == self.me {
+            self.local_enqueue_or_grant(lock, requester, vc, res);
+        } else {
+            res.out.push(Msg {
+                src: self.me,
+                dst: target,
+                payload: Payload::AcquireFwd {
+                    lock,
+                    requester,
+                    vc,
+                },
+            });
+        }
+    }
+
+    fn local_enqueue_or_grant(&mut self, lock: LockId, requester: ProcId, vc: VClock, res: &mut HandleResult) {
+        let hs = self.holder_entry(lock);
+        if hs.held && !hs.in_use {
+            debug_assert_ne!(requester, self.me, "self-grant outside acquire path");
+            self.grant(lock, requester, &vc, res);
+        } else {
+            hs.pending.push_back((requester, vc));
+        }
+    }
+
+    fn grant(&mut self, lock: LockId, to: ProcId, to_vc: &VClock, res: &mut HandleResult) {
+        let notices = self.notices_since(to_vc);
+        let hs = self.holders.get_mut(&lock).expect("granting unheld lock");
+        debug_assert!(hs.held && !hs.in_use);
+        hs.held = false;
+        let then_serve: Vec<(ProcId, VClock)> = hs.pending.drain(..).collect();
+        res.out.push(Msg {
+            src: self.me,
+            dst: to,
+            payload: Payload::AcquireGrant {
+                lock,
+                vc: self.vc.clone(),
+                notices,
+                then_serve,
+            },
+        });
+    }
+
+    /// The application releases `lock`. Closes the interval and passes the
+    /// token to the next queued requester, if any.
+    pub fn on_release(&mut self, lock: LockId) -> HandleResult {
+        let mut res = HandleResult::default();
+        self.stats.releases += 1;
+        self.close_interval(&mut res);
+        let hs = self.holders.get_mut(&lock).expect("release of unknown lock");
+        assert!(hs.held && hs.in_use, "release of unheld lock {lock:?}");
+        hs.in_use = false;
+        if let Some((next, next_vc)) = hs.pending.pop_front() {
+            debug_assert_ne!(next, self.me);
+            self.grant(lock, next, &next_vc, &mut res);
+        }
+        res
+    }
+
+    // --- Barrier ---------------------------------------------------------------
+
+    /// The application reached a barrier.
+    pub fn on_barrier(&mut self) -> HandleResult {
+        let mut res = HandleResult::default();
+        self.stats.barriers += 1;
+        self.close_interval(&mut res);
+        let epoch = self.barrier_epoch;
+        let notices = self.own_notices_since(self.barrier_shipped);
+        self.barrier_shipped = self.vc.get(self.me);
+        assert!(self.blocked.is_none(), "proc {:?} double-blocked", self.me);
+        self.blocked = Some(Blocked::Barrier(epoch));
+        if self.me.0 == 0 || self.cfg.tree_barrier {
+            // Centralised manager, or any tree node: combine the local
+            // arrival (interior tree nodes forward upward once their
+            // subtree is complete).
+            let vc = self.vc.clone();
+            self.barrier_arrive(epoch, self.me, vc, notices, &mut res);
+        } else {
+            res.out.push(Msg {
+                src: self.me,
+                dst: ProcId(0),
+                payload: Payload::BarrierArrive {
+                    epoch,
+                    proc: self.me,
+                    vc: self.vc.clone(),
+                    notices,
+                },
+            });
+        }
+        res
+    }
+
+    /// Combining-tree children of this processor (binary heap layout).
+    fn tree_children(&self) -> impl Iterator<Item = ProcId> {
+        let n = self.cfg.procs as u32;
+        let me = self.me.0;
+        [2 * me + 1, 2 * me + 2]
+            .into_iter()
+            .filter(move |&c| c < n)
+            .map(ProcId)
+    }
+
+    /// How many arrivals this processor combines before passing up: its
+    /// own plus one per subtree child (tree mode), or all N (centralised
+    /// manager at processor 0).
+    fn barrier_expected(&self) -> u32 {
+        if self.cfg.tree_barrier {
+            1 + self.tree_children().count() as u32
+        } else {
+            self.cfg.procs as u32
+        }
+    }
+
+    fn barrier_arrive(
+        &mut self,
+        epoch: u32,
+        _proc: ProcId,
+        vc: VClock,
+        notices: Vec<WriteNotice>,
+        res: &mut HandleResult,
+    ) {
+        let expected = self.barrier_expected();
+        let mgr = self
+            .barrier_mgr
+            .as_mut()
+            .expect("barrier combining state present");
+        assert_eq!(mgr.epoch, epoch, "barrier epoch skew");
+        mgr.arrived += 1;
+        mgr.vc.merge(&vc);
+        mgr.notices.extend(notices);
+        if mgr.arrived < expected {
+            return;
+        }
+        let combined_vc = mgr.vc.clone();
+        let combined_notices = std::mem::take(&mut mgr.notices);
+        mgr.arrived = 0;
+        mgr.epoch += 1;
+        if self.cfg.tree_barrier && self.me.0 != 0 {
+            // Subtree complete: pass the combined arrival to the parent;
+            // the release will come back down the tree.
+            res.out.push(Msg {
+                src: self.me,
+                dst: ProcId((self.me.0 - 1) / 2),
+                payload: Payload::BarrierArrive {
+                    epoch,
+                    proc: self.me,
+                    vc: combined_vc,
+                    notices: combined_notices,
+                },
+            });
+            return;
+        }
+        // Root (or centralised manager): release.
+        if self.cfg.tree_barrier {
+            for c in self.tree_children().collect::<Vec<_>>() {
+                res.out.push(Msg {
+                    src: self.me,
+                    dst: c,
+                    payload: Payload::BarrierRelease {
+                        epoch,
+                        vc: combined_vc.clone(),
+                        notices: combined_notices.clone(),
+                    },
+                });
+            }
+        } else {
+            for p in 1..self.cfg.procs as u32 {
+                res.out.push(Msg {
+                    src: self.me,
+                    dst: ProcId(p),
+                    payload: Payload::BarrierRelease {
+                        epoch,
+                        vc: combined_vc.clone(),
+                        notices: combined_notices.clone(),
+                    },
+                });
+            }
+        }
+        let mut work = Work::default();
+        let wakeup =
+            self.apply_barrier_release(epoch, &combined_vc, &combined_notices, &mut work);
+        res.work.add(&work);
+        res.wakeup = wakeup;
+    }
+
+    fn apply_barrier_release(
+        &mut self,
+        epoch: u32,
+        vc: &VClock,
+        notices: &[WriteNotice],
+        work: &mut Work,
+    ) -> Option<Wakeup> {
+        self.vc.merge(vc);
+        self.integrate_notices(notices, work);
+        self.barrier_epoch = epoch + 1;
+        match self.blocked {
+            Some(Blocked::Barrier(e)) if e == epoch => {
+                self.blocked = None;
+                Some(Wakeup::BarrierDone(epoch))
+            }
+            _ => None,
+        }
+    }
+
+    /// Tree mode: a release from the parent is applied locally and
+    /// forwarded to the children.
+    fn forward_barrier_release(
+        &self,
+        epoch: u32,
+        vc: &VClock,
+        notices: &[WriteNotice],
+        out: &mut Vec<Msg>,
+    ) {
+        if !self.cfg.tree_barrier {
+            return;
+        }
+        for c in self.tree_children() {
+            out.push(Msg {
+                src: self.me,
+                dst: c,
+                payload: Payload::BarrierRelease {
+                    epoch,
+                    vc: vc.clone(),
+                    notices: notices.to_vec(),
+                },
+            });
+        }
+    }
+
+    // --- Message dispatch -------------------------------------------------------
+
+    /// Handle an incoming protocol message.
+    pub fn on_message(&mut self, msg: Msg) -> HandleResult {
+        if trace_enabled() {
+            eprintln!("[{:?}] <- {:?} : {}", self.me, msg.src, trace_payload(&msg.payload));
+        }
+        debug_assert_eq!(msg.dst, self.me, "misrouted message");
+        let mut res = HandleResult::default();
+        let mut work = Work::default();
+        match msg.payload {
+            Payload::AcquireReq {
+                lock,
+                requester,
+                vc,
+            } => {
+                self.manage_acquire(lock, requester, vc, &mut res);
+            }
+            Payload::AcquireFwd {
+                lock,
+                requester,
+                vc,
+            } => {
+                self.local_enqueue_or_grant(lock, requester, vc, &mut res);
+            }
+            Payload::AcquireGrant {
+                lock,
+                vc,
+                notices,
+                then_serve,
+            } => {
+                self.vc.merge(&vc);
+                self.integrate_notices(&notices, &mut work);
+                let hs = self.holders.entry(lock).or_default();
+                debug_assert!(!hs.held);
+                hs.held = true;
+                hs.in_use = true;
+                hs.pending.extend(then_serve);
+                match self.blocked {
+                    Some(Blocked::Acquire(l)) if l == lock => {
+                        self.blocked = None;
+                        res.wakeup = Some(Wakeup::AcquireDone(lock));
+                    }
+                    ref b => panic!(
+                        "grant for {lock:?} while {:?} blocked on {b:?}",
+                        self.me
+                    ),
+                }
+            }
+            Payload::BarrierArrive {
+                epoch,
+                proc,
+                vc,
+                notices,
+            } => {
+                self.barrier_arrive(epoch, proc, vc, notices, &mut res);
+            }
+            Payload::BarrierRelease { epoch, vc, notices } => {
+                self.forward_barrier_release(epoch, &vc, &notices, &mut res.out);
+                res.wakeup = self.apply_barrier_release(epoch, &vc, &notices, &mut work);
+            }
+            Payload::PageReq { page, requester } => {
+                // Serve the current frame with its version vector. The
+                // frame always has a base here: home pages are installed at
+                // allocation, and any other serving processor must have
+                // faulted the page in before writing it.
+                let h = self.space.page(page);
+                let data = h.frame.snapshot();
+                work.page_copy_words += data.len() as u64;
+                let version = self
+                    .pv
+                    .get(&page)
+                    .cloned()
+                    .unwrap_or_else(|| VClock::zero(self.cfg.procs));
+                res.out.push(Msg {
+                    src: self.me,
+                    dst: requester,
+                    payload: Payload::PageResp {
+                        page,
+                        version,
+                        data,
+                    },
+                });
+            }
+            Payload::PageResp {
+                page,
+                version,
+                data,
+            } => {
+                res.wakeup = self.apply_page_resp(page, version, data, &mut work, &mut res.out);
+            }
+            Payload::DiffReq {
+                page,
+                requester,
+                floor,
+                upto,
+            } => {
+                let mut intervals = Vec::new();
+                let mut vcs = Vec::new();
+                let mut diffs = Vec::new();
+                for i in (floor + 1)..=upto {
+                    if let Some((d, ivc)) = self.my_diffs.get(&(page, i)) {
+                        work.diff_words += d.words() as u64;
+                        intervals.push(i);
+                        vcs.push(ivc.clone());
+                        diffs.push(d.clone());
+                    }
+                }
+                res.out.push(Msg {
+                    src: self.me,
+                    dst: requester,
+                    payload: Payload::DiffResp {
+                        page,
+                        writer: self.me,
+                        intervals,
+                        vcs,
+                        diffs,
+                    },
+                });
+            }
+            Payload::DiffResp {
+                page,
+                writer,
+                intervals,
+                vcs,
+                diffs,
+            } => {
+                res.wakeup = self.apply_diff_resp(page, writer, intervals, vcs, diffs, &mut work);
+            }
+        }
+        res.work.add(&work);
+        res
+    }
+
+    fn apply_page_resp(
+        &mut self,
+        page: PageId,
+        version: VClock,
+        data: Vec<u64>,
+        work: &mut Work,
+        out: &mut Vec<Msg>,
+    ) -> Option<Wakeup> {
+        let (want_write, fault_page) = match &self.blocked {
+            Some(Blocked::Fault {
+                page: p,
+                want_write,
+                awaiting_page: true,
+                ..
+            }) => (*want_write, *p),
+            ref b => panic!("unexpected PageResp while blocked on {b:?}"),
+        };
+        assert_eq!(fault_page, page, "PageResp for wrong page");
+        let h = self.space.page(page);
+        h.frame.fill_from(&data);
+        work.page_copy_words += data.len() as u64;
+        let pv = version;
+        // The served copy may lack writes the frame must regain before the
+        // fault completes: our own committed intervals (restored from the
+        // local diff store) and other writers' intervals we know about but
+        // the server had not applied. ALL of them — local and remote — are
+        // buffered and applied together in causal order at completion;
+        // applying our own diffs eagerly here would let a causally-earlier
+        // remote diff arrive later and clobber a causally-later local
+        // write.
+        let mut buffered: Vec<(ProcId, u32, VClock, Diff)> = Vec::new();
+        let mut committed: Vec<(ProcId, u32)> = Vec::new();
+        let my_k = self
+            .knowledge
+            .get(&page)
+            .map(|k| k.get(self.me))
+            .unwrap_or(0);
+        if my_k > pv.get(self.me) {
+            for i in (pv.get(self.me) + 1)..=my_k {
+                if let Some((d, ivc)) = self.my_diffs.get(&(page, i)) {
+                    buffered.push((self.me, i, ivc.clone(), d.clone()));
+                }
+            }
+            committed.push((self.me, my_k));
+        }
+        let zero = VClock::zero(self.cfg.procs);
+        let kn = self.knowledge.get(&page).unwrap_or(&zero).clone();
+        let mut outstanding = HashMap::new();
+        for w in (0..self.cfg.procs as u32).map(ProcId) {
+            if w == self.me {
+                continue;
+            }
+            let (fl, upto) = (pv.get(w), kn.get(w));
+            if upto > fl {
+                self.stats.diff_fetches += 1;
+                outstanding.insert(w, upto);
+                out.push(Msg {
+                    src: self.me,
+                    dst: w,
+                    payload: Payload::DiffReq {
+                        page,
+                        requester: self.me,
+                        floor: fl,
+                        upto,
+                    },
+                });
+            }
+        }
+        self.pv.insert(page, pv);
+        if outstanding.is_empty() {
+            self.blocked = None;
+            return self.finish_diff_merge(page, want_write, buffered, committed, work);
+        }
+        self.blocked = Some(Blocked::Fault {
+            page,
+            want_write,
+            awaiting_page: false,
+            outstanding,
+            buffered,
+            committed,
+        });
+        None
+    }
+
+    /// Apply buffered diffs in a linear extension of their causal order,
+    /// commit the coverage they represent into the page version, and
+    /// complete the fault. The component sum of a vector time is strictly
+    /// monotone along happens-before, so sorting by (sum, writer, interval)
+    /// is a valid and deterministic linearisation; concurrent diffs touch
+    /// disjoint words under a correct locking discipline.
+    fn finish_diff_merge(
+        &mut self,
+        page: PageId,
+        want_write: bool,
+        mut buffered: Vec<(ProcId, u32, VClock, Diff)>,
+        committed: Vec<(ProcId, u32)>,
+        work: &mut Work,
+    ) -> Option<Wakeup> {
+        buffered.sort_by_key(|(w, i, vc, _)| {
+            (vc.0.iter().map(|&c| c as u64).sum::<u64>(), *w, *i)
+        });
+        let h = self.space.page(page);
+        for (_, _, _, d) in &buffered {
+            d.apply(&h.frame);
+            work.diff_words += d.words() as u64;
+        }
+        let pv = self
+            .pv
+            .entry(page)
+            .or_insert_with(|| VClock::zero(self.cfg.procs));
+        for (w, upto) in committed {
+            pv.raise(w, upto);
+        }
+        self.complete_fault(page, want_write, work)
+    }
+
+    fn apply_diff_resp(
+        &mut self,
+        page: PageId,
+        writer: ProcId,
+        intervals: Vec<u32>,
+        vcs: Vec<VClock>,
+        diffs: Vec<Diff>,
+        work: &mut Work,
+    ) -> Option<Wakeup> {
+        let (want_write, done) = match &mut self.blocked {
+            Some(Blocked::Fault {
+                page: p,
+                want_write,
+                awaiting_page: false,
+                outstanding,
+                buffered,
+                committed,
+            }) => {
+                assert_eq!(*p, page, "DiffResp for wrong page");
+                let upto = outstanding
+                    .remove(&writer)
+                    .expect("DiffResp from unexpected writer");
+                for ((i, vc), d) in intervals.into_iter().zip(vcs).zip(diffs) {
+                    debug_assert!(i <= upto);
+                    buffered.push((writer, i, vc, d));
+                }
+                // Do NOT raise pv yet: the diffs are only buffered. Raising
+                // early would let a concurrent PageReq be served with a
+                // version vector claiming updates the frame does not hold —
+                // a lost update at the requester.
+                committed.push((writer, upto));
+                (*want_write, outstanding.is_empty())
+            }
+            ref b => panic!("unexpected DiffResp while blocked on {b:?}"),
+        };
+        if !done {
+            return None;
+        }
+        let Some(Blocked::Fault {
+            buffered,
+            committed,
+            ..
+        }) = self.blocked.take()
+        else {
+            unreachable!("checked above");
+        };
+        self.finish_diff_merge(page, want_write, buffered, committed, work)
+    }
+}
+
+/// Merge two diffs of the same page; `later` wins on overlapping words.
+fn merge_diffs(earlier: Diff, later: Diff) -> Diff {
+    if earlier.is_empty() {
+        return later;
+    }
+    if later.is_empty() {
+        return earlier;
+    }
+    let mut map: std::collections::BTreeMap<u32, u64> = earlier.entries.into_iter().collect();
+    for (i, v) in later.entries {
+        map.insert(i, v);
+    }
+    Diff {
+        entries: map.into_iter().collect(),
+    }
+}
+
+
+/// Is `CNI_DSM_TRACE` set? Checked once; tracing is a debugging aid for
+/// protocol investigations (prints every delivered protocol message).
+fn trace_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("CNI_DSM_TRACE").is_some())
+}
+
+fn trace_payload(p: &Payload) -> String {
+    match p {
+        Payload::PageResp { page, version, data } => {
+            format!("PageResp page={page:?} ver={version:?} words={}", data.len())
+        }
+        Payload::DiffResp {
+            page,
+            writer,
+            intervals,
+            diffs,
+            ..
+        } => {
+            let sizes: Vec<String> = diffs
+                .iter()
+                .zip(intervals)
+                .map(|(d, i)| format!("i{i}:{}w", d.words()))
+                .collect();
+            format!("DiffResp page={page:?} from={writer:?} {sizes:?}")
+        }
+        other => {
+            let full = format!("{other:?}");
+            full.chars().take(140).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_diffs_later_wins() {
+        let a = Diff {
+            entries: vec![(1, 10), (3, 30)],
+        };
+        let b = Diff {
+            entries: vec![(3, 99), (5, 50)],
+        };
+        let m = merge_diffs(a, b);
+        assert_eq!(m.entries, vec![(1, 10), (3, 99), (5, 50)]);
+    }
+
+    #[test]
+    fn merge_diffs_identity() {
+        let a = Diff {
+            entries: vec![(1, 10)],
+        };
+        assert_eq!(merge_diffs(Diff::default(), a.clone()), a);
+        assert_eq!(merge_diffs(a.clone(), Diff::default()), a);
+    }
+}

@@ -1,0 +1,590 @@
+//! The network interface device: timing composition of the send and
+//! receive paths for both personalities.
+//!
+//! The device exposes the three path segments the cluster simulation
+//! composes with the ATM fabric:
+//!
+//! * [`Nic::transmit`] — from "the application decides to send" to "the
+//!   first cell can enter the fabric", charging kernel/ADC work to the
+//!   host, flushes and DMA to the bus, and descriptor/segmentation work to
+//!   the NIC processor. This is where **transmit caching** happens.
+//! * [`Nic::receive`] — from "last cell arrived" to "the PDU is assembled
+//!   on the board and classified": reassembly residual plus PATHFINDER
+//!   classification (CNI) deciding whether an **Application Interrupt
+//!   Handler** takes it or it is host-bound.
+//! * [`Nic::deliver_to_host`] — from "PDU on board" to "application can
+//!   see it": **receive caching**, board→host DMA, and the poll-versus-
+//!   interrupt notification hybrid.
+//!
+//! All state mutations are deterministic; the device never consults a
+//! clock of its own — callers thread simulated time through explicitly.
+
+use crate::bus::MemoryBus;
+use crate::config::{NicConfig, NicKind};
+use crate::msgcache::{MessageCache, MsgCacheStats};
+use crate::queues::ChannelQueues;
+use crate::stats::NicStats;
+use cni_pathfinder::{Classifier, Pattern};
+use cni_sim::SimTime;
+
+/// Who initiates a transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxOrigin {
+    /// The host application/protocol stack.
+    Host,
+    /// Code already running on the board (an AIH reply); no host work and
+    /// no host flush are charged.
+    Board,
+}
+
+/// A transmission request.
+#[derive(Clone, Copy, Debug)]
+pub struct TxRequest {
+    /// Message length in bytes.
+    pub len: usize,
+    /// How many cells the fabric will use (from the segmenter).
+    pub cells: usize,
+    /// Backing host page for page-sized payloads — the unit of Message
+    /// Cache residency. `None` for small control messages.
+    pub page: Option<u64>,
+    /// The header's cache bit: bind this buffer on a miss?
+    pub cacheable: bool,
+    /// Dirty host-cache lines that must be flushed before the board can
+    /// see a consistent copy.
+    pub dirty_lines: u64,
+    /// Host- or board-initiated.
+    pub origin: TxOrigin,
+}
+
+/// Resolved transmit timing.
+#[derive(Clone, Copy, Debug)]
+pub struct TxPath {
+    /// When the host CPU is free again (equals the request time for
+    /// board-origin sends).
+    pub host_done: SimTime,
+    /// When the first cell may enter the fabric.
+    pub wire_start: SimTime,
+    /// Per-cell gap for the fabric (NIC segmentation rate).
+    pub cell_gap: SimTime,
+    /// When the NIC processor is free again.
+    pub nic_done: SimTime,
+    /// Whether the Message Cache satisfied the payload (no host→board DMA).
+    pub cache_hit: bool,
+}
+
+/// Where a received PDU was routed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxDisposition {
+    /// Matched an installed Application Interrupt Handler pattern; the
+    /// protocol engine on the board takes it.
+    Handler(u32),
+    /// Host-bound: deliver through [`Nic::deliver_to_host`].
+    HostBound,
+}
+
+/// Resolved receive-side timing.
+#[derive(Clone, Copy, Debug)]
+pub struct RxPath {
+    /// When the PDU is assembled and classified on the board.
+    pub ready_at: SimTime,
+    /// Routing verdict.
+    pub disposition: RxDisposition,
+}
+
+/// A completed host delivery.
+#[derive(Clone, Copy, Debug)]
+pub struct Delivery {
+    /// When the data is in host memory and the application has been told.
+    pub at: SimTime,
+    /// Host CPU cycles consumed by the notification (interrupt/kernel or
+    /// poll).
+    pub host_cycles: u64,
+    /// True if an interrupt was used, false if the application's poll
+    /// picked it up.
+    pub via_interrupt: bool,
+}
+
+/// One node's network interface.
+pub struct Nic {
+    kind: NicKind,
+    cfg: NicConfig,
+    /// The node's memory bus (shared by flushes and DMA).
+    pub bus: MemoryBus,
+    msg_cache: Option<MessageCache>,
+    classifier: Classifier<u32>,
+    channels: Vec<ChannelQueues>,
+    nic_busy: SimTime,
+    stats: NicStats,
+}
+
+impl Nic {
+    /// Build a NIC of `kind` with cost model `cfg`.
+    pub fn new(kind: NicKind, cfg: NicConfig) -> Self {
+        let msg_cache = match kind {
+            NicKind::Cni if cfg.cni_features.msg_cache => Some(MessageCache::new(
+                cfg.msg_cache_buffers(),
+                cfg.rtlb_entries,
+            )),
+            _ => None,
+        };
+        Nic {
+            kind,
+            bus: MemoryBus::new(&cfg),
+            msg_cache,
+            classifier: Classifier::new(),
+            channels: Vec::new(),
+            nic_busy: SimTime::ZERO,
+            stats: NicStats::default(),
+            cfg,
+        }
+    }
+
+    /// Open an Application Device Channel: the kernel carves a queue
+    /// triplet out of the board's dual-ported memory, validates the
+    /// application's buffer region once, and maps the queues into user
+    /// space (CNI only — the standard interface keeps the kernel on the
+    /// data path). Returns the channel id.
+    ///
+    /// # Panics
+    /// Panics on a standard NIC.
+    pub fn open_channel(&mut self, capacity: usize, region_base: u64, region_len: u64) -> usize {
+        assert_eq!(
+            self.kind,
+            NicKind::Cni,
+            "standard NICs have no user-mapped device channels"
+        );
+        let mut q = ChannelQueues::new(capacity);
+        q.register_region(region_base, region_len);
+        self.channels.push(q);
+        self.channels.len() - 1
+    }
+
+    /// The queue triplet of an open channel (application side).
+    pub fn channel_mut(&mut self, id: usize) -> &mut ChannelQueues {
+        &mut self.channels[id]
+    }
+
+    /// Number of open channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// This NIC's personality.
+    pub fn kind(&self) -> NicKind {
+        self.kind
+    }
+
+    /// The cost model in use.
+    pub fn config(&self) -> &NicConfig {
+        &self.cfg
+    }
+
+    /// Install an AIH dispatch pattern (CNI only): packets matching
+    /// `pattern` transfer control to handler `handler`.
+    ///
+    /// # Panics
+    /// Panics on a standard NIC, which has no classifier hardware.
+    pub fn install_handler_pattern(&mut self, pattern: Pattern, handler: u32) {
+        assert_eq!(
+            self.kind,
+            NicKind::Cni,
+            "standard NICs cannot host application handlers"
+        );
+        self.classifier.install(pattern, handler);
+    }
+
+    /// Resolve the transmit path for `req` issued at `now`.
+    pub fn transmit(&mut self, now: SimTime, req: &TxRequest) -> TxPath {
+        self.stats.tx_messages += 1;
+        self.stats.tx_cells += req.cells as u64;
+
+        // --- Host segment -------------------------------------------------
+        let (host_free, host_origin) = match req.origin {
+            TxOrigin::Board => (now, false),
+            TxOrigin::Host => {
+                let cpu = match self.kind {
+                    NicKind::Standard => self.cfg.kernel_send_cycles,
+                    NicKind::Cni => self.cfg.adc_enqueue_cycles,
+                };
+                let mut t = now + self.cfg.host(cpu);
+                if req.dirty_lines > 0 {
+                    // Write-back discipline: dirty lines must reach memory
+                    // (and the snooper) before the board reads or sends.
+                    let x = self
+                        .bus
+                        .flush_lines(t, req.dirty_lines, self.cfg.cache_line_bytes);
+                    t = x.end;
+                }
+                (t, true)
+            }
+        };
+
+        // --- NIC segment ---------------------------------------------------
+        let mut t = host_free.max(self.nic_busy) + self.cfg.nic(self.cfg.descriptor_cycles);
+        let mut hit = false;
+        if let Some(page) = req.page {
+            self.stats.tx_page_lookups += 1;
+            if let Some(mc) = self.msg_cache.as_mut() {
+                t += self.cfg.nic(self.cfg.buffer_map_cycles);
+                if mc.lookup_tx(page) {
+                    hit = true;
+                    self.stats.tx_cache_hits += 1;
+                }
+            }
+        }
+        if !hit && req.len > 0 {
+            // DMA the payload host → board.
+            let x = self.bus.transfer(t, req.len);
+            t = x.end;
+            self.stats.dma_bytes_to_board += req.len as u64;
+            if let (Some(page), Some(mc), true) =
+                (req.page, self.msg_cache.as_mut(), req.cacheable)
+            {
+                mc.insert(page);
+            }
+        }
+        // Segment the first cell; the fabric spaces the rest by cell_gap.
+        let cell_gap = self.cfg.tx_cell_gap();
+        let wire_start = t + cell_gap;
+        let nic_done = t + SimTime::from_ps(cell_gap.as_ps() * req.cells as u64);
+        self.nic_busy = nic_done;
+
+        TxPath {
+            host_done: if host_origin { host_free } else { now },
+            wire_start,
+            cell_gap,
+            nic_done,
+            cache_hit: hit,
+        }
+    }
+
+    /// Resolve the receive path for a PDU whose last cell arrived at
+    /// `arrival`; `header` is the PDU's leading bytes (what PATHFINDER
+    /// examines).
+    pub fn receive(&mut self, arrival: SimTime, cells: usize, header: &[u8]) -> RxPath {
+        self.stats.rx_messages += 1;
+        self.stats.rx_cells += cells as u64;
+        // Per-cell reassembly overlaps arrival; the residual after the last
+        // cell is one cell's worth of SAR work.
+        let mut t = arrival.max(self.nic_busy) + self.cfg.nic(self.cfg.sar_rx_cycles_per_cell);
+        let disposition = match self.kind {
+            NicKind::Standard => RxDisposition::HostBound,
+            NicKind::Cni => match self.classifier.classify(header) {
+                Some(outcome) => {
+                    self.stats.classify_cells += outcome.cells_visited as u64;
+                    t += self
+                        .cfg
+                        .nic(self.cfg.classify_cycles_per_cell * outcome.cells_visited as u64);
+                    self.stats.aih_dispatches += 1;
+                    RxDisposition::Handler(outcome.target)
+                }
+                None => {
+                    // One root comparison told us nothing matched.
+                    self.stats.classify_cells += 1;
+                    t += self.cfg.nic(self.cfg.classify_cycles_per_cell);
+                    RxDisposition::HostBound
+                }
+            },
+        };
+        self.nic_busy = t;
+        RxPath {
+            ready_at: t,
+            disposition,
+        }
+    }
+
+    /// Move a board-resident PDU into host memory and notify the
+    /// application. `host_waiting` selects the CNI's poll/interrupt hybrid:
+    /// a blocked application is spinning on its receive queue (poll), an
+    /// otherwise-busy host takes an interrupt. The standard NIC always
+    /// interrupts.
+    pub fn deliver_to_host(
+        &mut self,
+        now: SimTime,
+        len: usize,
+        dest_page: Option<u64>,
+        cacheable: bool,
+        host_waiting: bool,
+    ) -> Delivery {
+        let mut t = now.max(self.nic_busy);
+        // Receive caching: bind the arriving page to a board buffer so a
+        // future migration transmits without a host DMA. The bind costs a
+        // board-to-board copy of the payload.
+        if let (NicKind::Cni, Some(page), true) = (self.kind, dest_page, cacheable) {
+            let words = self.cfg.words(len);
+            t += self.cfg.nic(self.cfg.board_copy_cycles_per_word * words);
+            if let Some(mc) = self.msg_cache.as_mut() {
+                mc.insert(page);
+            }
+        }
+        if len > 0 {
+            let x = self.bus.transfer(t, len);
+            t = x.end;
+            self.stats.dma_bytes_to_host += len as u64;
+        }
+        self.nic_busy = t;
+        let (host_cycles, via_interrupt) = match self.kind {
+            NicKind::Standard => {
+                self.stats.interrupts += 1;
+                (
+                    self.cfg.interrupt_cycles + self.cfg.kernel_recv_cycles,
+                    true,
+                )
+            }
+            NicKind::Cni => {
+                if host_waiting && self.cfg.cni_features.polling {
+                    self.stats.polls += 1;
+                    (self.cfg.poll_cycles, false)
+                } else {
+                    self.stats.interrupts += 1;
+                    (self.cfg.interrupt_cycles, true)
+                }
+            }
+        };
+        Delivery {
+            at: t,
+            host_cycles,
+            via_interrupt,
+        }
+    }
+
+    /// Run `nic_cycles` of Application Interrupt Handler work starting no
+    /// earlier than `now`; returns when the handler completes. The NIC
+    /// processor is serialised.
+    pub fn run_handler(&mut self, now: SimTime, nic_cycles: u64) -> SimTime {
+        let t = now.max(self.nic_busy) + self.cfg.nic(nic_cycles);
+        self.nic_busy = t;
+        t
+    }
+
+    /// Offer a snooped host write on `page` to the Message Cache.
+    /// No-op (false) on a standard NIC.
+    pub fn snoop_write(&mut self, page: u64) -> bool {
+        match self.msg_cache.as_mut() {
+            Some(mc) => mc.snoop_write(page).0,
+            None => false,
+        }
+    }
+
+    /// Drop any board binding of `page` (host copy diverged invisibly).
+    pub fn invalidate_page(&mut self, page: u64) {
+        if let Some(mc) = self.msg_cache.as_mut() {
+            mc.invalidate(page);
+        }
+    }
+
+    /// Is `page` currently board-resident?
+    pub fn page_resident(&self, page: u64) -> bool {
+        self.msg_cache
+            .as_ref()
+            .map(|mc| mc.contains(page))
+            .unwrap_or(false)
+    }
+
+    /// Device counters.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+
+    /// Message Cache counters (zeroes for a standard NIC).
+    pub fn msg_cache_stats(&self) -> MsgCacheStats {
+        self.msg_cache
+            .as_ref()
+            .map(|mc| mc.stats())
+            .unwrap_or_default()
+    }
+
+    /// When the NIC processor is next free.
+    pub fn nic_busy_until(&self) -> SimTime {
+        self.nic_busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cni_pathfinder::FieldTest;
+
+    fn page_req(page: u64, dirty: u64) -> TxRequest {
+        TxRequest {
+            len: 2048,
+            cells: 43,
+            page: Some(page),
+            cacheable: true,
+            dirty_lines: dirty,
+            origin: TxOrigin::Host,
+        }
+    }
+
+    #[test]
+    fn cni_second_send_of_same_page_hits() {
+        let mut nic = Nic::new(NicKind::Cni, NicConfig::default());
+        let t1 = nic.transmit(SimTime::ZERO, &page_req(7, 8));
+        assert!(!t1.cache_hit);
+        let t2 = nic.transmit(t1.nic_done, &page_req(7, 0));
+        assert!(t2.cache_hit);
+        assert_eq!(nic.stats().tx_cache_hits, 1);
+        assert_eq!(nic.stats().dma_bytes_to_board, 2048);
+        assert!((nic.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_never_hits() {
+        let mut nic = Nic::new(NicKind::Standard, NicConfig::default());
+        let t1 = nic.transmit(SimTime::ZERO, &page_req(7, 8));
+        let t2 = nic.transmit(t1.nic_done, &page_req(7, 0));
+        assert!(!t1.cache_hit && !t2.cache_hit);
+        assert_eq!(nic.stats().dma_bytes_to_board, 4096);
+    }
+
+    #[test]
+    fn cache_hit_is_faster_than_miss() {
+        let cfg = NicConfig::default();
+        let mut nic = Nic::new(NicKind::Cni, cfg);
+        let miss = nic.transmit(SimTime::ZERO, &page_req(1, 0));
+        let start = miss.nic_done;
+        let hit = nic.transmit(start, &page_req(1, 0));
+        let miss_latency = miss.wire_start;
+        let hit_latency = hit.wire_start - start;
+        assert!(
+            hit_latency < miss_latency,
+            "hit {hit_latency:?} !< miss {miss_latency:?}"
+        );
+        // The difference is roughly one 2 KB DMA: 4 + 256*2 bus cycles.
+        let dma = cfg.bus(4 + 256 * 2);
+        assert!(miss_latency - hit_latency >= SimTime::from_ps(dma.as_ps() * 9 / 10));
+    }
+
+    #[test]
+    fn cni_send_charges_less_host_time_than_standard() {
+        let cfg = NicConfig::default();
+        let mut cni = Nic::new(NicKind::Cni, cfg);
+        let mut std_ = Nic::new(NicKind::Standard, cfg);
+        let a = cni.transmit(SimTime::ZERO, &page_req(1, 4));
+        let b = std_.transmit(SimTime::ZERO, &page_req(1, 4));
+        assert!(a.host_done < b.host_done, "{:?} vs {:?}", a.host_done, b.host_done);
+    }
+
+    #[test]
+    fn board_origin_charges_no_host_time() {
+        let mut nic = Nic::new(NicKind::Cni, NicConfig::default());
+        let req = TxRequest {
+            origin: TxOrigin::Board,
+            ..page_req(3, 99)
+        };
+        let t = nic.transmit(SimTime::from_us(10), &req);
+        assert_eq!(t.host_done, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn classifier_routes_to_handler() {
+        let mut nic = Nic::new(NicKind::Cni, NicConfig::default());
+        nic.install_handler_pattern(Pattern::new(vec![FieldTest::byte(0, 0xD5)]), 3);
+        let rx = nic.receive(SimTime::from_us(1), 2, &[0xD5, 0, 0, 1]);
+        assert_eq!(rx.disposition, RxDisposition::Handler(3));
+        assert_eq!(nic.stats().aih_dispatches, 1);
+        let rx2 = nic.receive(rx.ready_at, 2, &[0x11, 0, 0, 1]);
+        assert_eq!(rx2.disposition, RxDisposition::HostBound);
+    }
+
+    #[test]
+    fn standard_receive_is_always_host_bound() {
+        let mut nic = Nic::new(NicKind::Standard, NicConfig::default());
+        let rx = nic.receive(SimTime::from_us(1), 2, &[0xD5]);
+        assert_eq!(rx.disposition, RxDisposition::HostBound);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host application handlers")]
+    fn standard_rejects_handler_install() {
+        let mut nic = Nic::new(NicKind::Standard, NicConfig::default());
+        nic.install_handler_pattern(Pattern::new(vec![FieldTest::byte(0, 1)]), 0);
+    }
+
+    #[test]
+    fn delivery_notification_hybrid() {
+        let cfg = NicConfig::default();
+        let mut nic = Nic::new(NicKind::Cni, cfg);
+        let polled = nic.deliver_to_host(SimTime::ZERO, 512, None, false, true);
+        assert!(!polled.via_interrupt);
+        assert_eq!(polled.host_cycles, cfg.poll_cycles);
+        let interrupted = nic.deliver_to_host(polled.at, 512, None, false, false);
+        assert!(interrupted.via_interrupt);
+        assert_eq!(interrupted.host_cycles, cfg.interrupt_cycles);
+        assert_eq!(nic.stats().polls, 1);
+        assert_eq!(nic.stats().interrupts, 1);
+    }
+
+    #[test]
+    fn standard_delivery_always_interrupts() {
+        let cfg = NicConfig::default();
+        let mut nic = Nic::new(NicKind::Standard, cfg);
+        let d = nic.deliver_to_host(SimTime::ZERO, 512, None, false, true);
+        assert!(d.via_interrupt);
+        assert_eq!(d.host_cycles, cfg.interrupt_cycles + cfg.kernel_recv_cycles);
+    }
+
+    #[test]
+    fn receive_caching_enables_future_tx_hit() {
+        let mut nic = Nic::new(NicKind::Cni, NicConfig::default());
+        let d = nic.deliver_to_host(SimTime::ZERO, 2048, Some(42), true, true);
+        assert!(nic.page_resident(42));
+        // Page migrates onward: the transmit hits without ever having been
+        // DMAed host→board.
+        let t = nic.transmit(d.at, &page_req(42, 0));
+        assert!(t.cache_hit);
+        assert_eq!(nic.stats().dma_bytes_to_board, 0);
+    }
+
+    #[test]
+    fn snoop_keeps_board_copy_live_and_invalidations_kill_it() {
+        let mut nic = Nic::new(NicKind::Cni, NicConfig::default());
+        nic.transmit(SimTime::ZERO, &page_req(5, 0));
+        assert!(nic.page_resident(5));
+        assert!(nic.snoop_write(5));
+        nic.invalidate_page(5);
+        assert!(!nic.page_resident(5));
+        assert!(!nic.snoop_write(5));
+    }
+
+    #[test]
+    fn channels_open_and_enforce_protection() {
+        use crate::queues::Descriptor;
+        let mut nic = Nic::new(NicKind::Cni, NicConfig::default());
+        let ch = nic.open_channel(8, 0x10_000, 0x8000);
+        assert_eq!(nic.channels(), 1);
+        let q = nic.channel_mut(ch);
+        assert!(q
+            .enqueue_transmit(Descriptor {
+                vaddr: 0x10_800,
+                len: 2048,
+                cacheable: true
+            })
+            .is_ok());
+        assert!(q
+            .enqueue_transmit(Descriptor {
+                vaddr: 0x9_000,
+                len: 64,
+                cacheable: false
+            })
+            .is_err());
+        assert_eq!(q.dequeue_transmit().unwrap().vaddr, 0x10_800);
+    }
+
+    #[test]
+    #[should_panic(expected = "no user-mapped device channels")]
+    fn standard_nic_has_no_channels() {
+        let mut nic = Nic::new(NicKind::Standard, NicConfig::default());
+        let _ = nic.open_channel(8, 0, 0x1000);
+    }
+
+    #[test]
+    fn nic_processor_serialises_work() {
+        let mut nic = Nic::new(NicKind::Cni, NicConfig::default());
+        let t1 = nic.transmit(SimTime::ZERO, &page_req(1, 0));
+        // A receive arriving while transmit segmentation is ongoing waits
+        // for the NIC processor.
+        let rx = nic.receive(SimTime::from_ns(1), 1, &[0]);
+        assert!(rx.ready_at >= t1.nic_done);
+    }
+}

@@ -1,0 +1,332 @@
+//! Direct-mapped write-back host cache model.
+//!
+//! Table 1's memory hierarchy: a 32 KB unified, direct-mapped, write-back
+//! primary cache with 1-cycle access; a 1 MB secondary cache with 10-cycle
+//! access; 20-cycle memory latency. The Message Cache design interacts with
+//! this hierarchy in one crucial way: the board snoops the *bus*, so dirty
+//! lines hiding in the write-back cache must be flushed before a buffer is
+//! transmitted (§2.2 of the paper). [`HostCache::flush_range`] reports how
+//! many lines that flush writes back, which the caller turns into bus time.
+
+use serde::{Deserialize, Serialize};
+
+/// Host cache-hierarchy parameters (Table 1 defaults).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Primary cache size in bytes.
+    pub l1_bytes: usize,
+    /// Secondary cache size in bytes.
+    pub l2_bytes: usize,
+    /// Line size in bytes (both levels).
+    pub line_bytes: usize,
+    /// Primary hit cost, CPU cycles.
+    pub l1_hit_cycles: u64,
+    /// Secondary access cost, CPU cycles.
+    pub l2_hit_cycles: u64,
+    /// Memory latency, CPU cycles.
+    pub mem_cycles: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            l1_bytes: 32 * 1024,
+            l2_bytes: 1024 * 1024,
+            line_bytes: 32,
+            l1_hit_cycles: 1,
+            l2_hit_cycles: 10,
+            mem_cycles: 20,
+        }
+    }
+}
+
+/// Where an access was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Satisfied by the primary cache.
+    L1Hit,
+    /// Satisfied by the secondary cache.
+    L2Hit,
+    /// Went to memory.
+    MemMiss,
+}
+
+#[derive(Clone)]
+struct Level {
+    line_shift: u32,
+    set_mask: u64,
+    tags: Vec<Option<u64>>,
+    dirty: Vec<bool>,
+}
+
+impl Level {
+    fn new(size: usize, line: usize) -> Self {
+        let lines = size / line;
+        assert!(lines.is_power_of_two(), "cache must be a power of two of lines");
+        Level {
+            line_shift: line.trailing_zeros(),
+            set_mask: lines as u64 - 1,
+            tags: vec![None; lines],
+            dirty: vec![false; lines],
+        }
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr >> self.line_shift;
+        ((line_addr & self.set_mask) as usize, line_addr)
+    }
+
+    /// Probe for `addr`; on hit, optionally set dirty. Returns hit.
+    fn probe(&mut self, addr: u64, write: bool) -> bool {
+        let (set, tag) = self.index(addr);
+        if self.tags[set] == Some(tag) {
+            if write {
+                self.dirty[set] = true;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Install `addr`'s line; returns the evicted (line_addr, dirty) if the
+    /// slot was occupied by a different line.
+    fn fill(&mut self, addr: u64, write: bool) -> Option<(u64, bool)> {
+        let (set, tag) = self.index(addr);
+        let evicted = match self.tags[set] {
+            Some(old) if old != tag => Some((old, self.dirty[set])),
+            _ => None,
+        };
+        self.tags[set] = Some(tag);
+        self.dirty[set] = write;
+        evicted
+    }
+
+    /// If `addr`'s line is present and dirty, clean it and return true.
+    fn clean(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        if self.tags[set] == Some(tag) && self.dirty[set] {
+            self.dirty[set] = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn present(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        self.tags[set] == Some(tag)
+    }
+
+    fn dirty_at(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        self.tags[set] == Some(tag) && self.dirty[set]
+    }
+}
+
+/// The two-level write-back cache.
+pub struct HostCache {
+    cfg: CacheConfig,
+    l1: Level,
+    l2: Level,
+    accesses: u64,
+    l1_hits: u64,
+    l2_hits: u64,
+    mem_misses: u64,
+    writebacks: u64,
+}
+
+impl HostCache {
+    /// A cache hierarchy with `cfg`'s geometry and costs.
+    pub fn new(cfg: CacheConfig) -> Self {
+        HostCache {
+            l1: Level::new(cfg.l1_bytes, cfg.line_bytes),
+            l2: Level::new(cfg.l2_bytes, cfg.line_bytes),
+            cfg,
+            accesses: 0,
+            l1_hits: 0,
+            l2_hits: 0,
+            mem_misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Table 1 geometry.
+    pub fn paper_default() -> Self {
+        Self::new(CacheConfig::default())
+    }
+
+    /// Simulate one access. Returns where it hit and its cost in CPU
+    /// cycles. Dirty evictions are counted as write-backs (bus traffic the
+    /// caller may charge).
+    pub fn access(&mut self, addr: u64, write: bool) -> (AccessOutcome, u64) {
+        self.accesses += 1;
+        if self.l1.probe(addr, write) {
+            self.l1_hits += 1;
+            return (AccessOutcome::L1Hit, self.cfg.l1_hit_cycles);
+        }
+        if self.l2.probe(addr, false) {
+            self.l2_hits += 1;
+            // Fill L1; a dirty L1 victim retires into L2 if its line is
+            // still there, otherwise it goes to memory.
+            if let Some((victim, dirty)) = self.l1.fill(addr, write) {
+                if dirty && !self.l2.probe(victim << self.l1.line_shift, true) {
+                    self.writebacks += 1;
+                }
+            }
+            return (
+                AccessOutcome::L2Hit,
+                self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles,
+            );
+        }
+        self.mem_misses += 1;
+        if let Some((_, dirty)) = self.l2.fill(addr, false) {
+            if dirty {
+                self.writebacks += 1;
+            }
+        }
+        if let Some((victim, dirty)) = self.l1.fill(addr, write) {
+            if dirty && !self.l2.probe(victim << self.l1.line_shift, true) {
+                self.writebacks += 1;
+            }
+        }
+        (
+            AccessOutcome::MemMiss,
+            self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles + self.cfg.mem_cycles,
+        )
+    }
+
+    /// Write back every dirty line of `[start, start+len)`; returns how
+    /// many lines went to the bus. This is the pre-transmit flush required
+    /// by the Message Cache's snooping discipline.
+    pub fn flush_range(&mut self, start: u64, len: usize) -> u64 {
+        let line = self.cfg.line_bytes as u64;
+        let first = start / line * line;
+        let mut flushed = 0;
+        let mut addr = first;
+        while addr < start + len as u64 {
+            let mut dirty = false;
+            if self.l1.clean(addr) {
+                dirty = true;
+            }
+            if self.l2.clean(addr) {
+                dirty = true;
+            }
+            if dirty {
+                flushed += 1;
+            }
+            addr += line;
+        }
+        self.writebacks += flushed;
+        flushed
+    }
+
+    /// Dirty lines currently held for `[start, start+len)` (either level).
+    pub fn dirty_lines_in(&self, start: u64, len: usize) -> u64 {
+        let line = self.cfg.line_bytes as u64;
+        let first = start / line * line;
+        let mut n = 0;
+        let mut addr = first;
+        while addr < start + len as u64 {
+            if self.l1.dirty_at(addr) || self.l2.dirty_at(addr) {
+                n += 1;
+            }
+            addr += line;
+        }
+        n
+    }
+
+    /// Is the line containing `addr` present in either level?
+    pub fn present(&self, addr: u64) -> bool {
+        self.l1.present(addr) || self.l2.present(addr)
+    }
+
+    /// (accesses, l1 hits, l2 hits, memory misses, write-backs).
+    pub fn stats(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.accesses,
+            self.l1_hits,
+            self.l2_hits,
+            self.mem_misses,
+            self.writebacks,
+        )
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = HostCache::paper_default();
+        let (o1, cost1) = c.access(0x1000, false);
+        assert_eq!(o1, AccessOutcome::MemMiss);
+        assert_eq!(cost1, 31); // 1 + 10 + 20
+        let (o2, cost2) = c.access(0x1000, false);
+        assert_eq!(o2, AccessOutcome::L1Hit);
+        assert_eq!(cost2, 1);
+        // Same line, different word.
+        let (o3, _) = c.access(0x1008, true);
+        assert_eq!(o3, AccessOutcome::L1Hit);
+    }
+
+    #[test]
+    fn l1_conflict_falls_to_l2() {
+        let mut c = HostCache::paper_default();
+        let a = 0x0u64;
+        let b = a + 32 * 1024; // same L1 set, different tag; different L2 set? 1MB l2 -> different index, ok
+        c.access(a, false);
+        c.access(b, false); // evicts a from L1 (clean)
+        let (o, _) = c.access(a, false);
+        assert_eq!(o, AccessOutcome::L2Hit, "a must still be in L2");
+    }
+
+    #[test]
+    fn writes_leave_dirty_lines_and_flush_finds_them() {
+        let mut c = HostCache::paper_default();
+        let page = 0x4000u64;
+        // Dirty 5 distinct lines of the page.
+        for i in 0..5u64 {
+            c.access(page + i * 32, true);
+        }
+        assert_eq!(c.dirty_lines_in(page, 2048), 5);
+        let flushed = c.flush_range(page, 2048);
+        assert_eq!(flushed, 5);
+        assert_eq!(c.dirty_lines_in(page, 2048), 0);
+        // Lines remain present (flush cleans, does not invalidate).
+        assert!(c.present(page));
+    }
+
+    #[test]
+    fn flush_of_clean_range_is_zero() {
+        let mut c = HostCache::paper_default();
+        c.access(0x8000, false);
+        assert_eq!(c.flush_range(0x8000, 2048), 0);
+    }
+
+    #[test]
+    fn repeated_writes_to_one_line_flush_once() {
+        let mut c = HostCache::paper_default();
+        for _ in 0..100 {
+            c.access(0x2000, true);
+        }
+        assert_eq!(c.flush_range(0x2000, 32), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = HostCache::paper_default();
+        c.access(0, false);
+        c.access(0, false);
+        let (acc, l1, _, miss, _) = c.stats();
+        assert_eq!(acc, 2);
+        assert_eq!(l1, 1);
+        assert_eq!(miss, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Aggregated per-NIC statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters one NIC accumulates over a run.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct NicStats {
+    /// Messages transmitted.
+    pub tx_messages: u64,
+    /// Messages received.
+    pub rx_messages: u64,
+    /// Cells transmitted.
+    pub tx_cells: u64,
+    /// Cells received.
+    pub rx_cells: u64,
+    /// Bytes DMAed host → board.
+    pub dma_bytes_to_board: u64,
+    /// Bytes DMAed board → host.
+    pub dma_bytes_to_host: u64,
+    /// Transmissions satisfied from the Message Cache (no host DMA).
+    pub tx_cache_hits: u64,
+    /// Transmissions of page-backed buffers (hit-ratio denominator).
+    pub tx_page_lookups: u64,
+    /// Host interrupts raised.
+    pub interrupts: u64,
+    /// Host polls that found work.
+    pub polls: u64,
+    /// Messages handled by Application Interrupt Handlers on the board.
+    pub aih_dispatches: u64,
+    /// PATHFINDER comparison cells evaluated.
+    pub classify_cells: u64,
+}
+
+impl NicStats {
+    /// The paper's network cache hit ratio for this NIC.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.tx_page_lookups == 0 {
+            0.0
+        } else {
+            self.tx_cache_hits as f64 / self.tx_page_lookups as f64
+        }
+    }
+
+    /// Merge another NIC's counters (cluster-wide aggregation).
+    pub fn merge(&mut self, o: &NicStats) {
+        self.tx_messages += o.tx_messages;
+        self.rx_messages += o.rx_messages;
+        self.tx_cells += o.tx_cells;
+        self.rx_cells += o.rx_cells;
+        self.dma_bytes_to_board += o.dma_bytes_to_board;
+        self.dma_bytes_to_host += o.dma_bytes_to_host;
+        self.tx_cache_hits += o.tx_cache_hits;
+        self.tx_page_lookups += o.tx_page_lookups;
+        self.interrupts += o.interrupts;
+        self.polls += o.polls;
+        self.aih_dispatches += o.aih_dispatches;
+        self.classify_cells += o.classify_cells;
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_guarded_against_zero() {
+        let s = NicStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = NicStats {
+            tx_messages: 2,
+            tx_cache_hits: 1,
+            tx_page_lookups: 2,
+            ..NicStats::default()
+        };
+        let b = NicStats {
+            tx_messages: 3,
+            tx_cache_hits: 2,
+            tx_page_lookups: 2,
+            ..NicStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.tx_messages, 5);
+        assert!((a.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! `cni-pathfinder` — a model of the PATHFINDER pattern-based packet
+//! classifier (Bailey, Gopal, Pagels, Peterson & Sarkar, OSDI '94) that the
+//! CNI uses as its hardware demultiplexer.
+//!
+//! CNI needs the classifier for two jobs the OSIRIS board's VCI-only demux
+//! cannot do:
+//!
+//! 1. route an incoming packet to the right *application* channel — finer
+//!    grained than a VCI, because one application may multiplex several
+//!    protocol actions on one connection; and
+//! 2. transfer control to *Application Interrupt Handler* code on the NIC
+//!    when a packet matches an installed protocol pattern (the DSM
+//!    consistency protocol in this reproduction).
+//!
+//! The model keeps PATHFINDER's two key features:
+//!
+//! * **flexible classification programmability** — patterns are sequences
+//!   of masked field comparisons over the packet header, composed into a
+//!   prefix-sharing decision DAG ([`Classifier`]); the number of
+//!   comparison cells touched per classification is reported so the NIC
+//!   can charge cycles for it;
+//! * **fragmented packets** — the first fragment of a PDU is classified on
+//!   its headers and the result is *bound* to the flow (the VCI); later
+//!   fragments short-circuit through the binding table
+//!   ([`Classifier::bind_flow`] / [`Classifier::lookup_flow`]).
+
+pub mod classifier;
+pub mod pattern;
+
+pub use classifier::{ClassifyOutcome, Classifier};
+pub use pattern::{FieldTest, Pattern, PatternId};

@@ -1,0 +1,87 @@
+//! Fragment handling end to end: PATHFINDER classifies the first fragment
+//! of a PDU on its headers and routes the rest through the flow binding —
+//! the mechanism that lets a hardware classifier keep up with ATM cells
+//! (only one pattern match per PDU, not per cell).
+
+use cni_pathfinder::{Classifier, FieldTest, Pattern};
+
+/// Simulate the arrival of a fragmented PDU: `cells` payload fragments on
+/// `vci`, of which only the first carries the protocol header.
+fn deliver_fragmented(
+    cls: &mut Classifier<&'static str>,
+    vci: u16,
+    header: &[u8],
+    cells: usize,
+) -> Vec<&'static str> {
+    let mut routed = Vec::new();
+    for i in 0..cells {
+        if i == 0 {
+            let outcome = cls.classify(header).expect("first fragment classifies");
+            cls.bind_flow(vci, outcome.target);
+            routed.push(outcome.target);
+        } else {
+            // Later fragments: O(1) flow lookup, no pattern walk.
+            routed.push(*cls.lookup_flow(vci).expect("flow bound"));
+        }
+    }
+    cls.unbind_flow(vci);
+    routed
+}
+
+#[test]
+fn fragments_follow_their_first_cell() {
+    let mut cls = Classifier::new();
+    cls.install(Pattern::new(vec![FieldTest::byte(0, 0xD6)]), "dsm-page");
+    cls.install(Pattern::new(vec![FieldTest::byte(0, 0xA0)]), "app-data");
+
+    let page = deliver_fragmented(&mut cls, 7, &[0xD6, 1, 2, 3], 43);
+    assert_eq!(page.len(), 43);
+    assert!(page.iter().all(|&t| t == "dsm-page"));
+
+    let app = deliver_fragmented(&mut cls, 7, &[0xA0, 9, 9, 9], 5);
+    assert!(app.iter().all(|&t| t == "app-data"));
+}
+
+#[test]
+fn concurrent_flows_stay_separate() {
+    let mut cls = Classifier::new();
+    cls.install(Pattern::new(vec![FieldTest::byte(0, 1)]), "alpha");
+    cls.install(Pattern::new(vec![FieldTest::byte(0, 2)]), "beta");
+
+    // Interleave two PDUs on different VCIs.
+    let a = cls.classify(&[1u8]).unwrap();
+    cls.bind_flow(10, a.target);
+    let b = cls.classify(&[2u8]).unwrap();
+    cls.bind_flow(11, b.target);
+
+    for _ in 0..20 {
+        assert_eq!(cls.lookup_flow(10), Some(&"alpha"));
+        assert_eq!(cls.lookup_flow(11), Some(&"beta"));
+    }
+    cls.unbind_flow(10);
+    assert_eq!(cls.lookup_flow(10), None);
+    assert_eq!(cls.lookup_flow(11), Some(&"beta"));
+}
+
+#[test]
+fn classification_work_is_paid_once_per_pdu() {
+    let mut cls = Classifier::new();
+    for k in 0..16u16 {
+        cls.install(
+            Pattern::new(vec![FieldTest::byte(0, 0xD6), FieldTest::u16(2, k)]),
+            "chan",
+        );
+    }
+    let before = cls.classifications();
+    deliver_fragmented(&mut cls, 3, &[0xD6, 0, 0, 5], 86);
+    // One classify() for 86 fragments.
+    assert_eq!(cls.classifications(), before + 1);
+}
+
+#[test]
+fn rebinding_a_flow_replaces_the_target() {
+    let mut cls: Classifier<u32> = Classifier::new();
+    cls.bind_flow(4, 1);
+    cls.bind_flow(4, 2);
+    assert_eq!(cls.lookup_flow(4), Some(&2));
+}

@@ -1,0 +1,34 @@
+//! `cni-sim` — deterministic discrete-event simulation kernel used by the
+//! CNI reproduction.
+//!
+//! The crate provides the domain-independent pieces of a Proteus-style
+//! execution-driven simulator:
+//!
+//! * [`time`] — picosecond-resolution virtual time ([`SimTime`]) and clock
+//!   domains ([`Clock`]) so components running at different frequencies
+//!   (166 MHz CPU, 25 MHz memory bus, 33 MHz NIC processor) can convert
+//!   cycle counts to time exactly and deterministically.
+//! * [`queue`] — a deterministic event queue: events at equal timestamps
+//!   fire in insertion order, so a simulation run is a pure function of its
+//!   inputs.
+//! * [`cothread`] — coroutine processors. Each simulated CPU runs *real*
+//!   application code on an OS thread; exactly one thread runs at a time and
+//!   control transfers to the engine whenever the program needs a simulated
+//!   service (page fault, lock, barrier, message). This is what makes the
+//!   simulation *execution-driven* rather than trace-driven.
+//! * [`stats`] — counters, accumulators and log-2 histograms used for the
+//!   paper's overhead breakdowns (Tables 2–4).
+//! * [`rng`] — a small, seedable SplitMix64 generator for components that
+//!   need deterministic pseudo-randomness inside the simulation.
+
+pub mod cothread;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use cothread::{CoThread, Port, Yield};
+pub use queue::EventQueue;
+pub use rng::SplitMix64;
+pub use stats::{Accum, Counter, Histogram};
+pub use time::{Clock, SimTime};

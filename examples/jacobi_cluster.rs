@@ -1,0 +1,34 @@
+//! The workload the paper's introduction motivates: a scientific kernel on
+//! a network of workstations, compared across the two network interfaces.
+//!
+//! Runs Jacobi relaxation (256 × 256) on 1–16 processors under the CNI and
+//! under the standard NIC, printing speedups and the network cache hit
+//! ratio — a miniature of the paper's Figure 3.
+//!
+//! ```sh
+//! cargo run --release --example jacobi_cluster
+//! ```
+
+use cni::Config;
+use cni_apps::experiments::{speedup_curve, App};
+
+fn main() {
+    let app = App::Jacobi { n: 256, iters: 25 };
+    println!("Jacobi 256x256, 25 sweeps, 2 KB pages\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>16}",
+        "procs", "CNI-speedup", "Std-speedup", "NetCacheHit(%)"
+    );
+    for p in speedup_curve(Config::paper_default(), app, &[2, 4, 8, 16]) {
+        println!(
+            "{:>6} {:>12.2} {:>12.2} {:>16.1}",
+            p.procs, p.cni_speedup, p.std_speedup, p.hit_ratio_pct
+        );
+    }
+    println!(
+        "\nThe CNI wins because the boundary pages it re-sends every sweep \
+         stay bound in the Message Cache (no host DMA), the DSM protocol \
+         runs on the board, and waiting processors poll instead of taking \
+         interrupts."
+    );
+}

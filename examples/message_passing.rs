@@ -1,0 +1,42 @@
+//! The message-passing paradigm on the CNI — the paper's generality claim
+//! (§1: the interface "efficiently supports both the message passing and
+//! distributed shared memory paradigms").
+//!
+//! Runs Jacobi written with explicit boundary-row exchanges over
+//! Application Device Channels, on both interfaces, and shows the Message
+//! Cache accelerating the re-sent boundary buffers.
+//!
+//! ```sh
+//! cargo run --release --example message_passing
+//! ```
+
+use cni::{Config, World};
+use cni_apps::mp_jacobi::{self, MpJacobiParams};
+
+fn main() {
+    let params = MpJacobiParams { n: 128, iters: 25 };
+    println!("message-passing Jacobi 128x128, 25 sweeps, 4 processors\n");
+    for std_nic in [false, true] {
+        let cfg = if std_nic {
+            Config::paper_default().with_procs(4).standard()
+        } else {
+            Config::paper_default().with_procs(4)
+        };
+        let mut world = World::new(cfg);
+        let (grid, report) = mp_jacobi::run(&mut world, params);
+        let probe = grid[3 * params.n + 3]; // near the hot boundary
+        println!(
+            "{:>9}: completion {} | boundary-buffer hit ratio {:>5.1}% | interrupts {:>4} | probe {:.6}",
+            if std_nic { "standard" } else { "CNI" },
+            report.wall,
+            report.hit_ratio() * 100.0,
+            report.interrupts(),
+            probe,
+        );
+    }
+    println!(
+        "\nSame numerical answer, same exchanges — the CNI just moves the \
+         fixed boundary buffers from its Message Cache and polls instead of \
+         fielding an interrupt per row."
+    );
+}

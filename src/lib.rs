@@ -1,0 +1,13 @@
+//! Umbrella crate for the CNI reproduction workspace.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual functionality
+//! lives in the `cni-*` crates; start with the [`cni`] facade crate.
+
+pub use cni;
+pub use cni_apps;
+pub use cni_atm;
+pub use cni_dsm;
+pub use cni_nic;
+pub use cni_pathfinder;
+pub use cni_sim;
