@@ -9,11 +9,19 @@
 //!
 //! Prints the run report (completion time, overhead breakdown, network
 //! cache hit ratio, NIC counters) as text, or JSON with `--json`.
+//!
+//! With `--trace <path>` the run records simulation events (queue
+//! dispatches, DMA transfers, Message-Cache traffic, PATHFINDER
+//! classifications, DSM protocol actions, periodic metrics samples) and
+//! exports them as a Chrome trace-event file (load in Perfetto /
+//! `chrome://tracing`) or as JSONL.
 
-use cni::{Config, RunReport};
+use cni::{kind_name, Config, RunReport, SimTime, TraceSink, REPORT_VERSION};
 use cni_apps::cholesky::CholeskyMatrix;
-use cni_apps::experiments::{run_app, App};
+use cni_apps::experiments::{run_app, run_app_traced, App};
+use cni_trace::export::{write_chrome, write_jsonl};
 use std::collections::HashMap;
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -30,6 +38,10 @@ fn usage() -> ! {
            --tree-barrier      combining-tree barrier (extension)\n\
            --seed N            timing-jitter seed (workloads are fixed)\n\
            --json              machine-readable output\n\
+           --trace PATH        record simulation events to PATH\n\
+           --trace-format F    chrome (default; Perfetto-loadable) | jsonl\n\
+           --metrics-interval-us N  metrics sample spacing in virtual us\n\
+                               (default 100; 0 disables the sampler)\n\
          jacobi:   --n N (grid, default 256)   --iters N (default 25)\n\
          water:    --molecules N (default 216) --steps N (default 2)\n\
          cholesky: --matrix <bcsstk14|bcsstk15> (default bcsstk14)\n\
@@ -74,20 +86,35 @@ fn get<T: std::str::FromStr>(args: &HashMap<String, String>, key: &str, default:
 
 fn print_report(label: &str, cfg: &Config, r: &RunReport, json: bool) {
     if json {
+        let latency: Vec<serde_json::Value> = r
+            .latency
+            .iter()
+            .map(|l| {
+                serde_json::json!({
+                    "kind": kind_name(l.kind),
+                    "count": l.count,
+                    "mean_us": l.mean_us,
+                    "p50_us": l.p50_us,
+                    "p99_us": l.p99_us,
+                })
+            })
+            .collect();
         println!(
             "{}",
             serde_json::json!({
+                "version": REPORT_VERSION,
                 "nic": label,
                 "wall_ms": r.wall.as_ms_f64(),
                 "hit_ratio": r.hit_ratio(),
                 "messages": r.messages,
                 "interrupts": r.interrupts(),
                 "dma_bytes_to_board": r.dma_bytes_to_board(),
-                "mean_breakdown_gcycles": {
+                "mean_breakdown_gcycles": serde_json::json!({
                     "compute": RunReport::gcycles(r.mean_breakdown().compute, cfg.nic.host_clock),
                     "overhead": RunReport::gcycles(r.mean_breakdown().overhead, cfg.nic.host_clock),
                     "delay": RunReport::gcycles(r.mean_breakdown().delay, cfg.nic.host_clock),
-                },
+                }),
+                "latency": serde_json::Value::Array(latency),
             })
         );
         return;
@@ -102,6 +129,22 @@ fn print_report(label: &str, cfg: &Config, r: &RunReport, json: bool) {
     println!("net cache hit ratio : {:.1}%", r.hit_ratio() * 100.0);
     println!("host interrupts     : {}", r.interrupts());
     println!("host->board DMA     : {} bytes", r.dma_bytes_to_board());
+    for l in &r.latency {
+        println!(
+            "latency {:<14}: n={:<7} mean {:.2} us, p50 {:.2} us, p99 {:.2} us",
+            kind_name(l.kind),
+            l.count,
+            l.mean_us,
+            l.p50_us,
+            l.p99_us
+        );
+    }
+    if let Some(t) = &r.trace {
+        println!(
+            "trace               : {} events recorded, {} dropped (ring {})",
+            t.recorded, t.dropped, t.capacity
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -127,7 +170,10 @@ fn main() -> ExitCode {
         base = base.with_tree_barrier();
     }
 
-    let app_name = args.get("app").map(String::as_str).unwrap_or_else(|| usage());
+    let app_name = args
+        .get("app")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     if app_name == "latency" {
         let bytes: usize = get(&args, "bytes", 4096);
         let pts = cni_apps::experiments::latency_curve(base, &[bytes], 5);
@@ -186,9 +232,59 @@ fn main() -> ExitCode {
             }
         }
     };
+    let trace_path = args.get("trace").cloned();
+    let trace_format = args
+        .get("trace-format")
+        .map(String::as_str)
+        .unwrap_or("chrome");
+    if !matches!(trace_format, "chrome" | "jsonl") {
+        eprintln!("unknown trace format {trace_format:?} (chrome or jsonl)");
+        usage();
+    }
+    let metrics_us: u64 = get(&args, "metrics-interval-us", 100);
+
+    let multi = kinds.len() > 1;
     for (label, cfg) in kinds {
-        let report = run_app(cfg, app);
+        let (report, sink) = match &trace_path {
+            None => (run_app(cfg, app), TraceSink::Disabled),
+            Some(_) => {
+                // 2^20 events is plenty for the default workloads and keeps
+                // even runaway runs bounded to a few hundred MB of JSON.
+                let sink = TraceSink::ring(1 << 20);
+                let interval = (metrics_us > 0).then(|| SimTime::from_us(metrics_us));
+                let report = run_app_traced(cfg, app, sink.clone(), interval);
+                (report, sink)
+            }
+        };
         print_report(label, &cfg, &report, json);
+        if let Some(path) = &trace_path {
+            // A --compare run produces one trace per interface.
+            let path = if multi {
+                format!("{path}.{label}")
+            } else {
+                path.clone()
+            };
+            let records = sink.drain();
+            let file = match std::fs::File::create(&path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {path:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut w = BufWriter::new(file);
+            let res = match trace_format {
+                "chrome" => write_chrome(&mut w, &records),
+                _ => write_jsonl(&mut w, &records),
+            };
+            if let Err(e) = res {
+                eprintln!("cannot write {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if !json {
+                println!("trace written       : {path} ({} events)", records.len());
+            }
+        }
     }
     ExitCode::SUCCESS
 }

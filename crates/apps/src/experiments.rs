@@ -10,7 +10,7 @@
 //! (Figure 14) and the unrestricted-cell-size improvement (Table 5).
 
 use crate::{cholesky, jacobi, water};
-use cni::{Config, ProcTimes, RunReport, World};
+use cni::{Config, ProcTimes, RunReport, SimTime, TraceSink, World};
 use serde::{Deserialize, Serialize};
 
 /// Which application an experiment runs.
@@ -53,7 +53,23 @@ pub const SEED: u64 = 0x5EED;
 
 /// Run `app` on a cluster configured by `cfg`.
 pub fn run_app(cfg: Config, app: App) -> RunReport {
+    run_app_traced(cfg, app, TraceSink::Disabled, None)
+}
+
+/// Run `app` with `trace` attached to every instrumented component and,
+/// when `metrics_interval` is given, a periodic per-node metrics sampler.
+/// Drain the sink afterwards to export the recorded events.
+pub fn run_app_traced(
+    cfg: Config,
+    app: App,
+    trace: TraceSink,
+    metrics_interval: Option<SimTime>,
+) -> RunReport {
     let mut world = World::new(cfg);
+    world.set_trace(trace);
+    if let Some(iv) = metrics_interval {
+        world.set_metrics_interval(iv);
+    }
     let progs = match app {
         App::Jacobi { n, iters } => {
             let (_, progs) = jacobi::programs(
@@ -216,11 +232,19 @@ pub struct CacheSizePoint {
 }
 
 /// Hit ratio as a function of Message-Cache size (Figure 13).
-pub fn cache_size_sweep(base: Config, app: App, procs: usize, sizes: &[usize]) -> Vec<CacheSizePoint> {
+pub fn cache_size_sweep(
+    base: Config,
+    app: App,
+    procs: usize,
+    sizes: &[usize],
+) -> Vec<CacheSizePoint> {
     sizes
         .iter()
         .map(|&bytes| {
-            let r = run_app(base.cni().with_procs(procs).with_msg_cache_bytes(bytes), app);
+            let r = run_app(
+                base.cni().with_procs(procs).with_msg_cache_bytes(bytes),
+                app,
+            );
             CacheSizePoint {
                 cache_bytes: bytes,
                 hit_ratio_pct: r.hit_ratio() * 100.0,
@@ -233,7 +257,11 @@ pub fn cache_size_sweep(base: Config, app: App, procs: usize, sizes: &[usize]) -
 /// (Table 5), for the CNI configuration.
 pub fn jumbo_improvement_pct(base: Config, app: App, procs: usize) -> f64 {
     let with_cells = mean_wall(base.cni().with_procs(procs), app, 3);
-    let jumbo = mean_wall(base.cni().with_procs(procs).with_unrestricted_cells(), app, 3);
+    let jumbo = mean_wall(
+        base.cni().with_procs(procs).with_unrestricted_cells(),
+        app,
+        3,
+    );
     (with_cells - jumbo) / with_cells * 100.0
 }
 

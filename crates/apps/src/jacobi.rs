@@ -162,8 +162,11 @@ pub fn reference(n: usize, iters: usize) -> Vec<f64> {
     for _ in 0..iters {
         for i in 1..n - 1 {
             for j in 1..n - 1 {
-                b[i * n + j] =
-                    0.25 * (a[(i - 1) * n + j] + a[(i + 1) * n + j] + a[i * n + j - 1] + a[i * n + j + 1]);
+                b[i * n + j] = 0.25
+                    * (a[(i - 1) * n + j]
+                        + a[(i + 1) * n + j]
+                        + a[i * n + j - 1]
+                        + a[i * n + j + 1]);
             }
         }
         std::mem::swap(&mut a, &mut b);

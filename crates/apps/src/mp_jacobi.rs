@@ -94,8 +94,7 @@ pub fn programs(
                     if me + 1 < procs {
                         let mut bottom: Vec<u64> = Vec::with_capacity(n + 1);
                         bottom.push(it as u64);
-                        bottom
-                            .extend(a[rows * n..(rows + 1) * n].iter().map(|v| v.to_bits()));
+                        bottom.extend(a[rows * n..(rows + 1) * n].iter().map(|v| v.to_bits()));
                         ctx.send_data(
                             (me + 1) as u32,
                             bottom,
@@ -107,7 +106,11 @@ pub fn programs(
                     }
                     let mut got = 0;
                     let apply = |src: u32, data: &[u64], a: &mut Vec<f64>| {
-                        let ghost_base = if (src as usize) < me { 0 } else { (rows + 1) * n };
+                        let ghost_base = if (src as usize) < me {
+                            0
+                        } else {
+                            (rows + 1) * n
+                        };
                         for (c, w) in data[1..].iter().enumerate() {
                             a[ghost_base + c] = f64::from_bits(*w);
                         }

@@ -356,9 +356,7 @@ impl SymbolicFactor {
                 // be consecutive — would create false dependencies and
                 // serialise the whole factorisation.
                 Some((plo, phi))
-                    if hi - *plo <= max_size
-                        && *phi == lo
-                        && self.parent[*phi - 1] == lo =>
+                    if hi - *plo <= max_size && *phi == lo && self.parent[*phi - 1] == lo =>
                 {
                     *phi = hi;
                 }
@@ -445,7 +443,10 @@ mod tests {
                 assert!(sym.structs[j].contains(&i), "lost A({i},{j})");
             }
         }
-        assert!(sym.nnz() >= a.nnz_lower() + a.n, "no fill at all is suspicious");
+        assert!(
+            sym.nnz() >= a.nnz_lower() + a.n,
+            "no fill at all is suspicious"
+        );
     }
 
     #[test]
@@ -476,7 +477,9 @@ mod tests {
             }
         }
         let recon = |i: usize, j: usize| -> f64 {
-            (0..=j.min(i)).map(|k| dense[i * n + k] * dense[j * n + k]).sum()
+            (0..=j.min(i))
+                .map(|k| dense[i * n + k] * dense[j * n + k])
+                .sum()
         };
         for j in 0..n {
             let d = recon(j, j);
@@ -540,7 +543,11 @@ mod tests {
         }
         assert_eq!(prev, a.n);
         assert!(panels.len() <= sym.supernodes(16).len());
-        assert!(panels.len() <= a.n.div_ceil(4), "amalgamation too weak: {}", panels.len());
+        assert!(
+            panels.len() <= a.n.div_ceil(4),
+            "amalgamation too weak: {}",
+            panels.len()
+        );
     }
 
     #[test]

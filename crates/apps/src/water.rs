@@ -321,7 +321,9 @@ mod tests {
             verify: false,
         };
         let end = reference(p);
-        let start: Vec<f64> = (0..27 * 3).map(|k| initial_position(k / 3, k % 3, 27)).collect();
+        let start: Vec<f64> = (0..27 * 3)
+            .map(|k| initial_position(k / 3, k % 3, 27))
+            .collect();
         assert_ne!(start, end);
         assert!(end.iter().all(|v| v.is_finite()));
     }

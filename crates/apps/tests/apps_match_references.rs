@@ -39,7 +39,11 @@ fn collect_f64(world: &World, base: cni::VAddr, len: usize) -> Vec<f64> {
 
 #[test]
 fn jacobi_matches_reference_cni_and_standard() {
-    let params = jacobi::JacobiParams { n: 24, iters: 6, verify: true };
+    let params = jacobi::JacobiParams {
+        n: 24,
+        iters: 6,
+        verify: true,
+    };
     let expect = jacobi::reference(params.n, params.iters);
     for procs in [1usize, 2, 4] {
         for cfg in configs(procs) {
@@ -115,7 +119,11 @@ fn cholesky_matches_reference_cni_and_standard() {
 
 #[test]
 fn jacobi_parallel_runs_are_deterministic() {
-    let params = jacobi::JacobiParams { n: 16, iters: 4, verify: false };
+    let params = jacobi::JacobiParams {
+        n: 16,
+        iters: 4,
+        verify: false,
+    };
     let run_once = || {
         let mut world = World::new(Config::paper_default().with_procs(4));
         let (_, progs) = jacobi::programs(&mut world, params);
@@ -134,7 +142,14 @@ fn cni_outperforms_standard_on_each_application() {
             NicKind::Standard => Config::paper_default().with_procs(4).standard(),
         };
         let mut world = World::new(cfg);
-        let (_, progs) = jacobi::programs(&mut world, jacobi::JacobiParams { n: 32, iters: 5, verify: false });
+        let (_, progs) = jacobi::programs(
+            &mut world,
+            jacobi::JacobiParams {
+                n: 32,
+                iters: 5,
+                verify: false,
+            },
+        );
         world.run(progs).wall
     };
     assert!(jacobi_wall(NicKind::Cni) < jacobi_wall(NicKind::Standard));
@@ -163,8 +178,12 @@ fn cni_outperforms_standard_on_each_application() {
             NicKind::Standard => Config::paper_default().with_procs(4).standard(),
         };
         let mut world = World::new(cfg);
-        let (_, _, progs) =
-            cholesky::programs(&mut world, cholesky::CholeskyMatrix::Small { n: 96, band: 6 }, 3, false);
+        let (_, _, progs) = cholesky::programs(
+            &mut world,
+            cholesky::CholeskyMatrix::Small { n: 96, band: 6 },
+            3,
+            false,
+        );
         world.run(progs).wall
     };
     assert!(chol_wall(NicKind::Cni) < chol_wall(NicKind::Standard));

@@ -115,7 +115,10 @@ impl Fabric {
         pdu_len: usize,
         cell_gap: SimTime,
     ) -> PduTiming {
-        assert!(src < self.cfg.ports && dst < self.cfg.ports, "port out of range");
+        assert!(
+            src < self.cfg.ports && dst < self.cfg.ports,
+            "port out of range"
+        );
         assert_ne!(src, dst, "PDU to self does not traverse the fabric");
         let cells = self.segmenter.cell_count(pdu_len);
         let wire_bytes = self.segmenter.wire_bytes(pdu_len);
@@ -128,9 +131,7 @@ impl Fabric {
         // with unlimited cell size" — it removes the fragmentation tax, not
         // interleaving, so a jumbo cell is not allowed to monopolise the
         // switch for its whole (multi-microsecond) length.
-        let std_cell = self
-            .ingress[src]
-            .serialization(crate::cell::ATM_CELL_BYTES);
+        let std_cell = self.ingress[src].serialization(crate::cell::ATM_CELL_BYTES);
         let occupancy = ser.min(std_cell);
         let prop = self.cfg.prop_delay;
         let mut first = SimTime::MAX;

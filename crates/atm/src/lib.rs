@@ -28,7 +28,7 @@ pub mod link;
 pub mod pipe;
 pub mod switch;
 
-pub use aal5::{ReassemblyError, Reassembler, Segmenter};
+pub use aal5::{Reassembler, ReassemblyError, Segmenter};
 pub use cell::{Cell, CellHeader, ATM_CELL_BYTES, ATM_HEADER_BYTES, ATM_PAYLOAD_BYTES};
 pub use fabric::{AtmConfig, Fabric, PduTiming};
 pub use link::Link;

@@ -71,7 +71,10 @@ mod tests {
         let link = Link::new(622, SimTime::ZERO);
         // One 53-byte cell: 424 bits / 622 Mb/s = 681.67 ns.
         let t = link.serialization(53);
-        assert!(t >= SimTime::from_ns(681) && t <= SimTime::from_ns(682), "{t:?}");
+        assert!(
+            t >= SimTime::from_ns(681) && t <= SimTime::from_ns(682),
+            "{t:?}"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! check), never as silently wrong data. The property tests in this module
 //! drive that contract with arbitrary payloads and fault patterns.
 
-use crate::aal5::{ReassemblyError, Reassembler, Segmenter};
+use crate::aal5::{Reassembler, ReassemblyError, Segmenter};
 use bytes::Bytes;
 use cni_sim::SplitMix64;
 

@@ -29,7 +29,10 @@ impl BanyanSwitch {
     /// A switch with `ports` ports (power of two) and a total fall-through
     /// latency of `switch_latency`.
     pub fn new(ports: usize, switch_latency: SimTime) -> Self {
-        assert!(ports.is_power_of_two() && ports >= 2, "ports must be a power of two >= 2");
+        assert!(
+            ports.is_power_of_two() && ports >= 2,
+            "ports must be a power of two >= 2"
+        );
         let stages = ports.trailing_zeros() as usize;
         BanyanSwitch {
             ports,

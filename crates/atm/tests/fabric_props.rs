@@ -7,10 +7,7 @@ use proptest::prelude::*;
 
 fn arb_traffic() -> impl Strategy<Value = Vec<(u64, u8, u8, u16)>> {
     // (start offset ns, src, dst, pdu len)
-    proptest::collection::vec(
-        (0u64..100_000, 0u8..8, 0u8..8, 1u16..4096),
-        1..60,
-    )
+    proptest::collection::vec((0u64..100_000, 0u8..8, 0u8..8, 1u16..4096), 1..60)
 }
 
 proptest! {

@@ -21,7 +21,9 @@ fn tree_barrier_study() {
             .wall
             .as_ms_f64();
         let tree = run_app(
-            Config::paper_default().with_procs(procs).with_tree_barrier(),
+            Config::paper_default()
+                .with_procs(procs)
+                .with_tree_barrier(),
             app,
         )
         .wall

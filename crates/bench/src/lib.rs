@@ -82,7 +82,10 @@ fn speedup_figure(id: &str, title: &str, app: App, procs: &[usize]) {
 fn page_size_figure(id: &str, title: &str, app: App, sizes: &[usize]) {
     println!("== {id}: {title} ==");
     let pts = experiments::page_size_sweep(Config::paper_default(), app, 8, sizes);
-    println!("{:>12} {:>12} {:>12}", "page(bytes)", "CNI-speedup", "Std-speedup");
+    println!(
+        "{:>12} {:>12} {:>12}",
+        "page(bytes)", "CNI-speedup", "Std-speedup"
+    );
     for p in &pts {
         println!(
             "{:>12} {:>12.2} {:>12.2}",
@@ -392,8 +395,7 @@ pub fn experiments() -> Vec<Experiment> {
                 println!("{:>24} {:>16}", "application", "improvement(%)");
                 let mut rows = Vec::new();
                 for (name, app) in paper_apps() {
-                    let pct =
-                        experiments::jumbo_improvement_pct(Config::paper_default(), app, 8);
+                    let pct = experiments::jumbo_improvement_pct(Config::paper_default(), app, 8);
                     println!("{name:>24} {pct:>16.2}");
                     rows.push((name, pct));
                 }

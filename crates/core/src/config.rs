@@ -96,14 +96,20 @@ impl Config {
 
     /// Set the processor count.
     pub fn with_procs(mut self, procs: usize) -> Self {
-        assert!(procs >= 1 && procs <= self.atm.ports, "1..=ports processors");
+        assert!(
+            procs >= 1 && procs <= self.atm.ports,
+            "1..=ports processors"
+        );
         self.procs = procs;
         self
     }
 
     /// Set the shared page size (also the Message Cache buffer size).
     pub fn with_page_bytes(mut self, bytes: usize) -> Self {
-        assert!(bytes >= 512 && bytes.is_multiple_of(8), "page size >= 512, word aligned");
+        assert!(
+            bytes >= 512 && bytes.is_multiple_of(8),
+            "page size >= 512, word aligned"
+        );
         self.page_bytes = bytes;
         self.nic.page_bytes = bytes;
         self
@@ -148,7 +154,10 @@ impl Config {
         row("Cache Organization", "Direct-mapped".into());
         row("Cache Policy", "Write-back".into());
         row("Memory Latency", "20 cycles".into());
-        row("Bus Acquisition Time", format!("{} cycles", n.bus_acquire_cycles));
+        row(
+            "Bus Acquisition Time",
+            format!("{} cycles", n.bus_acquire_cycles),
+        );
         row(
             "Bus Transfer rate",
             format!("{} cycles per word", n.bus_cycles_per_word),

@@ -9,8 +9,8 @@
 //! cost is paid per simulated *communication event*, not per arithmetic
 //! operation (the execution-driven trade Proteus made).
 
-use cni_dsm::{access, LockId, PageHandle, PageId, VAddr};
 use cni_dsm::NodeSpace;
+use cni_dsm::{access, LockId, PageHandle, PageId, VAddr};
 use cni_sim::Port;
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -35,8 +35,11 @@ pub mod world;
 
 pub use config::{Config, ProtoCosts};
 pub use ctx::{ProcCtx, Reply};
-pub use report::{speedup, ProcTimes, RunReport};
+pub use report::{kind_name, speedup, KindLatency, ProcTimes, RunReport, REPORT_VERSION};
 pub use world::{Program, World};
+
+// Re-export the tracing surface so embedders need only this crate.
+pub use cni_trace::{TraceEvent, TraceRecord, TraceSink, TraceSummary};
 
 // Re-export the identifiers applications use.
 pub use cni_dsm::{LockId, PageId, ProcId, VAddr};

@@ -1,10 +1,16 @@
 //! Run reports: the numbers the paper's tables and figures are made of.
 
 use cni_dsm::DsmStats;
-use cni_nic::stats::NicStats;
 use cni_nic::msgcache::MsgCacheStats;
+use cni_nic::stats::NicStats;
 use cni_sim::{Clock, SimTime};
+use cni_trace::TraceSummary;
 use serde::{Deserialize, Serialize};
+
+/// Schema version of [`RunReport`]'s serialized form. Bumped whenever a
+/// field is added, removed or changes meaning, so archived `--json` output
+/// is self-describing.
+pub const REPORT_VERSION: u32 = 2;
 
 /// Per-processor time breakdown, in virtual time.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -21,9 +27,45 @@ pub struct ProcTimes {
     pub total: SimTime,
 }
 
+/// Latency distribution of one wire message kind over a run: from the
+/// moment the sender's NIC takes the message to the last cell's arrival at
+/// the receiving board.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct KindLatency {
+    /// The wire kind byte (`0xD0..=0xD8` protocol, `0xA0` application).
+    pub kind: u8,
+    /// Messages of this kind transported.
+    pub count: u64,
+    /// Mean one-way latency in microseconds.
+    pub mean_us: f64,
+    /// Median (50th percentile) one-way latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile one-way latency in microseconds.
+    pub p99_us: f64,
+}
+
+/// Human-readable name of a wire kind byte (see [`KindLatency::kind`]).
+pub fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        0xD0 => "acquire-req",
+        0xD1 => "acquire-fwd",
+        0xD2 => "acquire-grant",
+        0xD3 => "barrier-arrive",
+        0xD4 => "barrier-release",
+        0xD5 => "page-req",
+        0xD6 => "page-resp",
+        0xD7 => "diff-req",
+        0xD8 => "diff-resp",
+        0xA0 => "app",
+        _ => "unknown",
+    }
+}
+
 /// Everything measured in one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunReport {
+    /// Schema version of this report ([`REPORT_VERSION`]).
+    pub version: u32,
     /// Completion time of the whole run (max over processors).
     pub wall: SimTime,
     /// Per-processor breakdowns.
@@ -40,6 +82,11 @@ pub struct RunReport {
     /// barrier-arrive, barrier-release, page-req, page-resp, diff-req,
     /// diff-resp].
     pub msg_kinds: [u64; 9],
+    /// One-way wire latency distribution per message kind (kinds that
+    /// never appeared are omitted).
+    pub latency: Vec<KindLatency>,
+    /// Trace-buffer accounting when tracing was enabled, `None` otherwise.
+    pub trace: Option<TraceSummary>,
 }
 
 impl RunReport {
@@ -112,6 +159,7 @@ mod tests {
     fn report(walls: &[(u64, u64)]) -> RunReport {
         // (hits, lookups) per node
         RunReport {
+            version: REPORT_VERSION,
             wall: SimTime::from_us(10),
             procs: vec![
                 ProcTimes {
@@ -134,6 +182,8 @@ mod tests {
             dsm: vec![DsmStats::default(); walls.len()],
             messages: 0,
             msg_kinds: [0; 9],
+            latency: Vec::new(),
+            trace: None,
         }
     }
 

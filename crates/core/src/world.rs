@@ -27,7 +27,7 @@
 
 use crate::config::Config;
 use crate::ctx::{AccessCosts, Op, ProcCtx, Reply, YieldMsg};
-use crate::report::{ProcTimes, RunReport};
+use crate::report::{KindLatency, ProcTimes, RunReport, REPORT_VERSION};
 use cni_atm::Fabric;
 use cni_dsm::{
     DsmConfig, DsmNode, HandleResult, Msg, NodeSpace, PageId, Payload, ProcId, VAddr, Work,
@@ -35,7 +35,9 @@ use cni_dsm::{
 use cni_nic::device::TxOrigin;
 use cni_nic::{Nic, NicKind, RxDisposition, TxRequest};
 use cni_pathfinder::{FieldTest, Pattern};
+use cni_sim::stats::Histogram;
 use cni_sim::{CoThread, EventQueue, SimTime, SplitMix64, Yield};
+use cni_trace::{MetricsSample, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -77,6 +79,9 @@ enum Ev {
     /// Wake a blocked processor; `overhead` is host time already spent on
     /// its behalf during the wait (delivery, protocol, poll/interrupt).
     Wake { p: usize, overhead: SimTime },
+    /// Periodic metrics sample (only scheduled when tracing is enabled and
+    /// a sampling interval is configured).
+    MetricsTick,
 }
 
 struct Cpu {
@@ -143,6 +148,17 @@ pub struct World {
     /// percent of seeded jitter restores realistic desynchronisation while
     /// keeping runs bit-reproducible.
     jitter: SplitMix64,
+    /// The trace sink cloned into every instrumented component
+    /// (disabled by default: figure runs pay a single enum branch).
+    trace: TraceSink,
+    /// Virtual-time spacing of periodic [`TraceEvent::Metrics`] samples.
+    metrics_interval: Option<SimTime>,
+    /// Previous cumulative counter snapshot per node, for sample deltas.
+    metrics_prev: Vec<MetricsSample>,
+    /// One-way wire latency per message kind, in nanoseconds:
+    /// indices 0..=8 are the protocol kinds `0xD0..=0xD8`, index 9 is the
+    /// application kind `0xA0`.
+    latency: Vec<Histogram>,
 }
 
 /// The AIH handler id the DSM protocol is installed under.
@@ -196,8 +212,45 @@ impl World {
             msg_kinds: [0; 9],
             wait_stats: [(SimTime::ZERO, 0); 4],
             jitter: SplitMix64::new(cfg.seed ^ 0xC31_0C31),
+            trace: TraceSink::Disabled,
+            metrics_interval: None,
+            metrics_prev: vec![MetricsSample::default(); cfg.procs],
+            latency: vec![Histogram::new(); 10],
             cfg,
         }
+    }
+
+    /// Attach a trace sink to every instrumented component: the event
+    /// queue, each NIC (device, Message Cache, ADC rings, classifier) and
+    /// each DSM node. Co-threads pick the sink up when [`World::run`]
+    /// spawns them. Call before `run`.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.q.set_trace(sink.clone());
+        for (p, nic) in self.nics.iter_mut().enumerate() {
+            nic.set_trace(sink.clone(), p as u32);
+        }
+        for d in &mut self.dsm {
+            d.set_trace(sink.clone());
+        }
+        self.trace = sink;
+    }
+
+    /// The trace sink (drain it after [`World::run`] to export events).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Emit a [`TraceEvent::Metrics`] sample per node every `interval` of
+    /// virtual time (only takes effect when a trace sink is attached).
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn set_metrics_interval(&mut self, interval: SimTime) {
+        assert!(
+            interval > SimTime::ZERO,
+            "metrics interval must be positive"
+        );
+        self.metrics_interval = Some(interval);
     }
 
     /// The configuration.
@@ -273,14 +326,19 @@ impl World {
         for (p, prog) in programs.into_iter().enumerate() {
             let space = self.spaces[p].clone();
             let me = p as u32;
-            let thread = CoThread::spawn(&format!("cpu{p}"), move |port| {
-                let mut ctx =
-                    ProcCtx::new(me, procs, page_bytes, line_bytes, costs, space, port);
+            let mut thread = CoThread::spawn(&format!("cpu{p}"), move |port| {
+                let mut ctx = ProcCtx::new(me, procs, page_bytes, line_bytes, costs, space, port);
                 prog(&mut ctx);
                 ctx.finish();
             });
+            thread.set_trace(self.trace.clone(), me);
             self.cpus[p].thread = Some(thread);
             self.q.schedule_at(SimTime::ZERO, Ev::Resume(p));
+        }
+        if self.trace.is_enabled() {
+            if let Some(iv) = self.metrics_interval {
+                self.q.schedule_at(SimTime::ZERO + iv, Ev::MetricsTick);
+            }
         }
 
         while let Some((t, ev)) = self.q.pop() {
@@ -307,6 +365,7 @@ impl World {
                     data,
                 } => self.arrive_app(t, dst, src, len, page, cacheable, data),
                 Ev::Wake { p, overhead } => self.wake(t, p, overhead),
+                Ev::MetricsTick => self.metrics_tick(t),
             }
             if self.live == 0 && self.q.is_empty() {
                 break;
@@ -320,13 +379,65 @@ impl World {
         self.report()
     }
 
+    /// Cumulative counters for node `p`, in [`MetricsSample`] shape
+    /// (`interval_ps` left zero; the tick computes deltas).
+    fn cumulative_sample(&self, p: usize) -> MetricsSample {
+        let n = self.nics[p].stats();
+        let d = self.dsm[p].stats();
+        MetricsSample {
+            interval_ps: 0,
+            tx_messages: n.tx_messages,
+            rx_messages: n.rx_messages,
+            dma_bytes_to_board: n.dma_bytes_to_board,
+            dma_bytes_to_host: n.dma_bytes_to_host,
+            tx_cache_hits: n.tx_cache_hits,
+            tx_page_lookups: n.tx_page_lookups,
+            interrupts: n.interrupts,
+            polls: n.polls,
+            aih_dispatches: n.aih_dispatches,
+            page_fetches: d.page_fetches,
+            diff_fetches: d.diff_fetches,
+            invalidations: d.invalidations,
+        }
+    }
+
+    /// Emit one [`TraceEvent::Metrics`] delta per node and reschedule the
+    /// next tick while any program is still running.
+    fn metrics_tick(&mut self, t: SimTime) {
+        let interval = self.metrics_interval.expect("tick without interval");
+        for p in 0..self.cfg.procs {
+            let cur = self.cumulative_sample(p);
+            let delta = cur.delta_from(&self.metrics_prev[p], interval.as_ps());
+            self.metrics_prev[p] = cur;
+            self.trace
+                .emit_at(t.as_ps(), p as u32, TraceEvent::Metrics(delta));
+        }
+        if self.live > 0 {
+            self.q.schedule_at(t + interval, Ev::MetricsTick);
+        }
+    }
+
     fn report(&self) -> RunReport {
         let wall = self
             .cpus
             .iter()
             .map(|c| c.clock)
             .fold(SimTime::ZERO, SimTime::max);
+        let latency = self
+            .latency
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(i, h)| KindLatency {
+                kind: if i < 9 { 0xD0 + i as u8 } else { 0xA0 },
+                count: h.count(),
+                mean_us: h.mean() / 1e3,
+                p50_us: h.percentile(50.0) / 1e3,
+                p99_us: h.percentile(99.0) / 1e3,
+            })
+            .collect();
         RunReport {
+            version: REPORT_VERSION,
             wall,
             procs: self
                 .cpus
@@ -343,6 +454,8 @@ impl World {
             dsm: self.dsm.iter().map(|d| d.stats()).collect(),
             messages: self.proto_messages,
             msg_kinds: self.msg_kinds,
+            latency,
+            trace: self.trace.summary(),
         }
     }
 
@@ -502,10 +615,13 @@ impl World {
                     self.charge_ov(p, self.cfg.nic.poll_cycles);
                     let at = self.cpus[p].clock;
                     self.cpus[p].pending_reply = Some(Reply::Received { src, len, data });
-                    self.q.schedule_at(at, Ev::Wake {
-                        p,
-                        overhead: SimTime::ZERO,
-                    });
+                    self.q.schedule_at(
+                        at,
+                        Ev::Wake {
+                            p,
+                            overhead: SimTime::ZERO,
+                        },
+                    );
                     // Mark as "blocked" for zero time so Wake's accounting
                     // balances.
                     self.cpus[p].blocked_at = Some(at);
@@ -607,6 +723,17 @@ impl World {
             .fabric
             .send_pdu(tx.wire_start, src, dst, bytes, tx.cell_gap);
         let kind = msg.payload.kind();
+        let lat = timing.last_cell_arrival - now;
+        self.latency[(kind - 0xD0) as usize].record(lat.as_ps() / 1000);
+        self.trace.emit_at(
+            timing.last_cell_arrival.as_ps(),
+            src as u32,
+            TraceEvent::ProtoTx {
+                kind,
+                bytes: bytes as u32,
+                dur_ps: lat.as_ps(),
+            },
+        );
         self.q
             .schedule_at(timing.last_cell_arrival, Ev::Proto { msg });
         self.proto_messages += 1;
@@ -642,6 +769,17 @@ impl World {
         let timing = self
             .fabric
             .send_pdu(tx.wire_start, src, dst, len as usize, tx.cell_gap);
+        let lat = timing.last_cell_arrival - t;
+        self.latency[9].record(lat.as_ps() / 1000);
+        self.trace.emit_at(
+            timing.last_cell_arrival.as_ps(),
+            src as u32,
+            TraceEvent::ProtoTx {
+                kind: 0xA0,
+                bytes: len,
+                dur_ps: lat.as_ps(),
+            },
+        );
         self.q.schedule_at(
             timing.last_cell_arrival,
             Ev::App {
@@ -693,7 +831,13 @@ impl World {
                     let cacheable = cacheable && migratory;
                     let d = self.nics[dst].deliver_to_host(t_done, len, page, cacheable, true);
                     let ov = self.host(d.host_cycles);
-                    self.q.schedule_at(d.at + ov, Ev::Wake { p: dst, overhead: ov });
+                    self.q.schedule_at(
+                        d.at + ov,
+                        Ev::Wake {
+                            p: dst,
+                            overhead: ov,
+                        },
+                    );
                 }
             }
             (NicKind::Standard, RxDisposition::HostBound) => {
@@ -710,8 +854,8 @@ impl World {
                 // interrupt cost is pipeline/cache disruption charged to
                 // whatever was running.
                 let n = &self.cfg.nic;
-                let occupancy = self
-                    .jittered(n.interrupt_occupancy_cycles + n.kernel_recv_cycles + work);
+                let occupancy =
+                    self.jittered(n.interrupt_occupancy_cycles + n.kernel_recv_cycles + work);
                 let full = d.host_cycles + work;
                 let start = d.at.max(self.cpus[dst].async_busy);
                 let mut t_occ = start + self.host(occupancy);
@@ -723,10 +867,13 @@ impl World {
                 self.cpus[dst].async_busy = t_occ;
                 if res.wakeup.is_some() {
                     let wake_t = t_occ.max(start + self.host(full));
-                    self.q.schedule_at(wake_t, Ev::Wake {
-                        p: dst,
-                        overhead: wake_t - start,
-                    });
+                    self.q.schedule_at(
+                        wake_t,
+                        Ev::Wake {
+                            p: dst,
+                            overhead: wake_t - start,
+                        },
+                    );
                 } else {
                     // Stolen from whatever the host was doing.
                     let stolen = self.host(full).max(t_occ - start);
@@ -752,10 +899,13 @@ impl World {
                 self.cpus[dst].async_busy = t_occ;
                 if res.wakeup.is_some() {
                     let wake_t = t_occ.max(start + self.host(full));
-                    self.q.schedule_at(wake_t, Ev::Wake {
-                        p: dst,
-                        overhead: wake_t - start,
-                    });
+                    self.q.schedule_at(
+                        wake_t,
+                        Ev::Wake {
+                            p: dst,
+                            overhead: wake_t - start,
+                        },
+                    );
                 } else {
                     let stolen = self.host(full).max(t_occ - start);
                     self.cpus[dst].stolen += stolen;
@@ -795,10 +945,13 @@ impl World {
                 len: l,
                 data,
             });
-            self.q.schedule_at(d.at + ov, Ev::Wake {
-                p: dst,
-                overhead: ov,
-            });
+            self.q.schedule_at(
+                d.at + ov,
+                Ev::Wake {
+                    p: dst,
+                    overhead: ov,
+                },
+            );
         } else {
             self.cpus[dst].stolen += ov;
         }

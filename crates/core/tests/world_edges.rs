@@ -75,10 +75,7 @@ fn app_panics_propagate_with_context() {
         ]);
     }));
     let err = result.expect_err("panic must propagate");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(
         msg.contains("application exploded"),
         "panic context lost: {msg}"
@@ -129,11 +126,13 @@ fn message_cache_size_knob_reaches_the_device() {
 
 #[test]
 fn ablation_flags_reach_the_device() {
-    let cfg = Config::paper_default().with_procs(2).with_cni_features(CniFeatures {
-        msg_cache: false,
-        aih: true,
-        polling: true,
-    });
+    let cfg = Config::paper_default()
+        .with_procs(2)
+        .with_cni_features(CniFeatures {
+            msg_cache: false,
+            aih: true,
+            polling: true,
+        });
     let mut w = World::new(cfg);
     let base = w.alloc(2048);
     let r = w.run(vec![

@@ -97,7 +97,10 @@ fn cni_beats_standard_on_page_ping_pong() {
 
 #[test]
 fn cni_beats_standard_on_neighbour_exchange() {
-    let cni = run(Config::paper_default().with_procs(4), neighbour_exchange(4, 4));
+    let cni = run(
+        Config::paper_default().with_procs(4),
+        neighbour_exchange(4, 4),
+    );
     let std_ = run(
         Config::paper_default().with_procs(4).standard(),
         neighbour_exchange(4, 4),
@@ -119,7 +122,10 @@ fn message_cache_hits_on_repeated_page_sends() {
     // The neighbour pages are re-sent every iteration; after the cold
     // start the writer's board copy stays consistent by snooping, so the
     // hit ratio must be substantial.
-    let r = run(Config::paper_default().with_procs(4), neighbour_exchange(4, 8));
+    let r = run(
+        Config::paper_default().with_procs(4),
+        neighbour_exchange(4, 8),
+    );
     assert!(
         r.hit_ratio() > 0.5,
         "expected high network-cache hit ratio, got {}",
@@ -135,7 +141,10 @@ fn message_cache_hits_on_repeated_page_sends() {
 
 #[test]
 fn standard_takes_many_interrupts_cni_mostly_polls() {
-    let cni = run(Config::paper_default().with_procs(4), neighbour_exchange(4, 4));
+    let cni = run(
+        Config::paper_default().with_procs(4),
+        neighbour_exchange(4, 4),
+    );
     let std_ = run(
         Config::paper_default().with_procs(4).standard(),
         neighbour_exchange(4, 4),
@@ -170,7 +179,9 @@ fn cni_moves_fewer_dma_bytes_to_board() {
 fn unrestricted_cells_speed_up_page_traffic() {
     let std_cells = run(Config::paper_default().with_procs(2), ping_pong(10));
     let jumbo = run(
-        Config::paper_default().with_procs(2).with_unrestricted_cells(),
+        Config::paper_default()
+            .with_procs(2)
+            .with_unrestricted_cells(),
         ping_pong(10),
     );
     assert!(
@@ -245,7 +256,10 @@ fn message_passing_ping_pong_roundtrip() {
 
 #[test]
 fn breakdown_buckets_sum_to_total() {
-    let r = run(Config::paper_default().with_procs(4), neighbour_exchange(4, 4));
+    let r = run(
+        Config::paper_default().with_procs(4),
+        neighbour_exchange(4, 4),
+    );
     for (i, p) in r.procs.iter().enumerate() {
         let sum = p.compute + p.overhead + p.delay;
         let diff = sum.as_ps().abs_diff(p.total.as_ps());
@@ -286,9 +300,8 @@ fn tree_barrier_is_a_drop_in_replacement() {
         neighbour_exchange(8, 4),
     );
     // Identical logical work.
-    let faults = |r: &RunReport| -> u64 {
-        r.dsm.iter().map(|d| d.read_faults + d.write_faults).sum()
-    };
+    let faults =
+        |r: &RunReport| -> u64 { r.dsm.iter().map(|d| d.read_faults + d.write_faults).sum() };
     assert_eq!(faults(&central), faults(&tree));
     // Both finish; neither is pathologically slower.
     let ratio = tree.wall.as_ps() as f64 / central.wall.as_ps() as f64;

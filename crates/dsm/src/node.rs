@@ -23,6 +23,7 @@ use crate::diff::Diff;
 use crate::protocol::{Msg, Payload};
 use crate::space::{access, NodeSpace};
 use crate::types::{LockId, PageId, ProcId, VClock, WriteNotice};
+use cni_trace::{TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -201,6 +202,7 @@ pub struct DsmNode {
     barrier_shipped: u32,
     blocked: Option<Blocked>,
     stats: DsmStats,
+    trace: TraceSink,
 }
 
 impl DsmNode {
@@ -233,7 +235,14 @@ impl DsmNode {
             barrier_shipped: 0,
             blocked: None,
             stats: DsmStats::default(),
+            trace: TraceSink::Disabled,
         }
+    }
+
+    /// Attach a trace sink; protocol entry points record `Dsm*` events
+    /// tagged with this processor's id as the node.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// This processor's id.
@@ -356,11 +365,15 @@ impl DsmNode {
             let writer = ProcId(w as u32);
             let floor = vc.get(writer);
             let start = entries.partition_point(|&(i, _)| i <= floor);
-            out.extend(entries[start..].iter().map(|&(interval, page)| WriteNotice {
-                writer,
-                interval,
-                page,
-            }));
+            out.extend(
+                entries[start..]
+                    .iter()
+                    .map(|&(interval, page)| WriteNotice {
+                        writer,
+                        interval,
+                        page,
+                    }),
+            );
         }
         out
     }
@@ -383,7 +396,8 @@ impl DsmNode {
     /// invalidate uncovered local copies (taking early diffs for pages the
     /// current interval has dirtied — concurrent write sharing).
     fn integrate_notices(&mut self, notices: &[WriteNotice], work: &mut Work) {
-        let mut sorted: Vec<&WriteNotice> = notices.iter().filter(|n| n.writer != self.me).collect();
+        let mut sorted: Vec<&WriteNotice> =
+            notices.iter().filter(|n| n.writer != self.me).collect();
         sorted.sort_unstable_by_key(|n| (n.writer, n.interval));
         for n in sorted {
             work.notices += 1;
@@ -458,12 +472,16 @@ impl DsmNode {
     /// The application read-faulted on `page`.
     pub fn on_read_fault(&mut self, page: PageId) -> HandleResult {
         self.stats.read_faults += 1;
+        self.trace
+            .emit(self.me.0, TraceEvent::DsmReadFault { page: page.0 });
         self.start_fault(page, false)
     }
 
     /// The application write-faulted on `page`.
     pub fn on_write_fault(&mut self, page: PageId) -> HandleResult {
         self.stats.write_faults += 1;
+        self.trace
+            .emit(self.me.0, TraceEvent::DsmWriteFault { page: page.0 });
         let h = self.space.page(page);
         if h.flags.state() == access::READ {
             // Twin-only fault: local.
@@ -572,7 +590,12 @@ impl DsmNode {
         res
     }
 
-    fn complete_fault(&mut self, page: PageId, want_write: bool, work: &mut Work) -> Option<Wakeup> {
+    fn complete_fault(
+        &mut self,
+        page: PageId,
+        want_write: bool,
+        work: &mut Work,
+    ) -> Option<Wakeup> {
         // Re-apply uncommitted local writes over freshly fetched data.
         if let Some(d) = self.pending_self.get(&page) {
             let h = self.space.page(page);
@@ -607,6 +630,13 @@ impl DsmNode {
         if hs.held && !hs.in_use {
             hs.in_use = true;
             self.stats.lock_local += 1;
+            self.trace.emit(
+                self.me.0,
+                TraceEvent::DsmAcquire {
+                    lock: lock.0,
+                    local: true,
+                },
+            );
             res.wakeup = Some(Wakeup::AcquireDone(lock));
             return res;
         }
@@ -617,6 +647,13 @@ impl DsmNode {
         );
         assert!(self.blocked.is_none(), "proc {:?} double-blocked", self.me);
         self.stats.lock_remote += 1;
+        self.trace.emit(
+            self.me.0,
+            TraceEvent::DsmAcquire {
+                lock: lock.0,
+                local: false,
+            },
+        );
         self.blocked = Some(Blocked::Acquire(lock));
         let vc = self.vc.clone();
         if self.lock_manager(lock) == self.me {
@@ -636,7 +673,13 @@ impl DsmNode {
     }
 
     /// Manager-side request routing.
-    fn manage_acquire(&mut self, lock: LockId, requester: ProcId, vc: VClock, res: &mut HandleResult) {
+    fn manage_acquire(
+        &mut self,
+        lock: LockId,
+        requester: ProcId,
+        vc: VClock,
+        res: &mut HandleResult,
+    ) {
         debug_assert_eq!(self.lock_manager(lock), self.me);
         let target = *self.probable.get(&lock).unwrap_or(&self.me);
         self.probable.insert(lock, requester);
@@ -655,7 +698,13 @@ impl DsmNode {
         }
     }
 
-    fn local_enqueue_or_grant(&mut self, lock: LockId, requester: ProcId, vc: VClock, res: &mut HandleResult) {
+    fn local_enqueue_or_grant(
+        &mut self,
+        lock: LockId,
+        requester: ProcId,
+        vc: VClock,
+        res: &mut HandleResult,
+    ) {
         let hs = self.holder_entry(lock);
         if hs.held && !hs.in_use {
             debug_assert_ne!(requester, self.me, "self-grant outside acquire path");
@@ -688,8 +737,13 @@ impl DsmNode {
     pub fn on_release(&mut self, lock: LockId) -> HandleResult {
         let mut res = HandleResult::default();
         self.stats.releases += 1;
+        self.trace
+            .emit(self.me.0, TraceEvent::DsmRelease { lock: lock.0 });
         self.close_interval(&mut res);
-        let hs = self.holders.get_mut(&lock).expect("release of unknown lock");
+        let hs = self
+            .holders
+            .get_mut(&lock)
+            .expect("release of unknown lock");
         assert!(hs.held && hs.in_use, "release of unheld lock {lock:?}");
         hs.in_use = false;
         if let Some((next, next_vc)) = hs.pending.pop_front() {
@@ -707,6 +761,7 @@ impl DsmNode {
         self.stats.barriers += 1;
         self.close_interval(&mut res);
         let epoch = self.barrier_epoch;
+        self.trace.emit(self.me.0, TraceEvent::DsmBarrier { epoch });
         let notices = self.own_notices_since(self.barrier_shipped);
         self.barrier_shipped = self.vc.get(self.me);
         assert!(self.blocked.is_none(), "proc {:?} double-blocked", self.me);
@@ -819,8 +874,7 @@ impl DsmNode {
             }
         }
         let mut work = Work::default();
-        let wakeup =
-            self.apply_barrier_release(epoch, &combined_vc, &combined_notices, &mut work);
+        let wakeup = self.apply_barrier_release(epoch, &combined_vc, &combined_notices, &mut work);
         res.work.add(&work);
         res.wakeup = wakeup;
     }
@@ -874,9 +928,21 @@ impl DsmNode {
     /// Handle an incoming protocol message.
     pub fn on_message(&mut self, msg: Msg) -> HandleResult {
         if trace_enabled() {
-            eprintln!("[{:?}] <- {:?} : {}", self.me, msg.src, trace_payload(&msg.payload));
+            eprintln!(
+                "[{:?}] <- {:?} : {}",
+                self.me,
+                msg.src,
+                trace_payload(&msg.payload)
+            );
         }
         debug_assert_eq!(msg.dst, self.me, "misrouted message");
+        self.trace.emit(
+            self.me.0,
+            TraceEvent::DsmMsg {
+                kind: msg.payload.kind(),
+                from: msg.src.0,
+            },
+        );
         let mut res = HandleResult::default();
         let mut work = Work::default();
         match msg.payload {
@@ -912,10 +978,7 @@ impl DsmNode {
                         self.blocked = None;
                         res.wakeup = Some(Wakeup::AcquireDone(lock));
                     }
-                    ref b => panic!(
-                        "grant for {lock:?} while {:?} blocked on {b:?}",
-                        self.me
-                    ),
+                    ref b => panic!("grant for {lock:?} while {:?} blocked on {b:?}", self.me),
                 }
             }
             Payload::BarrierArrive {
@@ -1101,9 +1164,7 @@ impl DsmNode {
         committed: Vec<(ProcId, u32)>,
         work: &mut Work,
     ) -> Option<Wakeup> {
-        buffered.sort_by_key(|(w, i, vc, _)| {
-            (vc.0.iter().map(|&c| c as u64).sum::<u64>(), *w, *i)
-        });
+        buffered.sort_by_key(|(w, i, vc, _)| (vc.0.iter().map(|&c| c as u64).sum::<u64>(), *w, *i));
         let h = self.space.page(page);
         for (_, _, _, d) in &buffered {
             d.apply(&h.frame);
@@ -1186,7 +1247,6 @@ fn merge_diffs(earlier: Diff, later: Diff) -> Diff {
     }
 }
 
-
 /// Is `CNI_DSM_TRACE` set? Checked once; tracing is a debugging aid for
 /// protocol investigations (prints every delivered protocol message).
 fn trace_enabled() -> bool {
@@ -1196,8 +1256,15 @@ fn trace_enabled() -> bool {
 
 fn trace_payload(p: &Payload) -> String {
     match p {
-        Payload::PageResp { page, version, data } => {
-            format!("PageResp page={page:?} ver={version:?} words={}", data.len())
+        Payload::PageResp {
+            page,
+            version,
+            data,
+        } => {
+            format!(
+                "PageResp page={page:?} ver={version:?} words={}",
+                data.len()
+            )
         }
         Payload::DiffResp {
             page,

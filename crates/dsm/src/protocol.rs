@@ -158,9 +158,7 @@ impl Payload {
                 ..
             } => 8 + 4 * vc.len() + 12 * notices.len() + (8 + 4 * vc.len()) * then_serve.len(),
             Payload::BarrierArrive { vc, notices, .. }
-            | Payload::BarrierRelease { vc, notices, .. } => {
-                8 + 4 * vc.len() + 12 * notices.len()
-            }
+            | Payload::BarrierRelease { vc, notices, .. } => 8 + 4 * vc.len() + 12 * notices.len(),
             Payload::PageReq { .. } => 8,
             Payload::PageResp { version, data, .. } => 4 * version.len() + 8 * data.len(),
             Payload::DiffReq { .. } => 16,

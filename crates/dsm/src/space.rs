@@ -65,7 +65,10 @@ impl Frame {
 
     /// Copy the whole frame out (twin creation, page replies).
     pub fn snapshot(&self) -> Vec<u64> {
-        self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect()
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Overwrite the whole frame (page replies).

@@ -145,7 +145,10 @@ mod tests {
         assert_eq!(a.page(page_bytes), PageId(3));
         assert_eq!(a.offset(page_bytes), 16);
         assert_eq!(a.word(page_bytes), 2);
-        assert_eq!(VAddr::of_page(PageId(3), page_bytes).page(page_bytes), PageId(3));
+        assert_eq!(
+            VAddr::of_page(PageId(3), page_bytes).page(page_bytes),
+            PageId(3)
+        );
     }
 
     #[test]

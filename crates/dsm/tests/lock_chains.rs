@@ -23,13 +23,7 @@ impl Net {
         };
         Net {
             nodes: (0..n)
-                .map(|p| {
-                    DsmNode::new(
-                        ProcId(p as u32),
-                        cfg,
-                        Arc::new(NodeSpace::new(1024, 32)),
-                    )
-                })
+                .map(|p| DsmNode::new(ProcId(p as u32), cfg, Arc::new(NodeSpace::new(1024, 32))))
                 .collect(),
             queue: VecDeque::new(),
             wakeups: vec![Vec::new(); n],

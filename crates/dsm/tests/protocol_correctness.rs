@@ -217,7 +217,10 @@ fn page_moves_from_releaser_to_acquirer() {
         c.release(p, l);
     }
     let fetches: u64 = (0..4).map(|p| c.node(ProcId(p)).stats().page_fetches).sum();
-    assert!(fetches >= 7, "each hop after the first should fetch the page");
+    assert!(
+        fetches >= 7,
+        "each hop after the first should fetch the page"
+    );
 }
 
 #[test]

@@ -203,7 +203,10 @@ mod tests {
     fn interrupt_is_tens_of_microseconds() {
         let c = NicConfig::default();
         let t = c.host(c.interrupt_cycles);
-        assert!(t >= SimTime::from_us(30) && t <= SimTime::from_us(50), "{t}");
+        assert!(
+            t >= SimTime::from_us(30) && t <= SimTime::from_us(50),
+            "{t}"
+        );
     }
 
     #[test]

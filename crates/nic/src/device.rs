@@ -26,6 +26,7 @@ use crate::queues::ChannelQueues;
 use crate::stats::NicStats;
 use cni_pathfinder::{Classifier, Pattern};
 use cni_sim::SimTime;
+use cni_trace::{TraceEvent, TraceSink};
 
 /// Who initiates a transmission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,16 +116,17 @@ pub struct Nic {
     channels: Vec<ChannelQueues>,
     nic_busy: SimTime,
     stats: NicStats,
+    trace: TraceSink,
+    node: u32,
 }
 
 impl Nic {
     /// Build a NIC of `kind` with cost model `cfg`.
     pub fn new(kind: NicKind, cfg: NicConfig) -> Self {
         let msg_cache = match kind {
-            NicKind::Cni if cfg.cni_features.msg_cache => Some(MessageCache::new(
-                cfg.msg_cache_buffers(),
-                cfg.rtlb_entries,
-            )),
+            NicKind::Cni if cfg.cni_features.msg_cache => {
+                Some(MessageCache::new(cfg.msg_cache_buffers(), cfg.rtlb_entries))
+            }
             _ => None,
         };
         Nic {
@@ -135,8 +137,20 @@ impl Nic {
             channels: Vec::new(),
             nic_busy: SimTime::ZERO,
             stats: NicStats::default(),
+            trace: TraceSink::Disabled,
+            node: 0,
             cfg,
         }
+    }
+
+    /// Attach a trace sink, tagging this device's events with `node`.
+    /// Propagates to already-open device channels.
+    pub fn set_trace(&mut self, trace: TraceSink, node: u32) {
+        for (id, ch) in self.channels.iter_mut().enumerate() {
+            ch.set_trace(trace.clone(), node, id as u32);
+        }
+        self.trace = trace;
+        self.node = node;
     }
 
     /// Open an Application Device Channel: the kernel carves a queue
@@ -155,6 +169,7 @@ impl Nic {
         );
         let mut q = ChannelQueues::new(capacity);
         q.register_region(region_base, region_len);
+        q.set_trace(self.trace.clone(), self.node, self.channels.len() as u32);
         self.channels.push(q);
         self.channels.len() - 1
     }
@@ -229,18 +244,31 @@ impl Nic {
                 if mc.lookup_tx(page) {
                     hit = true;
                     self.stats.tx_cache_hits += 1;
+                    self.trace.emit(self.node, TraceEvent::MsgCacheHit { page });
+                } else {
+                    self.trace
+                        .emit(self.node, TraceEvent::MsgCacheMiss { page });
                 }
             }
         }
         if !hit && req.len > 0 {
             // DMA the payload host → board.
             let x = self.bus.transfer(t, req.len);
+            self.trace.emit_at(
+                x.end.as_ps(),
+                self.node,
+                TraceEvent::DmaToBoard {
+                    bytes: req.len as u64,
+                    dur_ps: (x.end - t).as_ps(),
+                },
+            );
             t = x.end;
             self.stats.dma_bytes_to_board += req.len as u64;
-            if let (Some(page), Some(mc), true) =
-                (req.page, self.msg_cache.as_mut(), req.cacheable)
+            if let (Some(page), Some(mc), true) = (req.page, self.msg_cache.as_mut(), req.cacheable)
             {
-                mc.insert(page);
+                let evicted = mc.insert(page);
+                self.trace
+                    .emit(self.node, TraceEvent::MsgCacheInsert { page, evicted });
             }
         }
         // Segment the first cell; the fabric spaces the rest by cell_gap.
@@ -269,13 +297,23 @@ impl Nic {
         let mut t = arrival.max(self.nic_busy) + self.cfg.nic(self.cfg.sar_rx_cycles_per_cell);
         let disposition = match self.kind {
             NicKind::Standard => RxDisposition::HostBound,
-            NicKind::Cni => match self.classifier.classify(header) {
+            NicKind::Cni => match self
+                .classifier
+                .classify_traced(header, &self.trace, self.node)
+            {
                 Some(outcome) => {
                     self.stats.classify_cells += outcome.cells_visited as u64;
                     t += self
                         .cfg
                         .nic(self.cfg.classify_cycles_per_cell * outcome.cells_visited as u64);
                     self.stats.aih_dispatches += 1;
+                    self.trace.emit_at(
+                        t.as_ps(),
+                        self.node,
+                        TraceEvent::AihDispatch {
+                            handler: outcome.target,
+                        },
+                    );
                     RxDisposition::Handler(outcome.target)
                 }
                 None => {
@@ -314,11 +352,21 @@ impl Nic {
             let words = self.cfg.words(len);
             t += self.cfg.nic(self.cfg.board_copy_cycles_per_word * words);
             if let Some(mc) = self.msg_cache.as_mut() {
-                mc.insert(page);
+                let evicted = mc.insert(page);
+                self.trace
+                    .emit(self.node, TraceEvent::MsgCacheInsert { page, evicted });
             }
         }
         if len > 0 {
             let x = self.bus.transfer(t, len);
+            self.trace.emit_at(
+                x.end.as_ps(),
+                self.node,
+                TraceEvent::DmaToHost {
+                    bytes: len as u64,
+                    dur_ps: (x.end - t).as_ps(),
+                },
+            );
             t = x.end;
             self.stats.dma_bytes_to_host += len as u64;
         }
@@ -341,6 +389,15 @@ impl Nic {
                 }
             }
         };
+        self.trace.emit_at(
+            t.as_ps(),
+            self.node,
+            if via_interrupt {
+                TraceEvent::Interrupt
+            } else {
+                TraceEvent::Poll
+            },
+        );
         Delivery {
             at: t,
             host_cycles,
@@ -361,7 +418,12 @@ impl Nic {
     /// No-op (false) on a standard NIC.
     pub fn snoop_write(&mut self, page: u64) -> bool {
         match self.msg_cache.as_mut() {
-            Some(mc) => mc.snoop_write(page).0,
+            Some(mc) => {
+                let resident = mc.snoop_write(page).0;
+                self.trace
+                    .emit(self.node, TraceEvent::MsgCacheSnoop { page, resident });
+                resident
+            }
             None => false,
         }
     }
@@ -369,7 +431,10 @@ impl Nic {
     /// Drop any board binding of `page` (host copy diverged invisibly).
     pub fn invalidate_page(&mut self, page: u64) {
         if let Some(mc) = self.msg_cache.as_mut() {
-            mc.invalidate(page);
+            if mc.invalidate(page) {
+                self.trace
+                    .emit(self.node, TraceEvent::MsgCacheInvalidate { page });
+            }
         }
     }
 
@@ -462,7 +527,12 @@ mod tests {
         let mut std_ = Nic::new(NicKind::Standard, cfg);
         let a = cni.transmit(SimTime::ZERO, &page_req(1, 4));
         let b = std_.transmit(SimTime::ZERO, &page_req(1, 4));
-        assert!(a.host_done < b.host_done, "{:?} vs {:?}", a.host_done, b.host_done);
+        assert!(
+            a.host_done < b.host_done,
+            "{:?} vs {:?}",
+            a.host_done,
+            b.host_done
+        );
     }
 
     #[test]

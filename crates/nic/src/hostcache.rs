@@ -62,7 +62,10 @@ struct Level {
 impl Level {
     fn new(size: usize, line: usize) -> Self {
         let lines = size / line;
-        assert!(lines.is_power_of_two(), "cache must be a power of two of lines");
+        assert!(
+            lines.is_power_of_two(),
+            "cache must be a power of two of lines"
+        );
         Level {
             line_shift: line.trailing_zeros(),
             set_mask: lines as u64 - 1,

@@ -56,6 +56,18 @@ impl MsgCacheStats {
             self.tx_hits as f64 / self.tx_lookups as f64
         }
     }
+
+    /// Merge another cache's counters (cluster-wide aggregation).
+    pub fn merge(&mut self, o: &MsgCacheStats) {
+        self.tx_lookups += o.tx_lookups;
+        self.tx_hits += o.tx_hits;
+        self.inserts += o.inserts;
+        self.evictions += o.evictions;
+        self.snoop_updates += o.snoop_updates;
+        self.snoop_misses += o.snoop_misses;
+        self.rtlb_misses += o.rtlb_misses;
+        self.invalidations += o.invalidations;
+    }
 }
 
 #[derive(Clone, Copy, Debug)]

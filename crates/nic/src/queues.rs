@@ -10,6 +10,7 @@
 //! which is how "verification overhead is eliminated from the send and
 //! receive paths").
 
+use cni_trace::{TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -45,6 +46,9 @@ pub struct ChannelQueues {
     enqueues: u64,
     dequeues: u64,
     protection_faults: u64,
+    trace: TraceSink,
+    node: u32,
+    channel: u32,
 }
 
 impl ChannelQueues {
@@ -60,7 +64,38 @@ impl ChannelQueues {
             enqueues: 0,
             dequeues: 0,
             protection_faults: 0,
+            trace: TraceSink::Disabled,
+            node: 0,
+            channel: 0,
         }
+    }
+
+    /// Attach a trace sink; ring operations record `AdcEnqueue`/`AdcDequeue`
+    /// events tagged with `node` (and carrying `channel` as payload).
+    pub fn set_trace(&mut self, trace: TraceSink, node: u32, channel: u32) {
+        self.trace = trace;
+        self.node = node;
+        self.channel = channel;
+    }
+
+    fn trace_enqueue(&self, len: u32) {
+        self.trace.emit(
+            self.node,
+            TraceEvent::AdcEnqueue {
+                channel: self.channel,
+                len,
+            },
+        );
+    }
+
+    fn trace_dequeue(&self, len: u32) {
+        self.trace.emit(
+            self.node,
+            TraceEvent::AdcDequeue {
+                channel: self.channel,
+                len,
+            },
+        );
     }
 
     /// Kernel-side: register the buffer region this channel may reference.
@@ -71,11 +106,7 @@ impl ChannelQueues {
 
     fn check(&mut self, d: &Descriptor) -> Result<(), QueueError> {
         match self.region {
-            Some((base, len))
-                if d.vaddr >= base && d.vaddr + d.len as u64 <= base + len =>
-            {
-                Ok(())
-            }
+            Some((base, len)) if d.vaddr >= base && d.vaddr + d.len as u64 <= base + len => Ok(()),
             _ => {
                 self.protection_faults += 1;
                 Err(QueueError::Protection)
@@ -100,14 +131,16 @@ impl ChannelQueues {
         self.check(&d)?;
         Self::push(&mut self.transmit, self.capacity, d)?;
         self.enqueues += 1;
+        self.trace_enqueue(d.len);
         Ok(())
     }
 
     /// Board: take the next buffer to transmit.
     pub fn dequeue_transmit(&mut self) -> Option<Descriptor> {
         let d = self.transmit.pop_front();
-        if d.is_some() {
+        if let Some(d) = &d {
             self.dequeues += 1;
+            self.trace_dequeue(d.len);
         }
         d
     }
@@ -118,14 +151,16 @@ impl ChannelQueues {
         self.check(&d)?;
         Self::push(&mut self.free, self.capacity, d)?;
         self.enqueues += 1;
+        self.trace_enqueue(d.len);
         Ok(())
     }
 
     /// Board: claim a free buffer to deposit an arriving message into.
     pub fn take_free(&mut self) -> Option<Descriptor> {
         let d = self.free.pop_front();
-        if d.is_some() {
+        if let Some(d) = &d {
             self.dequeues += 1;
+            self.trace_dequeue(d.len);
         }
         d
     }
@@ -134,14 +169,16 @@ impl ChannelQueues {
     pub fn post_receive(&mut self, d: Descriptor) -> Result<(), QueueError> {
         Self::push(&mut self.receive, self.capacity, d)?;
         self.enqueues += 1;
+        self.trace_enqueue(d.len);
         Ok(())
     }
 
     /// Application: poll for a received buffer.
     pub fn dequeue_receive(&mut self) -> Option<Descriptor> {
         let d = self.receive.pop_front();
-        if d.is_some() {
+        if let Some(d) = &d {
             self.dequeues += 1;
+            self.trace_dequeue(d.len);
         }
         d
     }

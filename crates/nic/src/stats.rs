@@ -56,7 +56,6 @@ impl NicStats {
         self.aih_dispatches += o.aih_dispatches;
         self.classify_cells += o.classify_cells;
     }
-
 }
 
 #[cfg(test)]

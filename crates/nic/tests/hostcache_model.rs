@@ -28,7 +28,10 @@ impl RefLevel {
     }
     fn present(&self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
-        self.slots.get(&set).map(|&(t, _)| t == tag).unwrap_or(false)
+        self.slots
+            .get(&set)
+            .map(|&(t, _)| t == tag)
+            .unwrap_or(false)
     }
     fn dirty(&self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);

@@ -1,0 +1,65 @@
+//! Merge completeness for the per-NIC statistics structs.
+//!
+//! `NicStats::merge` and `MsgCacheStats::merge` enumerate their fields by
+//! hand, which silently under-counts if a new counter is added without
+//! extending `merge`. These tests enumerate the fields through the
+//! serialized form instead: every field is set to a distinct nonzero
+//! value, the struct is merged with itself, and every serialized field
+//! must come back doubled — so a forgotten field fails the test the day
+//! it is introduced.
+
+use cni_nic::msgcache::MsgCacheStats;
+use cni_nic::stats::NicStats;
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
+
+/// Build a `T` whose every serialized field holds a distinct nonzero
+/// value; returns it with the (field, value) list.
+fn distinct<T: Serialize + Deserialize + Default>() -> (T, Vec<(String, u64)>) {
+    let Value::Object(template) = serde_json::to_value(T::default()).unwrap() else {
+        panic!("stats must serialize to a JSON object");
+    };
+    let mut filled = Map::new();
+    let mut fields = Vec::new();
+    for (i, (name, _)) in template.entries().iter().enumerate() {
+        let v = (i as u64 + 1) * 3;
+        filled.insert(name.clone(), Value::from(v));
+        fields.push((name.clone(), v));
+    }
+    assert!(!fields.is_empty(), "stats struct has no fields");
+    let t = T::from_value(&Value::Object(filled)).expect("stats deserialize");
+    (t, fields)
+}
+
+/// Assert that `merge` doubles every serialized field of `T` when a
+/// fully-populated value is merged with a copy of itself.
+fn assert_merge_sums_all<T, F>(merge: F)
+where
+    T: Serialize + Deserialize + Default + Clone,
+    F: FnOnce(&mut T, &T),
+{
+    let (a, fields) = distinct::<T>();
+    let mut merged = a.clone();
+    merge(&mut merged, &a);
+    let Value::Object(out) = serde_json::to_value(&merged).unwrap() else {
+        panic!("stats must serialize to a JSON object");
+    };
+    for (name, v) in &fields {
+        assert!(*v != 0, "field {name} not populated");
+        assert_eq!(
+            out.get(name),
+            Some(&Value::from(v * 2)),
+            "field {name} not summed by merge"
+        );
+    }
+}
+
+#[test]
+fn nic_stats_merge_sums_every_field() {
+    assert_merge_sums_all::<NicStats, _>(|a, b| a.merge(b));
+}
+
+#[test]
+fn msg_cache_stats_merge_sums_every_field() {
+    assert_merge_sums_all::<MsgCacheStats, _>(|a, b| a.merge(b));
+}

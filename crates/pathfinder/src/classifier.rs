@@ -13,6 +13,7 @@
 //! remaining fragments through the binding table in O(1).
 
 use crate::pattern::{FieldTest, Pattern, PatternId};
+use cni_trace::{TraceEvent, TraceSink};
 use std::collections::HashMap;
 
 /// A successful classification.
@@ -188,6 +189,28 @@ impl<T: Clone> Classifier<T> {
         })
     }
 
+    /// [`Classifier::classify`], recording a `Classify` trace event for
+    /// `node` (the comparison-cell count and whether any pattern accepted).
+    /// With a disabled sink this is exactly `classify`.
+    pub fn classify_traced(
+        &mut self,
+        packet: &[u8],
+        trace: &TraceSink,
+        node: u32,
+    ) -> Option<ClassifyOutcome<T>> {
+        let out = self.classify(packet);
+        if trace.is_enabled() {
+            trace.emit(
+                node,
+                TraceEvent::Classify {
+                    cells: out.as_ref().map(|o| o.cells_visited).unwrap_or(1),
+                    matched: out.is_some(),
+                },
+            );
+        }
+        out
+    }
+
     fn walk(level: &[Node], packet: &[u8], cells: &mut u32, accept: &mut impl FnMut(PatternId)) {
         for node in level {
             *cells += 1;
@@ -281,10 +304,7 @@ mod tests {
             Pattern::new(vec![FieldTest::byte(0, 1), FieldTest::u16(2, 11)]),
             "app11-data",
         );
-        c.install(
-            Pattern::new(vec![FieldTest::byte(0, 2)]),
-            "dsm-protocol",
-        );
+        c.install(Pattern::new(vec![FieldTest::byte(0, 2)]), "dsm-protocol");
         c
     }
 
@@ -372,7 +392,10 @@ mod tests {
             Pattern::new(vec![FieldTest::byte(0, 0x12), FieldTest::byte(1, 3)]),
             2,
         );
-        c.install(Pattern::new(vec![FieldTest::u16(0, 0x1203)]).with_priority(2), 3);
+        c.install(
+            Pattern::new(vec![FieldTest::u16(0, 0x1203)]).with_priority(2),
+            3,
+        );
         c.install(Pattern::new(vec![FieldTest::byte(1, 3)]), 4);
         for b0 in 0u8..=255 {
             for b1 in [0u8, 3, 7] {
@@ -391,8 +414,13 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_test() -> impl Strategy<Value = FieldTest> {
-        (0u16..6, prop_oneof![Just(1u8), Just(2u8)], any::<u32>(), any::<u32>()).prop_map(
-            |(offset, width, mask, value)| {
+        (
+            0u16..6,
+            prop_oneof![Just(1u8), Just(2u8)],
+            any::<u32>(),
+            any::<u32>(),
+        )
+            .prop_map(|(offset, width, mask, value)| {
                 let width_mask = if width == 1 { 0xFF } else { 0xFFFF };
                 let mask = mask & width_mask;
                 FieldTest {
@@ -401,8 +429,7 @@ mod proptests {
                     mask,
                     value: value & mask,
                 }
-            },
-        )
+            })
     }
 
     fn arb_pattern() -> impl Strategy<Value = Pattern> {

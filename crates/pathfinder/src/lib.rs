@@ -27,5 +27,5 @@
 pub mod classifier;
 pub mod pattern;
 
-pub use classifier::{ClassifyOutcome, Classifier};
+pub use classifier::{Classifier, ClassifyOutcome};
 pub use pattern::{FieldTest, Pattern, PatternId};

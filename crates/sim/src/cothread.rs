@@ -21,6 +21,7 @@
 //! `Port::call` unwinds the program thread with a private panic payload that
 //! the wrapper swallows, so aborted simulations don't leak threads.
 
+use cni_trace::{TraceEvent, TraceSink};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::panic::{self, AssertUnwindSafe};
 use std::thread::JoinHandle;
@@ -77,6 +78,8 @@ pub struct CoThread<Req, Resp> {
     name: String,
     started: bool,
     finished: bool,
+    trace: TraceSink,
+    cpu: u32,
 }
 
 impl<Req: Send + 'static, Resp: Send + 'static> CoThread<Req, Resp> {
@@ -130,7 +133,17 @@ impl<Req: Send + 'static, Resp: Send + 'static> CoThread<Req, Resp> {
             name: thread_name,
             started: false,
             finished: false,
+            trace: TraceSink::Disabled,
+            cpu: 0,
         }
+    }
+
+    /// Attach a trace sink: every engine↔program control transfer records a
+    /// `CothreadSwitch` event tagged with `cpu` (the simulated processor
+    /// id, also used as the trace's node id).
+    pub fn set_trace(&mut self, trace: TraceSink, cpu: u32) {
+        self.trace = trace;
+        self.cpu = cpu;
     }
 
     /// Begin executing the program; blocks until its first yield.
@@ -166,6 +179,25 @@ impl<Req: Send + 'static, Resp: Send + 'static> CoThread<Req, Resp> {
     }
 
     fn wait(&mut self) -> Yield<Req> {
+        self.trace.emit(
+            self.cpu,
+            TraceEvent::CothreadSwitch {
+                cpu: self.cpu,
+                enter: true,
+            },
+        );
+        let y = self.wait_inner();
+        self.trace.emit(
+            self.cpu,
+            TraceEvent::CothreadSwitch {
+                cpu: self.cpu,
+                enter: false,
+            },
+        );
+        y
+    }
+
+    fn wait_inner(&mut self) -> Yield<Req> {
         let wire = self
             .req_rx
             .as_ref()

@@ -6,6 +6,7 @@
 //! bit-identical results across runs (see the integration tests).
 
 use crate::time::SimTime;
+use cni_trace::{TraceEvent, TraceSink, NO_NODE};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -40,6 +41,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
+    trace: TraceSink,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -55,7 +57,15 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            trace: TraceSink::Disabled,
         }
+    }
+
+    /// Attach a trace sink: every pop advances the sink's virtual clock and
+    /// records a `QueueDispatch` event. The default sink is disabled and
+    /// costs one enum branch per pop.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// The current virtual time: the timestamp of the last event popped.
@@ -91,6 +101,16 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| {
             debug_assert!(e.at >= self.now);
             self.now = e.at;
+            if self.trace.is_enabled() {
+                self.trace.set_now(e.at.as_ps());
+                self.trace.emit(
+                    NO_NODE,
+                    TraceEvent::QueueDispatch {
+                        seq: e.seq,
+                        pending: self.heap.len() as u32,
+                    },
+                );
+            }
             (e.at, e.event)
         })
     }

@@ -117,7 +117,11 @@ impl Histogram {
 
     /// Record one observation.
     pub fn record(&mut self, v: u64) {
-        let idx = if v <= 1 { 0 } else { 64 - (v - 1).leading_zeros() as usize };
+        let idx = if v <= 1 {
+            0
+        } else {
+            64 - (v - 1).leading_zeros() as usize
+        };
         if self.buckets.len() <= idx {
             self.buckets.resize(idx + 1, 0);
         }
@@ -155,6 +159,50 @@ impl Histogram {
             }
         }
         1u64 << (self.buckets.len().saturating_sub(1))
+    }
+
+    /// Estimate of the p-th percentile (`p` in `[0, 100]`) by linear
+    /// interpolation within the containing power-of-two bucket. Returns 0
+    /// for an empty histogram. Exact whenever a bucket holds a single
+    /// distinct value (buckets 0–1); elsewhere the error is bounded by the
+    /// bucket width.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p.clamp(0.0, 100.0) / 100.0 * self.count as f64)
+            .ceil()
+            .max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                // Bucket 0 holds {0, 1}; bucket i ≥ 1 holds (2^(i-1), 2^i].
+                let (lo, hi) = if i == 0 {
+                    (0.0, 1.0)
+                } else {
+                    ((1u64 << (i - 1)) as f64, (1u64 << i) as f64)
+                };
+                let frac = (target - seen) as f64 / n as f64;
+                return lo + frac * (hi - lo);
+            }
+            seen += n;
+        }
+        (1u64 << (self.buckets.len() - 1)) as f64
+    }
+
+    /// Merge another histogram into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
     }
 
     /// Bucket populations, lowest bucket first.
@@ -231,5 +279,41 @@ mod tests {
         assert_eq!(h.percentile_bound(50.0), 1);
         assert_eq!(h.percentile_bound(100.0), 1024);
         assert_eq!(Histogram::new().percentile_bound(50.0), 0);
+    }
+
+    #[test]
+    fn histogram_percentile_interpolates() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1024);
+        // The 50th percentile sits inside the {0,1} bucket: exact.
+        assert!(h.percentile(50.0) <= 1.0);
+        // The 100th falls in the (512, 1024] bucket.
+        let p100 = h.percentile(100.0);
+        assert!((512.0..=1024.0).contains(&p100), "{p100}");
+        assert_eq!(Histogram::new().percentile(99.0), 0.0);
+        // Monotone in p.
+        assert!(h.percentile(10.0) <= h.percentile(99.0));
+    }
+
+    #[test]
+    fn histogram_merge_sums_everything() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(5000);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.buckets().iter().sum::<u64>(), 4);
+        assert!((a.mean() - (1 + 100 + 5000 + 2) as f64 / 4.0).abs() < 1e-12);
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.buckets(), before.buckets());
     }
 }

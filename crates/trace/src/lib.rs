@@ -1,0 +1,790 @@
+//! `cni-trace` — structured simulation tracing and time-series metrics for
+//! the CNI reproduction.
+//!
+//! The paper's whole evaluation is built from *within-run* visibility:
+//! the overhead breakdowns of Tables 2–4 and the hit-ratio/latency curves
+//! of Figures 2–14 all come from observing when cache misses, protocol
+//! stalls and DMA transfers actually happen. This crate provides that
+//! observability layer for the reproduction:
+//!
+//! * [`TraceEvent`] — a typed vocabulary of simulation events (event-queue
+//!   dispatch, co-thread switches, DMA transfers, Message-Cache
+//!   hits/misses/evictions/snoops, PATHFINDER classifications, ADC queue
+//!   operations, interrupt-vs-poll notifications, DSM protocol
+//!   transitions, and periodic [`MetricsSample`] counters). Every variant
+//!   carries only `Copy` scalars, so recording an event never allocates.
+//! * [`TraceSink`] — a cheap cloneable handle every instrumented component
+//!   holds. [`TraceSink::Disabled`] (the default) makes every hook a
+//!   single enum branch: no allocation, no formatting, no locking. The
+//!   enabled sink records into a bounded ring buffer that drops the oldest
+//!   events once full (and counts the drops).
+//! * [`export`] — serialisers to Chrome trace-event JSON (loadable in
+//!   Perfetto or `chrome://tracing`, one track per node × component) and
+//!   newline-delimited JSON (one [`TraceRecord`] per line, byte-identical
+//!   across identically-seeded runs).
+//!
+//! The crate is deliberately freestanding — it depends on nothing else in
+//! the workspace so the simulation kernel itself can be instrumented.
+//! Timestamps are raw picoseconds (the unit of `cni_sim::SimTime`).
+//!
+//! ```
+//! use cni_trace::{TraceEvent, TraceSink};
+//!
+//! let sink = TraceSink::ring(1024);
+//! sink.set_now(5_000); // the event loop advances virtual time
+//! sink.emit(0, TraceEvent::Interrupt);
+//! sink.emit_at(7_000, 1, TraceEvent::Poll);
+//! let records = sink.drain();
+//! assert_eq!(records.len(), 2);
+//! assert_eq!(records[0].t_ps, 5_000);
+//!
+//! // Disabled sinks are free: no buffer exists and nothing is recorded.
+//! let off = TraceSink::Disabled;
+//! off.emit(0, TraceEvent::Interrupt);
+//! assert!(off.drain().is_empty());
+//! ```
+
+pub mod export;
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The `node` value for events that belong to the simulation engine itself
+/// rather than to any one workstation (event-queue dispatch).
+pub const NO_NODE: u32 = u32::MAX;
+
+/// One interval's worth of counter deltas from the periodic metrics
+/// sampler: how much each rate-style statistic grew during the interval
+/// ending at the record's timestamp. Dividing by `interval_ps` yields
+/// rates (DMA bytes/s, interrupts/s); `tx_cache_hits / tx_page_lookups`
+/// yields the hit ratio *over time* rather than end-of-run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSample {
+    /// Length of the sampled interval in picoseconds.
+    pub interval_ps: u64,
+    /// Messages transmitted by this node's NIC.
+    pub tx_messages: u64,
+    /// Messages received by this node's NIC.
+    pub rx_messages: u64,
+    /// Bytes DMAed host → board.
+    pub dma_bytes_to_board: u64,
+    /// Bytes DMAed board → host.
+    pub dma_bytes_to_host: u64,
+    /// Transmit-path Message-Cache hits.
+    pub tx_cache_hits: u64,
+    /// Transmit-path page lookups (hit-ratio denominator).
+    pub tx_page_lookups: u64,
+    /// Host interrupts taken.
+    pub interrupts: u64,
+    /// Host polls that found work.
+    pub polls: u64,
+    /// Messages handled by Application Interrupt Handlers.
+    pub aih_dispatches: u64,
+    /// Full-page fetches issued by the DSM protocol.
+    pub page_fetches: u64,
+    /// Diff fetches issued by the DSM protocol.
+    pub diff_fetches: u64,
+    /// Page invalidations performed by the DSM protocol.
+    pub invalidations: u64,
+}
+
+impl MetricsSample {
+    /// The per-interval delta between two cumulative snapshots: every
+    /// counter of `self` minus the matching counter of `prev`, stamped
+    /// with `interval_ps`. The periodic sampler keeps cumulative totals
+    /// and emits these deltas.
+    pub fn delta_from(&self, prev: &MetricsSample, interval_ps: u64) -> MetricsSample {
+        MetricsSample {
+            interval_ps,
+            tx_messages: self.tx_messages - prev.tx_messages,
+            rx_messages: self.rx_messages - prev.rx_messages,
+            dma_bytes_to_board: self.dma_bytes_to_board - prev.dma_bytes_to_board,
+            dma_bytes_to_host: self.dma_bytes_to_host - prev.dma_bytes_to_host,
+            tx_cache_hits: self.tx_cache_hits - prev.tx_cache_hits,
+            tx_page_lookups: self.tx_page_lookups - prev.tx_page_lookups,
+            interrupts: self.interrupts - prev.interrupts,
+            polls: self.polls - prev.polls,
+            aih_dispatches: self.aih_dispatches - prev.aih_dispatches,
+            page_fetches: self.page_fetches - prev.page_fetches,
+            diff_fetches: self.diff_fetches - prev.diff_fetches,
+            invalidations: self.invalidations - prev.invalidations,
+        }
+    }
+}
+
+/// A typed simulation event. Variants carry only `Copy` scalars so that
+/// recording one is allocation-free; human-readable names and track
+/// assignments are resolved at export time, never on the hot path.
+///
+/// Serializes internally tagged: a JSON object whose `ev` member is the
+/// snake_case variant name, with the variant's fields alongside it (see
+/// the hand-written [`Serialize`] impl below).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// The engine's event queue dispatched an event (`seq` is the queue's
+    /// insertion sequence number, `pending` the events still queued).
+    QueueDispatch {
+        /// Insertion sequence number of the dispatched event.
+        seq: u64,
+        /// Events still pending after this dispatch.
+        pending: u32,
+    },
+    /// Control transferred between the engine and a processor co-thread.
+    CothreadSwitch {
+        /// Which simulated CPU.
+        cpu: u32,
+        /// `true` when control enters the program, `false` when it yields
+        /// back to the engine.
+        enter: bool,
+    },
+    /// A host → board DMA transfer completed at the record's timestamp.
+    DmaToBoard {
+        /// Payload bytes moved.
+        bytes: u64,
+        /// Bus time consumed, including queueing, in picoseconds.
+        dur_ps: u64,
+    },
+    /// A board → host DMA transfer completed at the record's timestamp.
+    DmaToHost {
+        /// Payload bytes moved.
+        bytes: u64,
+        /// Bus time consumed, including queueing, in picoseconds.
+        dur_ps: u64,
+    },
+    /// A transmit-path Message-Cache lookup hit: the page was
+    /// board-resident and the host→board DMA was skipped.
+    MsgCacheHit {
+        /// The looked-up host page.
+        page: u64,
+    },
+    /// A transmit-path Message-Cache lookup missed.
+    MsgCacheMiss {
+        /// The looked-up host page.
+        page: u64,
+    },
+    /// A page was bound into the Message Cache (transmit-miss caching or
+    /// receive caching), possibly evicting another binding.
+    MsgCacheInsert {
+        /// The newly bound page.
+        page: u64,
+        /// The page CLOCK evicted to make room, if any.
+        evicted: Option<u64>,
+    },
+    /// A snooped host write was offered to the Message Cache.
+    MsgCacheSnoop {
+        /// The written page.
+        page: u64,
+        /// Whether the page was resident (board copy updated in place).
+        resident: bool,
+    },
+    /// A page binding was explicitly invalidated.
+    MsgCacheInvalidate {
+        /// The invalidated page.
+        page: u64,
+    },
+    /// PATHFINDER classified an arriving PDU header.
+    Classify {
+        /// Comparison cells evaluated.
+        cells: u32,
+        /// Whether an installed pattern accepted.
+        matched: bool,
+    },
+    /// A PDU was dispatched to an Application Interrupt Handler on the
+    /// board.
+    AihDispatch {
+        /// The handler id the classifier routed to.
+        handler: u32,
+    },
+    /// The application enqueued a descriptor on an Application Device
+    /// Channel ring.
+    AdcEnqueue {
+        /// Channel id.
+        channel: u32,
+        /// Descriptor length in bytes.
+        len: u32,
+    },
+    /// The board dequeued a descriptor from an Application Device Channel
+    /// ring.
+    AdcDequeue {
+        /// Channel id.
+        channel: u32,
+        /// Descriptor length in bytes.
+        len: u32,
+    },
+    /// The NIC raised a host interrupt to notify a delivery.
+    Interrupt,
+    /// The application's poll picked up a delivery (no interrupt).
+    Poll,
+    /// The application read-faulted on a shared page.
+    DsmReadFault {
+        /// The faulted page.
+        page: u32,
+    },
+    /// The application write-faulted on a shared page.
+    DsmWriteFault {
+        /// The faulted page.
+        page: u32,
+    },
+    /// The application acquired a DSM lock.
+    DsmAcquire {
+        /// The lock.
+        lock: u32,
+        /// `true` when satisfied locally (lazy-release reuse), `false`
+        /// when the acquire went remote.
+        local: bool,
+    },
+    /// The application released a DSM lock (closing the interval).
+    DsmRelease {
+        /// The lock.
+        lock: u32,
+    },
+    /// The application arrived at the global barrier.
+    DsmBarrier {
+        /// Barrier epoch.
+        epoch: u32,
+    },
+    /// The DSM protocol engine handled an incoming protocol message
+    /// (acquire-req/fwd/grant, barrier-arrive/release, page-req/resp,
+    /// diff-req/resp — `kind` is the wire kind byte, `0xD0..=0xD8`).
+    DsmMsg {
+        /// Protocol kind byte.
+        kind: u8,
+        /// Sending processor.
+        from: u32,
+    },
+    /// A message entered the transport path; the record's timestamp is
+    /// its arrival at the destination NIC.
+    ProtoTx {
+        /// Wire kind byte (`0xD0..=0xD8` protocol, `0xA0` application).
+        kind: u8,
+        /// On-the-wire bytes.
+        bytes: u32,
+        /// Send-request to last-cell-arrival latency in picoseconds.
+        dur_ps: u64,
+    },
+    /// A periodic metrics sample (counter deltas for the interval ending
+    /// at the record's timestamp).
+    Metrics(MetricsSample),
+}
+
+impl TraceEvent {
+    /// The component track this event renders on (stable name used by the
+    /// Chrome exporter's `thread_name` metadata and useful for filtering).
+    pub fn track(&self) -> &'static str {
+        use TraceEvent::*;
+        match self {
+            QueueDispatch { .. } => "event-queue",
+            CothreadSwitch { .. } => "cpu",
+            DmaToBoard { .. } | DmaToHost { .. } => "nic-dma",
+            MsgCacheHit { .. }
+            | MsgCacheMiss { .. }
+            | MsgCacheInsert { .. }
+            | MsgCacheSnoop { .. }
+            | MsgCacheInvalidate { .. } => "msg-cache",
+            Classify { .. } | AihDispatch { .. } => "pathfinder",
+            AdcEnqueue { .. } | AdcDequeue { .. } => "adc",
+            Interrupt | Poll => "notify",
+            DsmReadFault { .. }
+            | DsmWriteFault { .. }
+            | DsmAcquire { .. }
+            | DsmRelease { .. }
+            | DsmBarrier { .. }
+            | DsmMsg { .. } => "dsm",
+            ProtoTx { .. } => "wire",
+            Metrics(_) => "metrics",
+        }
+    }
+
+    /// The snake_case wire tag stored under the `ev` key.
+    fn tag(&self) -> &'static str {
+        use TraceEvent::*;
+        match self {
+            QueueDispatch { .. } => "queue_dispatch",
+            CothreadSwitch { .. } => "cothread_switch",
+            DmaToBoard { .. } => "dma_to_board",
+            DmaToHost { .. } => "dma_to_host",
+            MsgCacheHit { .. } => "msg_cache_hit",
+            MsgCacheMiss { .. } => "msg_cache_miss",
+            MsgCacheInsert { .. } => "msg_cache_insert",
+            MsgCacheSnoop { .. } => "msg_cache_snoop",
+            MsgCacheInvalidate { .. } => "msg_cache_invalidate",
+            Classify { .. } => "classify",
+            AihDispatch { .. } => "aih_dispatch",
+            AdcEnqueue { .. } => "adc_enqueue",
+            AdcDequeue { .. } => "adc_dequeue",
+            Interrupt => "interrupt",
+            Poll => "poll",
+            DsmReadFault { .. } => "dsm_read_fault",
+            DsmWriteFault { .. } => "dsm_write_fault",
+            DsmAcquire { .. } => "dsm_acquire",
+            DsmRelease { .. } => "dsm_release",
+            DsmBarrier { .. } => "dsm_barrier",
+            DsmMsg { .. } => "dsm_msg",
+            ProtoTx { .. } => "proto_tx",
+            Metrics(_) => "metrics",
+        }
+    }
+}
+
+// TraceEvent/TraceRecord serialize internally tagged and flattened — shapes
+// the vendored derive does not generate — so their impls are hand-written.
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        use TraceEvent::*;
+        let mut m = serde::Map::new();
+        m.insert("ev".to_string(), Value::String(self.tag().to_string()));
+        let mut put = |k: &str, v: Value| {
+            m.insert(k.to_string(), v);
+        };
+        match *self {
+            QueueDispatch { seq, pending } => {
+                put("seq", seq.to_value());
+                put("pending", pending.to_value());
+            }
+            CothreadSwitch { cpu, enter } => {
+                put("cpu", cpu.to_value());
+                put("enter", enter.to_value());
+            }
+            DmaToBoard { bytes, dur_ps } | DmaToHost { bytes, dur_ps } => {
+                put("bytes", bytes.to_value());
+                put("dur_ps", dur_ps.to_value());
+            }
+            MsgCacheHit { page } | MsgCacheMiss { page } | MsgCacheInvalidate { page } => {
+                put("page", page.to_value());
+            }
+            MsgCacheInsert { page, evicted } => {
+                put("page", page.to_value());
+                put("evicted", evicted.to_value());
+            }
+            MsgCacheSnoop { page, resident } => {
+                put("page", page.to_value());
+                put("resident", resident.to_value());
+            }
+            Classify { cells, matched } => {
+                put("cells", cells.to_value());
+                put("matched", matched.to_value());
+            }
+            AihDispatch { handler } => put("handler", handler.to_value()),
+            AdcEnqueue { channel, len } | AdcDequeue { channel, len } => {
+                put("channel", channel.to_value());
+                put("len", len.to_value());
+            }
+            Interrupt | Poll => {}
+            DsmReadFault { page } | DsmWriteFault { page } => put("page", page.to_value()),
+            DsmAcquire { lock, local } => {
+                put("lock", lock.to_value());
+                put("local", local.to_value());
+            }
+            DsmRelease { lock } => put("lock", lock.to_value()),
+            DsmBarrier { epoch } => put("epoch", epoch.to_value()),
+            DsmMsg { kind, from } => {
+                put("kind", kind.to_value());
+                put("from", from.to_value());
+            }
+            ProtoTx {
+                kind,
+                bytes,
+                dur_ps,
+            } => {
+                put("kind", kind.to_value());
+                put("bytes", bytes.to_value());
+                put("dur_ps", dur_ps.to_value());
+            }
+            Metrics(sample) => {
+                if let Value::Object(fields) = sample.to_value() {
+                    for (k, v) in fields.entries() {
+                        put(k, v.clone());
+                    }
+                }
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use serde::DeError;
+        let o = v
+            .as_object()
+            .ok_or_else(|| DeError::msg("expected trace event object"))?;
+        let tag = o
+            .get("ev")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| DeError::msg("missing \"ev\" tag"))?;
+        fn field<T: Deserialize>(o: &serde::Map, k: &str) -> Result<T, serde::DeError> {
+            T::from_value(o.get(k).unwrap_or(&serde::Value::Null)).map_err(|e| e.at(k))
+        }
+        use TraceEvent::*;
+        Ok(match tag {
+            "queue_dispatch" => QueueDispatch {
+                seq: field(o, "seq")?,
+                pending: field(o, "pending")?,
+            },
+            "cothread_switch" => CothreadSwitch {
+                cpu: field(o, "cpu")?,
+                enter: field(o, "enter")?,
+            },
+            "dma_to_board" => DmaToBoard {
+                bytes: field(o, "bytes")?,
+                dur_ps: field(o, "dur_ps")?,
+            },
+            "dma_to_host" => DmaToHost {
+                bytes: field(o, "bytes")?,
+                dur_ps: field(o, "dur_ps")?,
+            },
+            "msg_cache_hit" => MsgCacheHit {
+                page: field(o, "page")?,
+            },
+            "msg_cache_miss" => MsgCacheMiss {
+                page: field(o, "page")?,
+            },
+            "msg_cache_insert" => MsgCacheInsert {
+                page: field(o, "page")?,
+                evicted: field(o, "evicted")?,
+            },
+            "msg_cache_snoop" => MsgCacheSnoop {
+                page: field(o, "page")?,
+                resident: field(o, "resident")?,
+            },
+            "msg_cache_invalidate" => MsgCacheInvalidate {
+                page: field(o, "page")?,
+            },
+            "classify" => Classify {
+                cells: field(o, "cells")?,
+                matched: field(o, "matched")?,
+            },
+            "aih_dispatch" => AihDispatch {
+                handler: field(o, "handler")?,
+            },
+            "adc_enqueue" => AdcEnqueue {
+                channel: field(o, "channel")?,
+                len: field(o, "len")?,
+            },
+            "adc_dequeue" => AdcDequeue {
+                channel: field(o, "channel")?,
+                len: field(o, "len")?,
+            },
+            "interrupt" => Interrupt,
+            "poll" => Poll,
+            "dsm_read_fault" => DsmReadFault {
+                page: field(o, "page")?,
+            },
+            "dsm_write_fault" => DsmWriteFault {
+                page: field(o, "page")?,
+            },
+            "dsm_acquire" => DsmAcquire {
+                lock: field(o, "lock")?,
+                local: field(o, "local")?,
+            },
+            "dsm_release" => DsmRelease {
+                lock: field(o, "lock")?,
+            },
+            "dsm_barrier" => DsmBarrier {
+                epoch: field(o, "epoch")?,
+            },
+            "dsm_msg" => DsmMsg {
+                kind: field(o, "kind")?,
+                from: field(o, "from")?,
+            },
+            "proto_tx" => ProtoTx {
+                kind: field(o, "kind")?,
+                bytes: field(o, "bytes")?,
+                dur_ps: field(o, "dur_ps")?,
+            },
+            "metrics" => Metrics(MetricsSample::from_value(v)?),
+            other => return Err(DeError::msg(format!("unknown trace event {other:?}"))),
+        })
+    }
+}
+
+/// One recorded event: virtual timestamp, originating node and payload.
+/// `node` is [`NO_NODE`] for engine-level events.
+///
+/// Serializes flat: `{"t_ps": …, "node": …, "ev": …, …event fields…}` —
+/// one self-describing JSON object per record (the JSONL line format).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time in picoseconds.
+    pub t_ps: u64,
+    /// Originating node, or [`NO_NODE`].
+    pub node: u32,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl Serialize for TraceRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("t_ps".to_string(), self.t_ps.to_value());
+        m.insert("node".to_string(), self.node.to_value());
+        if let serde::Value::Object(ev) = self.event.to_value() {
+            for (k, v) in ev.entries() {
+                m.insert(k.clone(), v.clone());
+            }
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for TraceRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use serde::{DeError, Value};
+        let o = v
+            .as_object()
+            .ok_or_else(|| DeError::msg("expected trace record object"))?;
+        let t_ps =
+            u64::from_value(o.get("t_ps").unwrap_or(&Value::Null)).map_err(|e| e.at("t_ps"))?;
+        let node =
+            u32::from_value(o.get("node").unwrap_or(&Value::Null)).map_err(|e| e.at("node"))?;
+        let event = TraceEvent::from_value(v)?;
+        Ok(TraceRecord { t_ps, node, event })
+    }
+}
+
+/// End-of-run accounting for a trace: how much was recorded and how much
+/// the bounded ring had to drop. Included in `RunReport` when tracing was
+/// enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Events offered to the sink.
+    pub recorded: u64,
+    /// Events dropped because the ring was full (oldest first).
+    pub dropped: u64,
+    /// Ring capacity in events.
+    pub capacity: u64,
+}
+
+struct Ring {
+    cap: usize,
+    events: VecDeque<TraceRecord>,
+    recorded: u64,
+    dropped: u64,
+}
+
+/// Shared state of an enabled sink: the engine-maintained "current virtual
+/// time" and the bounded event ring.
+pub struct TraceShared {
+    now_ps: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+/// A handle to the trace buffer, cloned into every instrumented component.
+///
+/// The disabled variant is the default everywhere; its `emit` is a single
+/// enum branch with no allocation, no formatting and no locking, so
+/// figure-reproduction runs pay nothing for the instrumentation.
+#[derive(Clone, Default)]
+pub enum TraceSink {
+    /// Tracing off: every hook is a no-op.
+    #[default]
+    Disabled,
+    /// Tracing on: events go into the shared bounded ring.
+    Enabled(Arc<TraceShared>),
+}
+
+impl TraceSink {
+    /// An enabled sink whose ring holds at most `capacity` events (oldest
+    /// are dropped once full).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn ring(capacity: usize) -> TraceSink {
+        assert!(capacity > 0, "trace ring needs capacity");
+        TraceSink::Enabled(Arc::new(TraceShared {
+            now_ps: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                cap: capacity,
+                events: VecDeque::with_capacity(capacity.min(1 << 16)),
+                recorded: 0,
+                dropped: 0,
+            }),
+        }))
+    }
+
+    /// Is this sink recording?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, TraceSink::Enabled(_))
+    }
+
+    /// Advance the sink's notion of "current virtual time"; subsequent
+    /// [`TraceSink::emit`] calls are stamped with it. The simulation's
+    /// event loop calls this once per dispatched event.
+    #[inline]
+    pub fn set_now(&self, t_ps: u64) {
+        if let TraceSink::Enabled(s) = self {
+            s.now_ps.store(t_ps, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `event` for `node`, stamped with the current virtual time
+    /// (see [`TraceSink::set_now`]). No-op when disabled.
+    #[inline]
+    pub fn emit(&self, node: u32, event: TraceEvent) {
+        if let TraceSink::Enabled(s) = self {
+            let t_ps = s.now_ps.load(Ordering::Relaxed);
+            s.push(TraceRecord { t_ps, node, event });
+        }
+    }
+
+    /// Record `event` for `node` with an explicit timestamp (components
+    /// that resolve finer times than the dispatching event, like DMA
+    /// completions, use this). No-op when disabled.
+    #[inline]
+    pub fn emit_at(&self, t_ps: u64, node: u32, event: TraceEvent) {
+        if let TraceSink::Enabled(s) = self {
+            s.push(TraceRecord { t_ps, node, event });
+        }
+    }
+
+    /// Take all recorded events out of the ring (in recording order).
+    /// Returns an empty vector for a disabled sink.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        match self {
+            TraceSink::Disabled => Vec::new(),
+            TraceSink::Enabled(s) => {
+                let mut ring = s.ring.lock().expect("trace ring poisoned");
+                ring.events.drain(..).collect()
+            }
+        }
+    }
+
+    /// Recording totals, or `None` for a disabled sink.
+    pub fn summary(&self) -> Option<TraceSummary> {
+        match self {
+            TraceSink::Disabled => None,
+            TraceSink::Enabled(s) => {
+                let ring = s.ring.lock().expect("trace ring poisoned");
+                Some(TraceSummary {
+                    recorded: ring.recorded,
+                    dropped: ring.dropped,
+                    capacity: ring.cap as u64,
+                })
+            }
+        }
+    }
+}
+
+impl TraceShared {
+    fn push(&self, rec: TraceRecord) {
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        if ring.events.len() == ring.cap {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(rec);
+        ring.recorded += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::Disabled;
+        sink.set_now(123);
+        sink.emit(0, TraceEvent::Interrupt);
+        sink.emit_at(5, 1, TraceEvent::Poll);
+        assert!(!sink.is_enabled());
+        assert!(sink.drain().is_empty());
+        assert!(sink.summary().is_none());
+    }
+
+    #[test]
+    fn enabled_sink_stamps_with_shared_now() {
+        let sink = TraceSink::ring(8);
+        sink.set_now(1_000);
+        sink.emit(3, TraceEvent::MsgCacheHit { page: 7 });
+        sink.set_now(2_000);
+        sink.emit(3, TraceEvent::MsgCacheMiss { page: 8 });
+        sink.emit_at(1_500, 3, TraceEvent::Interrupt);
+        let recs = sink.drain();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].t_ps, 1_000);
+        assert_eq!(recs[1].t_ps, 2_000);
+        assert_eq!(recs[2].t_ps, 1_500);
+        assert_eq!(recs[0].node, 3);
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let sink = TraceSink::ring(2);
+        for i in 0..5 {
+            sink.emit_at(i, 0, TraceEvent::QueueDispatch { seq: i, pending: 0 });
+        }
+        let summary = sink.summary().unwrap();
+        assert_eq!(summary.recorded, 5);
+        assert_eq!(summary.dropped, 3);
+        assert_eq!(summary.capacity, 2);
+        let recs = sink.drain();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].t_ps, 3, "oldest events are dropped first");
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let a = TraceSink::ring(8);
+        let b = a.clone();
+        a.set_now(10);
+        b.emit(0, TraceEvent::Poll);
+        assert_eq!(a.drain().len(), 1);
+    }
+
+    #[test]
+    fn records_serialize_flat_and_roundtrip() {
+        let rec = TraceRecord {
+            t_ps: 42,
+            node: 1,
+            event: TraceEvent::DmaToBoard {
+                bytes: 2048,
+                dur_ps: 9,
+            },
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("\"ev\":\"dma_to_board\""), "{json}");
+        assert!(json.contains("\"t_ps\":42"), "{json}");
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn tracks_cover_the_component_taxonomy() {
+        let events = [
+            TraceEvent::QueueDispatch { seq: 0, pending: 0 },
+            TraceEvent::CothreadSwitch {
+                cpu: 0,
+                enter: true,
+            },
+            TraceEvent::DmaToBoard {
+                bytes: 0,
+                dur_ps: 0,
+            },
+            TraceEvent::MsgCacheHit { page: 0 },
+            TraceEvent::Classify {
+                cells: 1,
+                matched: true,
+            },
+            TraceEvent::AdcEnqueue { channel: 0, len: 0 },
+            TraceEvent::Interrupt,
+            TraceEvent::DsmAcquire {
+                lock: 0,
+                local: true,
+            },
+            TraceEvent::ProtoTx {
+                kind: 0xD5,
+                bytes: 8,
+                dur_ps: 1,
+            },
+            TraceEvent::Metrics(MetricsSample::default()),
+        ];
+        let tracks: std::collections::BTreeSet<_> = events.iter().map(|e| e.track()).collect();
+        assert_eq!(tracks.len(), 10);
+    }
+}

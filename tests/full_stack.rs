@@ -107,7 +107,10 @@ fn jumbo_cells_improve_page_dominated_traffic() {
         },
         4,
     );
-    assert!(chol > -8.0, "jumbo cells should not meaningfully hurt: {chol:.2}%");
+    assert!(
+        chol > -8.0,
+        "jumbo cells should not meaningfully hurt: {chol:.2}%"
+    );
 }
 
 #[test]
@@ -188,11 +191,7 @@ fn each_ablated_mechanism_costs_performance() {
     // Removing any one of the three CNI mechanisms must not make the
     // cluster faster, and the standard NIC (all three removed) is the
     // slowest variant up to scheduling noise.
-    let rows = experiments::ablation(
-        Config::paper_default(),
-        App::Jacobi { n: 64, iters: 10 },
-        4,
-    );
+    let rows = experiments::ablation(Config::paper_default(), App::Jacobi { n: 64, iters: 10 }, 4);
     assert_eq!(rows.len(), 5);
     let full = &rows[0];
     for r in &rows[1..] {
@@ -209,7 +208,10 @@ fn each_ablated_mechanism_costs_performance() {
         "standard should not beat the full CNI"
     );
     // Knocking out the Message Cache kills the hit ratio.
-    let no_mc = rows.iter().find(|r| r.variant.contains("Message Cache")).unwrap();
+    let no_mc = rows
+        .iter()
+        .find(|r| r.variant.contains("Message Cache"))
+        .unwrap();
     assert_eq!(no_mc.hit_ratio_pct, 0.0);
     // Disabling polling forces interrupts back in.
     let no_poll = rows.iter().find(|r| r.variant.contains("polling")).unwrap();

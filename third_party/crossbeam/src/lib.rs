@@ -1,0 +1,70 @@
+//! Vendored minimal stand-in for `crossbeam`: just the bounded channel
+//! API this workspace uses, implemented over `std::sync::mpsc`.
+
+/// Bounded MPSC channels with crossbeam's API shape.
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Create a bounded channel with the given capacity (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// The sending half (cloneable).
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is accepted; errors when disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; errors when disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// The channel disconnected with the message unsent.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// The channel disconnected with nothing left to receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a `try_recv` returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel disconnected.
+        Disconnected,
+    }
+}

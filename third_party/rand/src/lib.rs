@@ -1,0 +1,147 @@
+//! Vendored minimal stand-in for the `rand` crate: a deterministic
+//! splitmix64-based generator behind the `Rng`/`SeedableRng` API subset
+//! this workspace uses (`seed_from_u64`, `gen`, `gen_range`, `gen_bool`).
+//!
+//! Determinism note: the stream differs from upstream rand's `StdRng`,
+//! but everything in this repository only requires *reproducible*
+//! pseudo-randomness per seed, which this provides.
+
+use std::ops::Range;
+
+/// Concrete generators.
+pub mod rngs {
+    /// A deterministic 64-bit generator (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    /// Alias: the small generator is the same splitmix64 core.
+    pub type SmallRng = StdRng;
+}
+
+use rngs::StdRng;
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types a generator can sample uniformly ([`Rng::gen`]).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        splitmix64(&mut rng.state)
+    }
+}
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (splitmix64(&mut rng.state) >> 32) as u32
+    }
+}
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        splitmix64(&mut rng.state) & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        // 53 random bits scaled into [0, 1).
+        (splitmix64(&mut rng.state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+impl Standard for f32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (splitmix64(&mut rng.state) >> 40) as f32 / (1u32 << 24) as f32
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample from a `Range`.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[low, high)`.
+    fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range requires a non-empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let r = splitmix64(&mut rng.state) as u128 % span;
+                (low as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The generator operations this workspace uses.
+pub trait Rng {
+    /// Draw a uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Draw uniformly from `[range.start, range.end)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T;
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let f = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Vendored minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros for the offline serde stand-in.
+//!
+//! Supports exactly the shapes this workspace uses:
+//! * structs with named fields (serialized as JSON objects, declaration
+//!   order preserved),
+//! * newtype tuple structs (transparent),
+//! * enums with unit variants (serialized as the variant-name string) and
+//!   struct variants (externally tagged: `{"Variant": {..fields..}}`).
+//!
+//! `#[serde(...)]` attributes are NOT interpreted; types needing custom
+//! representations implement the traits by hand.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the vendored trait: `to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (the vendored trait: `from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields (N == 1 is the transparent newtype).
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: (variant name, variant shape) pairs.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility before the struct/enum keyword.
+    let kind = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // #[...]
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate)
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break id.to_string();
+            }
+            _ => i += 1,
+        }
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types ({name})");
+    }
+    let shape = if kind == "enum" {
+        let body = match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("expected enum body, found {other}"),
+        };
+        Shape::Enum(parse_variants(body))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        }
+    };
+    Item { name, shape }
+}
+
+/// Split a token stream at top-level commas, treating `<...>` nesting as
+/// one level (angle brackets are bare puncts, not groups).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(t);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Strip leading `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn strip_attrs_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &chunk[i..],
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let rest = strip_attrs_vis(chunk);
+            match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let rest = strip_attrs_vis(chunk);
+            let name = match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let shape = match rest.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    panic!("vendored serde_derive does not support tuple enum variants")
+                }
+                _ => VariantShape::Unit,
+            };
+            (name, shape)
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n"
+                    )),
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut __m = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{inner}\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(\"{v}\".to_string(), ::serde::Value::Object(__m));\n\
+                             ::serde::Value::Object(__outer)\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = format!(
+                "let __o = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     __o.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| e.at(\"{f}\"))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let mut s = format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected array for {name}\"))?;\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::from_value(\
+                     __a.get({i}).unwrap_or(&::serde::Value::Null))?,\n"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut named_arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => return Ok({name}::{v}),\n"));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inner = format!(
+                            "let __o = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::msg(\"expected object for {name}::{v}\"))?;\n\
+                             return Ok({name}::{v} {{\n"
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 __o.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                                 .map_err(|e| e.at(\"{f}\"))?,\n"
+                            ));
+                        }
+                        inner.push_str("});");
+                        named_arms.push_str(&format!("\"{v}\" => {{\n{inner}\n}}\n"));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let Some(__o) = __v.as_object() {{\n\
+                 if let Some((__k, __inner)) = __o.entries().first() {{\n\
+                 match __k.as_str() {{\n{named_arms}_ => {{}}\n}}\n}}\n}}\n\
+                 Err(::serde::DeError::msg(\"no matching variant of {name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

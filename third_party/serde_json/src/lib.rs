@@ -1,0 +1,131 @@
+//! Vendored minimal stand-in for the `serde_json` crate, built on the
+//! vendored `serde` data model.
+//!
+//! Provides the calls this workspace uses: `to_string`,
+//! `to_string_pretty`, `to_writer`, `to_value`, `from_str`, `from_slice`,
+//! the [`json!`] macro, and the [`Value`]/[`Map`] types (re-exported from
+//! `serde::value`). Output is deterministic: object member order is
+//! insertion order (declaration order for derived structs).
+
+pub use serde::value::{Map, Number, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io;
+
+/// Encode/decode error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias for this crate's operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` into the [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut s = String::new();
+    value.to_value().write_compact(&mut s);
+    Ok(s)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut s = String::new();
+    value.to_value().write_pretty(&mut s, 0);
+    Ok(s)
+}
+
+/// Serialize `value` as compact JSON into `writer`.
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let s = to_string(value)?;
+    writer.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = serde::value::parse(s).map_err(Error)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Deserialize a `T` from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(s)
+}
+
+/// Build a [`Value`] from a JSON-shaped literal. Keys must be string
+/// literals; values may be any expression convertible via
+/// `Value::from` (nest `json!` calls for object/array values built from
+/// expressions).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $( __m.insert(($key).to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(__m)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_value() {
+        let v = json!({
+            "a": 1u64,
+            "b": json!([1u64, 2u64]),
+            "c": "x",
+            "d": true,
+            "e": 0.5,
+        });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"a":1,"b":[1,2],"c":"x","d":true,"e":0.5}"#);
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&json!(1.0)).unwrap(), "1.0");
+        assert_eq!(to_string(&json!(0.0005)).unwrap(), "0.0005");
+    }
+
+    #[test]
+    fn pretty_output_parses() {
+        let v = json!({"k": json!([1u64]), "s": "hi"});
+        let p = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&p).unwrap();
+        assert_eq!(back, v);
+    }
+}
