@@ -16,7 +16,7 @@
 //! exports them as a Chrome trace-event file (load in Perfetto /
 //! `chrome://tracing`) or as JSONL.
 
-use cni::{kind_name, Config, RunReport, SimTime, TraceSink, REPORT_VERSION};
+use cni::{kind_name, Config, FaultPlan, RunReport, SimTime, TraceSink, REPORT_VERSION};
 use cni_apps::cholesky::CholeskyMatrix;
 use cni_apps::experiments::{run_app, run_app_traced, App};
 use cni_trace::export::{write_chrome, write_jsonl};
@@ -37,6 +37,10 @@ fn usage() -> ! {
            --jumbo             unrestricted ATM cell size\n\
            --tree-barrier      combining-tree barrier (extension)\n\
            --seed N            timing-jitter seed (workloads are fixed)\n\
+           --loss-prob P       per-cell drop probability in [0,1) (default 0)\n\
+           --corrupt-prob P    per-cell bit-corruption probability (default 0)\n\
+           --jitter-ps N       max per-cell delivery jitter in ps (default 0)\n\
+           --fault-seed N      fault-injection RNG seed (default 1)\n\
            --json              machine-readable output\n\
            --trace PATH        record simulation events to PATH\n\
            --trace-format F    chrome (default; Perfetto-loadable) | jsonl\n\
@@ -115,6 +119,7 @@ fn print_report(label: &str, cfg: &Config, r: &RunReport, json: bool) {
                     "delay": RunReport::gcycles(r.mean_breakdown().delay, cfg.nic.host_clock),
                 }),
                 "latency": serde_json::Value::Array(latency),
+                "faults": serde_json::to_value(r.faults).unwrap_or(serde_json::Value::Null),
             })
         );
         return;
@@ -137,6 +142,21 @@ fn print_report(label: &str, cfg: &Config, r: &RunReport, json: bool) {
             l.mean_us,
             l.p50_us,
             l.p99_us
+        );
+    }
+    if r.faults != cni::FaultStats::default() {
+        let f = &r.faults;
+        println!(
+            "cells dropped       : {} ({} in brownouts), corrupted {}",
+            f.cells_dropped, f.brownout_cells, f.cells_corrupted
+        );
+        println!(
+            "crc failures        : {}, duplicates {}, ring overflows {}",
+            f.crc_failures, f.duplicates, f.ring_overflows
+        );
+        println!(
+            "retransmits         : {} ({} timeouts, {} fast), acks {}",
+            f.retransmits, f.timeouts, f.fast_retransmits, f.acks_sent
         );
     }
     if let Some(t) = &r.trace {
@@ -169,6 +189,16 @@ fn main() -> ExitCode {
     if args.contains_key("tree-barrier") {
         base = base.with_tree_barrier();
     }
+    let mut plan = FaultPlan::none();
+    plan.drop_prob = get(&args, "loss-prob", 0.0);
+    plan.corrupt_prob = get(&args, "corrupt-prob", 0.0);
+    plan.jitter_ps = get(&args, "jitter-ps", 0);
+    plan.seed = get(&args, "fault-seed", 1);
+    if !(0.0..1.0).contains(&plan.drop_prob) || !(0.0..1.0).contains(&plan.corrupt_prob) {
+        eprintln!("--loss-prob and --corrupt-prob must be in [0, 1)");
+        return ExitCode::from(2);
+    }
+    base = base.with_faults(plan);
 
     let app_name = args
         .get("app")

@@ -12,6 +12,7 @@
 use crate::aal5::Segmenter;
 use crate::link::Link;
 use crate::switch::BanyanSwitch;
+use cni_faults::{CellFate, FaultInjector};
 use cni_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +65,31 @@ pub struct PduTiming {
     pub cells: usize,
     /// Total bytes placed on the wire (headers + pad + trailer included).
     pub wire_bytes: usize,
+}
+
+/// Timing of one PDU through a fabric with fault injection enabled: the
+/// per-cell verdicts plus the arrival window of the cells that survived.
+#[derive(Clone, Debug)]
+pub struct FaultyPduTiming {
+    /// Arrival of the earliest surviving cell, if any survived.
+    pub first_delivered: Option<SimTime>,
+    /// Arrival of the latest surviving cell (reassembly can complete no
+    /// earlier than this), if any survived.
+    pub last_delivered: Option<SimTime>,
+    /// Number of cells the PDU occupied on the wire.
+    pub cells: usize,
+    /// Total bytes placed on the wire (headers + pad + trailer included).
+    pub wire_bytes: usize,
+    /// The injector's verdict for each cell, in transmission order.
+    pub fates: Vec<CellFate>,
+}
+
+impl FaultyPduTiming {
+    /// True when the final cell — the one carrying the AAL5 end-of-PDU
+    /// marker — reached the destination, so reassembly completes there.
+    pub fn eop_delivered(&self) -> bool {
+        matches!(self.fates.last(), Some(f) if !f.is_drop())
+    }
 }
 
 /// The interconnect: one ingress and one egress link per port plus the
@@ -158,6 +184,66 @@ impl Fabric {
             last_cell_arrival: last,
             cells,
             wire_bytes,
+        }
+    }
+
+    /// [`Fabric::send_pdu`] with fault injection: each cell asks the
+    /// injector for its fate as it enters the fabric. A dropped cell still
+    /// occupies the ingress link (the NIC did transmit it) but is discarded
+    /// at the switch input and never touches the switch stages or the
+    /// egress link; a corrupted cell travels the full path with normal
+    /// timing; a delivered cell may additionally be delayed by the plan's
+    /// latency jitter. With a zero plan this walks the exact same timing
+    /// recurrence as `send_pdu` and consumes no RNG draws.
+    pub fn send_pdu_faulty(
+        &mut self,
+        start: SimTime,
+        src: usize,
+        dst: usize,
+        pdu_len: usize,
+        cell_gap: SimTime,
+        inj: &mut FaultInjector,
+    ) -> FaultyPduTiming {
+        assert!(
+            src < self.cfg.ports && dst < self.cfg.ports,
+            "port out of range"
+        );
+        assert_ne!(src, dst, "PDU to self does not traverse the fabric");
+        let cells = self.segmenter.cell_count(pdu_len);
+        let wire_bytes = self.segmenter.wire_bytes(pdu_len);
+        let per_cell_bytes = wire_bytes / cells;
+        let per_cell_payload = per_cell_bytes - crate::cell::ATM_HEADER_BYTES;
+        let ser = self.ingress[src].serialization(per_cell_bytes);
+        let std_cell = self.ingress[src].serialization(crate::cell::ATM_CELL_BYTES);
+        let occupancy = ser.min(std_cell);
+        let prop = self.cfg.prop_delay;
+        let mut first: Option<SimTime> = None;
+        let mut last: Option<SimTime> = None;
+        let mut fates = Vec::with_capacity(cells);
+        for i in 0..cells {
+            let ready = start + SimTime::from_ps(cell_gap.as_ps() * i as u64);
+            let head_start = ready.max(self.ingress[src].next_free());
+            self.ingress[src].transmit(ready, per_cell_bytes);
+            let fate = inj.cell_fate(head_start.as_ps(), src, per_cell_payload);
+            fates.push(fate);
+            if fate.is_drop() {
+                continue;
+            }
+            let head_at_switch = head_start + prop;
+            let head_exit = self.switch.forward(head_at_switch, src, dst, occupancy);
+            let head_egress = head_exit.max(self.egress[dst].next_free());
+            self.egress[dst].transmit(head_egress, per_cell_bytes);
+            let arrival = head_egress + ser + prop + SimTime::from_ps(inj.jitter_ps());
+            first = Some(first.map_or(arrival, |f| f.min(arrival)));
+            last = Some(last.map_or(arrival, |l| l.max(arrival)));
+        }
+        self.pdus_sent += 1;
+        FaultyPduTiming {
+            first_delivered: first,
+            last_delivered: last,
+            cells,
+            wire_bytes,
+            fates,
         }
     }
 
@@ -259,6 +345,93 @@ mod tests {
     fn self_send_rejected() {
         let mut f = fabric();
         let _ = f.send_pdu(SimTime::ZERO, 3, 3, 100, SimTime::ZERO);
+    }
+
+    #[test]
+    fn faulty_path_with_zero_plan_matches_lossless_timing() {
+        use cni_faults::{FaultInjector, FaultPlan};
+        let mut a = fabric();
+        let mut b = fabric();
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        for i in 0..10u64 {
+            let t = a.send_pdu(SimTime::from_ns(i * 400), 1, 6, 2048, SimTime::from_ns(300));
+            let ft = b.send_pdu_faulty(
+                SimTime::from_ns(i * 400),
+                1,
+                6,
+                2048,
+                SimTime::from_ns(300),
+                &mut inj,
+            );
+            assert!(ft.eop_delivered());
+            assert_eq!(ft.first_delivered, Some(t.first_cell_arrival));
+            assert_eq!(ft.last_delivered, Some(t.last_cell_arrival));
+            assert_eq!(ft.cells, t.cells);
+            assert_eq!(ft.wire_bytes, t.wire_bytes);
+        }
+        assert_eq!(inj.stats().cells_dropped, 0);
+    }
+
+    #[test]
+    fn faulty_path_drops_and_reproduces_by_seed() {
+        use cni_faults::{CellFate, FaultInjector, FaultPlan};
+        let plan = FaultPlan {
+            drop_prob: 0.3,
+            corrupt_prob: 0.1,
+            jitter_ps: 10_000,
+            seed: 0xF00D,
+            ..FaultPlan::none()
+        };
+        let run = || {
+            let mut f = fabric();
+            let mut inj = FaultInjector::new(plan);
+            let mut fates = Vec::new();
+            let mut lasts = Vec::new();
+            for i in 0..20u64 {
+                let ft = f.send_pdu_faulty(
+                    SimTime::from_ns(i * 500),
+                    (i % 4) as usize,
+                    4 + (i % 4) as usize,
+                    2048,
+                    SimTime::from_ns(300),
+                    &mut inj,
+                );
+                fates.extend(ft.fates.iter().copied());
+                lasts.push(ft.last_delivered);
+            }
+            (fates, lasts, inj.stats())
+        };
+        let (fates, lasts, stats) = run();
+        assert_eq!((fates.clone(), lasts.clone(), stats), run());
+        assert!(stats.cells_dropped > 0);
+        assert!(stats.cells_corrupted > 0);
+        assert!(fates.iter().any(|f| matches!(f, CellFate::Drop)));
+    }
+
+    #[test]
+    fn brownout_window_silences_one_ingress_port() {
+        use cni_faults::{BrownoutWindow, FaultInjector, FaultPlan};
+        let plan = FaultPlan {
+            brownouts: [
+                Some(BrownoutWindow {
+                    link: 0,
+                    start_ps: 0,
+                    end_ps: u64::MAX,
+                }),
+                None,
+                None,
+                None,
+            ],
+            ..FaultPlan::none()
+        };
+        let mut f = fabric();
+        let mut inj = FaultInjector::new(plan);
+        let dead = f.send_pdu_faulty(SimTime::ZERO, 0, 1, 1024, SimTime::ZERO, &mut inj);
+        assert!(dead.last_delivered.is_none());
+        assert!(!dead.eop_delivered());
+        let alive = f.send_pdu_faulty(SimTime::ZERO, 2, 1, 1024, SimTime::ZERO, &mut inj);
+        assert!(alive.eop_delivered());
+        assert_eq!(inj.stats().brownout_cells, dead.cells as u64);
     }
 
     #[test]

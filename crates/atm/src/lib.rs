@@ -30,7 +30,7 @@ pub mod switch;
 
 pub use aal5::{Reassembler, ReassemblyError, Segmenter};
 pub use cell::{Cell, CellHeader, ATM_CELL_BYTES, ATM_HEADER_BYTES, ATM_PAYLOAD_BYTES};
-pub use fabric::{AtmConfig, Fabric, PduTiming};
+pub use fabric::{AtmConfig, Fabric, FaultyPduTiming, PduTiming};
 pub use link::Link;
 pub use pipe::{CellPipe, FaultModel, PipeOutcome};
 pub use switch::BanyanSwitch;

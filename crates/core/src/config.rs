@@ -1,6 +1,7 @@
 //! Cluster configuration: the paper's Table 1 as data.
 
 use cni_atm::AtmConfig;
+use cni_faults::FaultPlan;
 use cni_nic::{NicConfig, NicKind};
 use cni_sim::SimTime;
 use serde::{Deserialize, Serialize};
@@ -65,6 +66,10 @@ pub struct Config {
     pub tree_barrier: bool,
     /// Seed for workload generation.
     pub seed: u64,
+    /// Fault-injection plan for the interconnect. [`FaultPlan::none`]
+    /// (the default) keeps the simulation on the lossless fast path with
+    /// bit-identical timing.
+    pub faults: FaultPlan,
 }
 
 impl Config {
@@ -79,6 +84,7 @@ impl Config {
             costs: ProtoCosts::default(),
             tree_barrier: false,
             seed: 0x5EED,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -138,6 +144,13 @@ impl Config {
     /// size (Table 5).
     pub fn with_unrestricted_cells(mut self) -> Self {
         self.atm.cell_payload = None;
+        self
+    }
+
+    /// Inject faults according to `plan` (validated when the cluster is
+    /// built). A zero plan is equivalent to not calling this at all.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 

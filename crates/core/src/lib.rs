@@ -41,6 +41,9 @@ pub use world::{Program, World};
 // Re-export the tracing surface so embedders need only this crate.
 pub use cni_trace::{TraceEvent, TraceRecord, TraceSink, TraceSummary};
 
+// Re-export the fault-injection surface so embedders need only this crate.
+pub use cni_faults::{BrownoutWindow, FaultPlan, FaultStats};
+
 // Re-export the identifiers applications use.
 pub use cni_dsm::{LockId, PageId, ProcId, VAddr};
 pub use cni_nic::NicKind;

@@ -1,6 +1,7 @@
 //! Run reports: the numbers the paper's tables and figures are made of.
 
 use cni_dsm::DsmStats;
+use cni_faults::FaultStats;
 use cni_nic::msgcache::MsgCacheStats;
 use cni_nic::stats::NicStats;
 use cni_sim::{Clock, SimTime};
@@ -9,8 +10,9 @@ use serde::{Deserialize, Serialize};
 
 /// Schema version of [`RunReport`]'s serialized form. Bumped whenever a
 /// field is added, removed or changes meaning, so archived `--json` output
-/// is self-describing.
-pub const REPORT_VERSION: u32 = 2;
+/// is self-describing. Version 3 added the `faults` record (fault
+/// injection and retransmission counters).
+pub const REPORT_VERSION: u32 = 3;
 
 /// Per-processor time breakdown, in virtual time.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -87,6 +89,9 @@ pub struct RunReport {
     pub latency: Vec<KindLatency>,
     /// Trace-buffer accounting when tracing was enabled, `None` otherwise.
     pub trace: Option<TraceSummary>,
+    /// Fault-injection and reliability-protocol counters (all zero when
+    /// the run used a zero fault plan).
+    pub faults: FaultStats,
 }
 
 impl RunReport {
@@ -184,6 +189,7 @@ mod tests {
             msg_kinds: [0; 9],
             latency: Vec::new(),
             trace: None,
+            faults: FaultStats::default(),
         }
     }
 

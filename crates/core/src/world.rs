@@ -28,10 +28,11 @@
 use crate::config::Config;
 use crate::ctx::{AccessCosts, Op, ProcCtx, Reply, YieldMsg};
 use crate::report::{KindLatency, ProcTimes, RunReport, REPORT_VERSION};
-use cni_atm::Fabric;
+use cni_atm::{Cell, Fabric};
 use cni_dsm::{
     DsmConfig, DsmNode, HandleResult, Msg, NodeSpace, PageId, Payload, ProcId, VAddr, Work,
 };
+use cni_faults::{CellFate, FaultInjector, FaultStats};
 use cni_nic::device::TxOrigin;
 use cni_nic::{Nic, NicKind, RxDisposition, TxRequest};
 use cni_pathfinder::{FieldTest, Pattern};
@@ -82,6 +83,114 @@ enum Ev {
     /// Periodic metrics sample (only scheduled when tracing is enabled and
     /// a sampling interval is configured).
     MetricsTick,
+    /// A reliable-layer data frame's surviving cells finished arriving at
+    /// `dst` (the AAL5 end-of-PDU cell made it through the faulty fabric).
+    FrameRx {
+        src: usize,
+        dst: usize,
+        seq: u64,
+        cells: Vec<Cell>,
+    },
+    /// A reliable-layer acknowledgement frame arrived back at sender `to`.
+    AckRx {
+        to: usize,
+        from: usize,
+        ack: u64,
+        cells: Vec<Cell>,
+    },
+    /// Retransmission timer for the `src -> dst` channel; fires only if
+    /// `gen` still matches the channel's timer generation (stale timers
+    /// drain as no-ops).
+    RxmitTimer { src: usize, dst: usize, gen: u64 },
+    /// The receive ring at `dst` frees one frame slot.
+    RingRelease { dst: usize },
+}
+
+/// A logical message queued on the reliable-delivery layer: either a DSM
+/// protocol message or an application-level send. The wire carries a real
+/// byte image of it (segmented, CRC-protected, corruptible); the event
+/// queue carries the structured form for dispatch once the image survives.
+#[derive(Clone)]
+enum WireMsg {
+    Proto(Msg),
+    App {
+        src: usize,
+        dst: usize,
+        len: u32,
+        page: Option<u64>,
+        cacheable: bool,
+        data: Option<Arc<Vec<u64>>>,
+    },
+}
+
+/// Wire length of a logical message in bytes.
+fn wire_len(wire: &WireMsg) -> usize {
+    match wire {
+        WireMsg::Proto(msg) => msg.payload.wire_bytes(),
+        WireMsg::App { len, .. } => *len as usize,
+    }
+}
+
+/// One wire frame of a logical message. Messages longer than the plan's
+/// `max_frame_bytes` are split into several frames, each with its own
+/// sequence number and CRC domain — otherwise a multi-kilobyte PDU's
+/// per-attempt survival probability `(1 - drop_prob)^cells` collapses and
+/// no amount of retransmission delivers it. The receiver dispatches the
+/// message when the final fragment is accepted (go-back-N delivers in
+/// order, so earlier fragments are already in by then).
+#[derive(Clone)]
+struct Frag {
+    wire: Arc<WireMsg>,
+    /// Fragment index within the message, `0..nfrags`.
+    frag: u32,
+    /// Total fragments carrying this message.
+    nfrags: u32,
+    /// This fragment's wire length in bytes.
+    bytes: u32,
+}
+
+/// One unacknowledged frame in a sender window.
+struct InFlight {
+    seq: u64,
+    frag: Frag,
+    attempts: u32,
+    sent_at: SimTime,
+}
+
+/// Go-back-N transmit state for one (src, dst) channel.
+struct ChanTx {
+    next_seq: u64,
+    /// Lowest unacknowledged sequence number.
+    base: u64,
+    window: VecDeque<InFlight>,
+    /// Frames waiting for window space.
+    pending: VecDeque<Frag>,
+    /// Current retransmission timeout (doubles per timeout up to the
+    /// plan's cap; resets on forward progress).
+    rto: SimTime,
+    timer_gen: u64,
+    dup_acks: u32,
+}
+
+impl ChanTx {
+    fn new(rto: SimTime) -> Self {
+        ChanTx {
+            next_seq: 0,
+            base: 0,
+            window: VecDeque::new(),
+            pending: VecDeque::new(),
+            rto,
+            timer_gen: 0,
+            dup_acks: 0,
+        }
+    }
+}
+
+/// Receive state for one (dst, src) channel: the next in-order sequence
+/// number. Anything below it is a duplicate; anything above is discarded
+/// (go-back-N keeps no out-of-order buffer) and re-acknowledged.
+struct ChanRx {
+    expected: u64,
 }
 
 struct Cpu {
@@ -159,6 +268,18 @@ pub struct World {
     /// indices 0..=8 are the protocol kinds `0xD0..=0xD8`, index 9 is the
     /// application kind `0xA0`.
     latency: Vec<Histogram>,
+    /// Fault injector, present only for a non-zero fault plan. When `None`
+    /// every transmission takes the legacy lossless path and timing is
+    /// bit-identical to a build without the faults layer.
+    injector: Option<FaultInjector>,
+    /// Go-back-N transmit channels, indexed `[src][dst]`.
+    rel_tx: Vec<Vec<ChanTx>>,
+    /// Receive channels, indexed `[dst][src]`.
+    rel_rx: Vec<Vec<ChanRx>>,
+    /// Reliability-protocol counters (retransmits, duplicates, overflows).
+    rel_stats: FaultStats,
+    /// Occupied frame slots in each node's virtual receive ring.
+    ring_used: Vec<u32>,
 }
 
 /// The AIH handler id the DSM protocol is installed under.
@@ -168,6 +289,13 @@ impl World {
     /// Build a cluster per `cfg`.
     pub fn new(cfg: Config) -> Self {
         assert!(cfg.procs >= 1 && cfg.procs <= cfg.atm.ports);
+        cfg.faults.validate();
+        let injector = if cfg.faults.is_zero() {
+            None
+        } else {
+            Some(FaultInjector::new(cfg.faults))
+        };
+        let rto0 = SimTime::from_ps(cfg.faults.rto_base_ps);
         let mut nic_cfg = cfg.nic;
         nic_cfg.page_bytes = cfg.page_bytes;
         let dsm_cfg = DsmConfig {
@@ -216,6 +344,15 @@ impl World {
             metrics_interval: None,
             metrics_prev: vec![MetricsSample::default(); cfg.procs],
             latency: vec![Histogram::new(); 10],
+            injector,
+            rel_tx: (0..cfg.procs)
+                .map(|_| (0..cfg.procs).map(|_| ChanTx::new(rto0)).collect())
+                .collect(),
+            rel_rx: (0..cfg.procs)
+                .map(|_| (0..cfg.procs).map(|_| ChanRx { expected: 0 }).collect())
+                .collect(),
+            rel_stats: FaultStats::default(),
+            ring_used: vec![0; cfg.procs],
             cfg,
         }
     }
@@ -366,6 +503,22 @@ impl World {
                 } => self.arrive_app(t, dst, src, len, page, cacheable, data),
                 Ev::Wake { p, overhead } => self.wake(t, p, overhead),
                 Ev::MetricsTick => self.metrics_tick(t),
+                Ev::FrameRx {
+                    src,
+                    dst,
+                    seq,
+                    cells,
+                } => self.on_frame_rx(t, src, dst, seq, cells),
+                Ev::AckRx {
+                    to,
+                    from,
+                    ack,
+                    cells,
+                } => self.on_ack_rx(t, to, from, ack, cells),
+                Ev::RxmitTimer { src, dst, gen } => self.on_rxmit_timer(t, src, dst, gen),
+                Ev::RingRelease { dst } => {
+                    self.ring_used[dst] = self.ring_used[dst].saturating_sub(1);
+                }
             }
             if self.live == 0 && self.q.is_empty() {
                 break;
@@ -456,6 +609,18 @@ impl World {
             msg_kinds: self.msg_kinds,
             latency,
             trace: self.trace.summary(),
+            faults: {
+                let mut f = self.rel_stats;
+                if let Some(inj) = &self.injector {
+                    f.merge(&inj.stats());
+                }
+                f.crc_failures = self
+                    .nics
+                    .iter()
+                    .map(|n| n.stats().rx_crc_failures)
+                    .sum::<u64>();
+                f
+            },
         }
     }
 
@@ -706,6 +871,11 @@ impl World {
     fn transport(&mut self, src: usize, msg: Msg, origin: TxOrigin, now: SimTime) -> SimTime {
         let dst = msg.dst.0 as usize;
         assert_ne!(src, dst, "protocol self-sends are handled locally");
+        if self.injector.is_some() {
+            debug_assert_eq!(origin, TxOrigin::Board);
+            self.queue_reliable(now, src, dst, WireMsg::Proto(msg));
+            return now;
+        }
         let bytes = msg.payload.wire_bytes();
         let cells = self.fabric.segmenter().cell_count(bytes);
         let tx = self.nics[src].transmit(
@@ -754,6 +924,18 @@ impl World {
         cacheable: bool,
         data: Option<Arc<Vec<u64>>>,
     ) {
+        if self.injector.is_some() {
+            let wire = WireMsg::App {
+                src,
+                dst,
+                len,
+                page,
+                cacheable,
+                data,
+            };
+            self.queue_reliable(t, src, dst, wire);
+            return;
+        }
         let cells = self.fabric.segmenter().cell_count(len as usize);
         let tx = self.nics[src].transmit(
             t,
@@ -791,6 +973,460 @@ impl World {
                 data,
             },
         );
+    }
+
+    // --- reliable-delivery layer (active only under a fault plan) ------------
+
+    /// Hand a logical message to the `src -> dst` go-back-N channel: send
+    /// it immediately if the window has room, park it otherwise.
+    fn queue_reliable(&mut self, now: SimTime, src: usize, dst: usize, wire: WireMsg) {
+        if let WireMsg::Proto(msg) = &wire {
+            let kind = msg.payload.kind();
+            self.proto_messages += 1;
+            self.msg_kinds[(kind - 0xD0) as usize] += 1;
+        }
+        let total = wire_len(&wire).max(1);
+        let fmax = self.cfg.faults.max_frame_bytes as usize;
+        let nfrags = total.div_ceil(fmax) as u32;
+        let cap = self.cfg.faults.window as usize;
+        let wire = Arc::new(wire);
+        let mut armed = false;
+        for i in 0..nfrags {
+            let bytes = if i + 1 < nfrags {
+                fmax
+            } else {
+                total - fmax * (nfrags as usize - 1)
+            } as u32;
+            let frag = Frag {
+                wire: wire.clone(),
+                frag: i,
+                nfrags,
+                bytes,
+            };
+            let ch = &mut self.rel_tx[src][dst];
+            if ch.window.len() >= cap {
+                ch.pending.push_back(frag);
+                continue;
+            }
+            let seq = ch.next_seq;
+            ch.next_seq += 1;
+            let was_empty = ch.window.is_empty();
+            ch.window.push_back(InFlight {
+                seq,
+                frag: frag.clone(),
+                attempts: 0,
+                sent_at: now,
+            });
+            self.send_frame(now, src, dst, seq, &frag);
+            if was_empty && !armed {
+                self.arm_timer(now, src, dst);
+                armed = true;
+            }
+        }
+    }
+
+    /// Transmit one data frame: build its byte image (header, sequence
+    /// number, zero fill), push it through the NIC and the faulty fabric,
+    /// and schedule the receive event if the end-of-PDU cell survived.
+    fn send_frame(&mut self, now: SimTime, src: usize, dst: usize, seq: u64, frag: &Frag) {
+        let (header, page, cacheable) = match &*frag.wire {
+            WireMsg::Proto(msg) => (
+                msg.payload.header_bytes(msg.src),
+                msg.payload.page_payload().map(|p| p.0 as u64),
+                msg.payload.cacheable(),
+            ),
+            WireMsg::App {
+                src: asrc,
+                page,
+                cacheable,
+                ..
+            } => {
+                let mut h = [0u8; 8];
+                h[0] = 0xA0;
+                h[1] = *asrc as u8;
+                (h, *page, *cacheable)
+            }
+        };
+        // The host DMA / Message-Cache interaction belongs to the message,
+        // not to each fragment: later fragments ship board-resident bytes.
+        let (page, cacheable) = if frag.frag == 0 {
+            (page, cacheable)
+        } else {
+            (None, false)
+        };
+        let bytes = frag.bytes as usize;
+        let mut image = vec![0u8; bytes];
+        let hn = header.len().min(bytes);
+        image[..hn].copy_from_slice(&header[..hn]);
+        let end = bytes.min(16);
+        if end > 8 {
+            image[8..end].copy_from_slice(&seq.to_le_bytes()[..end - 8]);
+        }
+        // Data frames travel on VCI `src * 2`; acknowledgements on
+        // `src * 2 + 1`, so a retransmission can never interleave with the
+        // reverse stream inside the destination's per-VCI reassembler.
+        let vci = (src * 2) as u16;
+        let (cells, done) = self.fault_transmit(now, src, dst, vci, &image, page, cacheable);
+        if let Some(arrival) = done {
+            self.trace.emit_at(
+                arrival.as_ps(),
+                src as u32,
+                TraceEvent::ProtoTx {
+                    kind: header[0],
+                    bytes: bytes as u32,
+                    dur_ps: (arrival - now).as_ps(),
+                },
+            );
+            self.q.schedule_at(
+                arrival,
+                Ev::FrameRx {
+                    src,
+                    dst,
+                    seq,
+                    cells,
+                },
+            );
+        }
+    }
+
+    /// Push one raw frame image through `src`'s NIC and the faulty fabric:
+    /// segment it, apply the injector's per-cell fates (dropping or
+    /// bit-flipping cells), and return the surviving cells plus the
+    /// reassembly-complete time when the end-of-PDU cell was delivered.
+    #[allow(clippy::too_many_arguments)]
+    fn fault_transmit(
+        &mut self,
+        now: SimTime,
+        src: usize,
+        dst: usize,
+        vci: u16,
+        image: &[u8],
+        page: Option<u64>,
+        cacheable: bool,
+    ) -> (Vec<Cell>, Option<SimTime>) {
+        let bytes = image.len();
+        let cells_n = self.fabric.segmenter().cell_count(bytes);
+        let tx = self.nics[src].transmit(
+            now,
+            &TxRequest {
+                len: bytes,
+                cells: cells_n,
+                page,
+                cacheable,
+                dirty_lines: 0,
+                origin: TxOrigin::Board,
+            },
+        );
+        let cells = self.fabric.segmenter().segment(vci, image);
+        let inj = self
+            .injector
+            .as_mut()
+            .expect("fault transmit needs an injector");
+        let fpt = self
+            .fabric
+            .send_pdu_faulty(tx.wire_start, src, dst, bytes, tx.cell_gap, inj);
+        debug_assert_eq!(fpt.cells, cells.len());
+        let mut delivered = Vec::with_capacity(cells.len());
+        for (i, mut cell) in cells.into_iter().enumerate() {
+            match fpt.fates[i] {
+                CellFate::Drop => {
+                    self.trace.emit_at(
+                        now.as_ps(),
+                        src as u32,
+                        TraceEvent::CellDropped {
+                            vci: vci as u32,
+                            cell: i as u32,
+                        },
+                    );
+                    continue;
+                }
+                CellFate::Corrupt { byte, bit } => {
+                    let mut v = cell.payload.to_vec();
+                    if !v.is_empty() {
+                        let b = (byte as usize).min(v.len() - 1);
+                        v[b] ^= 1 << (bit & 7);
+                    }
+                    cell.payload = v.into();
+                }
+                CellFate::Deliver => {}
+            }
+            delivered.push(cell);
+        }
+        let done = if fpt.eop_delivered() {
+            fpt.last_delivered
+        } else {
+            None
+        };
+        (delivered, done)
+    }
+
+    /// Restart the `src -> dst` retransmission timer (invalidating any
+    /// previously armed one via the generation counter).
+    fn arm_timer(&mut self, now: SimTime, src: usize, dst: usize) {
+        let ch = &mut self.rel_tx[src][dst];
+        ch.timer_gen += 1;
+        let (gen, rto, seq) = (ch.timer_gen, ch.rto, ch.base);
+        self.q
+            .schedule_at(now + rto, Ev::RxmitTimer { src, dst, gen });
+        self.trace.emit_at(
+            now.as_ps(),
+            src as u32,
+            TraceEvent::RetransmitScheduled {
+                seq,
+                rto_ps: rto.as_ps(),
+            },
+        );
+    }
+
+    /// Invalidate the pending `src -> dst` timer (window fully acked).
+    fn cancel_timer(&mut self, src: usize, dst: usize) {
+        self.rel_tx[src][dst].timer_gen += 1;
+    }
+
+    /// Send a cumulative acknowledgement frame from `from` back to `to`:
+    /// a real 16-byte PDU that itself crosses the faulty fabric.
+    fn send_ack(&mut self, now: SimTime, from: usize, to: usize, ack: u64) {
+        self.rel_stats.acks_sent += 1;
+        let mut image = [0u8; 16];
+        image[0] = 0xF1;
+        image[1] = from as u8;
+        image[8..16].copy_from_slice(&ack.to_le_bytes());
+        let vci = (from * 2 + 1) as u16;
+        let (cells, done) = self.fault_transmit(now, from, to, vci, &image, None, false);
+        if let Some(arrival) = done {
+            self.q.schedule_at(
+                arrival,
+                Ev::AckRx {
+                    to,
+                    from,
+                    ack,
+                    cells,
+                },
+            );
+        }
+    }
+
+    /// A data frame's surviving cells reached `dst`: reassemble and
+    /// CRC-check them, suppress duplicates, admit in-order frames to the
+    /// receive ring (drop-and-NAK when it is full) and dispatch the inner
+    /// message exactly once. Every outcome is acknowledged — a corrupt or
+    /// out-of-order frame re-acknowledges the current expectation, which
+    /// doubles as a NAK for go-back-N.
+    fn on_frame_rx(&mut self, t: SimTime, src: usize, dst: usize, seq: u64, cells: Vec<Cell>) {
+        match self.nics[dst].ingest_frame(&cells) {
+            Some(Ok(_)) => {}
+            Some(Err(_)) => {
+                // The NIC counted the discard (and the CRC failure).
+                let ack = self.rel_rx[dst][src].expected;
+                self.send_ack(t, dst, src, ack);
+                return;
+            }
+            // Unreachable in practice: FrameRx is only scheduled when the
+            // end-of-PDU cell was delivered, which always completes a PDU.
+            None => return,
+        }
+        let expected = self.rel_rx[dst][src].expected;
+        if seq != expected {
+            if seq < expected {
+                self.rel_stats.duplicates += 1;
+            }
+            self.send_ack(t, dst, src, expected);
+            return;
+        }
+        let (frag, sent_at) = {
+            let inflight = self.rel_tx[src][dst]
+                .window
+                .iter()
+                .find(|f| f.seq == seq)
+                .expect("in-order frame still sits in the sender window");
+            (inflight.frag.clone(), inflight.sent_at)
+        };
+        if frag.frag + 1 < frag.nfrags {
+            // An interior fragment: accept and acknowledge it, but the
+            // message dispatches only with its final fragment.
+            self.rel_rx[dst][src].expected = seq + 1;
+            self.send_ack(t, dst, src, seq + 1);
+            return;
+        }
+        // Only whole messages occupy receive-ring slots.
+        let ring = self.cfg.faults.rx_ring_frames;
+        if ring > 0 && self.ring_used[dst] >= ring {
+            self.rel_stats.ring_overflows += 1;
+            self.trace.emit_at(
+                t.as_ps(),
+                dst as u32,
+                TraceEvent::RingOverflow {
+                    channel: src as u32,
+                },
+            );
+            self.send_ack(t, dst, src, expected);
+            return;
+        }
+        self.ring_used[dst] += 1;
+        self.rel_rx[dst][src].expected = seq + 1;
+        // One-way latency measured from the final fragment's *first*
+        // transmission.
+        let kind = match &*frag.wire {
+            WireMsg::Proto(msg) => msg.payload.kind(),
+            WireMsg::App { .. } => 0xA0,
+        };
+        let li = if kind == 0xA0 {
+            9
+        } else {
+            (kind - 0xD0) as usize
+        };
+        self.latency[li].record((t - sent_at).as_ps() / 1000);
+        match (*frag.wire).clone() {
+            WireMsg::Proto(msg) => self.arrive_proto(t, msg),
+            WireMsg::App {
+                src: asrc,
+                dst: adst,
+                len,
+                page,
+                cacheable,
+                data,
+            } => self.arrive_app(t, adst, asrc, len, page, cacheable, data),
+        }
+        // The frame occupies its ring slot until the NIC processor is done
+        // handling it.
+        let release = self.nics[dst].nic_busy_until().max(t);
+        self.q.schedule_at(release, Ev::RingRelease { dst });
+        self.send_ack(t, dst, src, seq + 1);
+    }
+
+    /// A (possibly corrupt) acknowledgement arrived back at sender `to`.
+    fn on_ack_rx(&mut self, t: SimTime, to: usize, from: usize, ack: u64, cells: Vec<Cell>) {
+        if !matches!(self.nics[to].ingest_frame(&cells), Some(Ok(_))) {
+            // Corrupt ack: the NIC counted it; retransmission recovers.
+            return;
+        }
+        let cap = self.cfg.faults.window as usize;
+        let rto0 = SimTime::from_ps(self.cfg.faults.rto_base_ps);
+        let ch = &mut self.rel_tx[to][from];
+        if ack > ch.base {
+            while ch.base < ack {
+                let acked = ch.window.pop_front();
+                debug_assert!(acked.is_some(), "cumulative ack beyond the window");
+                ch.base += 1;
+            }
+            ch.dup_acks = 0;
+            ch.rto = rto0;
+            // Admit parked frames into the freed window.
+            let mut admitted = Vec::new();
+            while ch.window.len() < cap {
+                let Some(frag) = ch.pending.pop_front() else {
+                    break;
+                };
+                let seq = ch.next_seq;
+                ch.next_seq += 1;
+                ch.window.push_back(InFlight {
+                    seq,
+                    frag: frag.clone(),
+                    attempts: 0,
+                    sent_at: t,
+                });
+                admitted.push((seq, frag));
+            }
+            let empty = ch.window.is_empty();
+            for (seq, frag) in &admitted {
+                self.send_frame(t, to, from, *seq, frag);
+            }
+            if empty {
+                self.cancel_timer(to, from);
+            } else {
+                self.arm_timer(t, to, from);
+            }
+        } else {
+            ch.dup_acks += 1;
+            if ch.dup_acks >= 2 && !ch.window.is_empty() {
+                ch.dup_acks = 0;
+                self.rel_stats.fast_retransmits += 1;
+                // Resend only the frame the receiver is missing. Resending
+                // the whole window here is unstable: every duplicate frame
+                // provokes another duplicate ack, so a W-frame window turns
+                // 2 dup-acks into W more — an ack storm with gain W/2. The
+                // full go-back-N resend belongs to the paced timeout path.
+                self.resend_front(t, to, from);
+            }
+        }
+    }
+
+    /// Fast-retransmit the oldest unacknowledged frame on `src -> dst`
+    /// (the one the duplicate acks say is missing) and restart the timer.
+    fn resend_front(&mut self, t: SimTime, src: usize, dst: usize) {
+        let ch = &mut self.rel_tx[src][dst];
+        let Some(f) = ch.window.front_mut() else {
+            return;
+        };
+        f.attempts += 1;
+        let (seq, frag, attempt) = (f.seq, f.frag.clone(), f.attempts);
+        if attempt >= 10_000 {
+            panic!(
+                "reliable delivery cannot make progress: {src}->{dst} seq {seq} resent {attempt} times \
+                 (base {}, next {}, window {}, pending {}, rx expected {}, ring {}/{})",
+                ch.base,
+                ch.next_seq,
+                ch.window.len(),
+                ch.pending.len(),
+                self.rel_rx[dst][src].expected,
+                self.ring_used[dst],
+                self.cfg.faults.rx_ring_frames,
+            );
+        }
+        self.rel_stats.retransmits += 1;
+        self.trace.emit_at(
+            t.as_ps(),
+            src as u32,
+            TraceEvent::RetransmitFired { seq, attempt },
+        );
+        self.send_frame(t, src, dst, seq, &frag);
+        self.arm_timer(t, src, dst);
+    }
+
+    /// Resend every unacknowledged frame on the `src -> dst` channel
+    /// (go-back-N recovers the whole window) and restart the timer.
+    fn resend_window(&mut self, t: SimTime, src: usize, dst: usize) {
+        let frames: Vec<(u64, Frag, u32)> = self.rel_tx[src][dst]
+            .window
+            .iter_mut()
+            .map(|f| {
+                f.attempts += 1;
+                assert!(
+                    f.attempts < 10_000,
+                    "reliable delivery cannot make progress (seq {} resent {} times)",
+                    f.seq,
+                    f.attempts
+                );
+                (f.seq, f.frag.clone(), f.attempts)
+            })
+            .collect();
+        for (seq, frag, attempt) in &frames {
+            self.rel_stats.retransmits += 1;
+            self.trace.emit_at(
+                t.as_ps(),
+                src as u32,
+                TraceEvent::RetransmitFired {
+                    seq: *seq,
+                    attempt: *attempt,
+                },
+            );
+            self.send_frame(t, src, dst, *seq, frag);
+        }
+        self.arm_timer(t, src, dst);
+    }
+
+    /// The `src -> dst` retransmission timer fired: if it is still current
+    /// and frames are outstanding, back the timeout off exponentially and
+    /// resend the window.
+    fn on_rxmit_timer(&mut self, t: SimTime, src: usize, dst: usize, gen: u64) {
+        let cap_ps = self.cfg.faults.rto_cap_ps;
+        let ch = &mut self.rel_tx[src][dst];
+        if gen != ch.timer_gen || ch.window.is_empty() {
+            return;
+        }
+        self.rel_stats.timeouts += 1;
+        ch.rto = SimTime::from_ps((ch.rto.as_ps() * 2).min(cap_ps));
+        self.resend_window(t, src, dst);
     }
 
     fn arrive_proto(&mut self, t: SimTime, msg: Msg) {

@@ -46,6 +46,7 @@ pub struct ChannelQueues {
     enqueues: u64,
     dequeues: u64,
     protection_faults: u64,
+    overflow_drops: u64,
     trace: TraceSink,
     node: u32,
     channel: u32,
@@ -64,6 +65,7 @@ impl ChannelQueues {
             enqueues: 0,
             dequeues: 0,
             protection_faults: 0,
+            overflow_drops: 0,
             trace: TraceSink::Disabled,
             node: 0,
             channel: 0,
@@ -126,10 +128,25 @@ impl ChannelQueues {
         Ok(())
     }
 
+    /// A full ring refused a descriptor: counted backpressure, never a
+    /// panic — the caller retries, backs off, or (for the board) NAKs.
+    fn note_overflow(&mut self) {
+        self.overflow_drops += 1;
+        self.trace.emit(
+            self.node,
+            TraceEvent::RingOverflow {
+                channel: self.channel,
+            },
+        );
+    }
+
     /// Application: post a buffer for transmission.
     pub fn enqueue_transmit(&mut self, d: Descriptor) -> Result<(), QueueError> {
         self.check(&d)?;
-        Self::push(&mut self.transmit, self.capacity, d)?;
+        if let Err(e) = Self::push(&mut self.transmit, self.capacity, d) {
+            self.note_overflow();
+            return Err(e);
+        }
         self.enqueues += 1;
         self.trace_enqueue(d.len);
         Ok(())
@@ -149,7 +166,10 @@ impl ChannelQueues {
     /// free queue).
     pub fn enqueue_free(&mut self, d: Descriptor) -> Result<(), QueueError> {
         self.check(&d)?;
-        Self::push(&mut self.free, self.capacity, d)?;
+        if let Err(e) = Self::push(&mut self.free, self.capacity, d) {
+            self.note_overflow();
+            return Err(e);
+        }
         self.enqueues += 1;
         self.trace_enqueue(d.len);
         Ok(())
@@ -167,7 +187,10 @@ impl ChannelQueues {
 
     /// Board: hand a filled buffer to the application.
     pub fn post_receive(&mut self, d: Descriptor) -> Result<(), QueueError> {
-        Self::push(&mut self.receive, self.capacity, d)?;
+        if let Err(e) = Self::push(&mut self.receive, self.capacity, d) {
+            self.note_overflow();
+            return Err(e);
+        }
         self.enqueues += 1;
         self.trace_enqueue(d.len);
         Ok(())
@@ -201,6 +224,11 @@ impl ChannelQueues {
     /// (total enqueues, total dequeues, protection faults).
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.enqueues, self.dequeues, self.protection_faults)
+    }
+
+    /// Enqueues refused because a ring was at capacity.
+    pub fn overflow_drops(&self) -> u64 {
+        self.overflow_drops
     }
 }
 
@@ -265,6 +293,31 @@ mod tests {
         assert_eq!(q.enqueue_transmit(d(0x1000, 64)), Err(QueueError::Full));
         q.dequeue_transmit();
         q.enqueue_transmit(d(0x1000, 64)).unwrap();
+    }
+
+    #[test]
+    fn overflow_is_counted_and_traced_not_fatal() {
+        let mut q = ChannelQueues::new(2);
+        let sink = TraceSink::ring(16);
+        q.set_trace(sink.clone(), 1, 7);
+        q.register_region(0x1000, 0x4000);
+        q.enqueue_free(d(0x1000, 64)).unwrap();
+        q.enqueue_free(d(0x1040, 64)).unwrap();
+        // Every ring reports Full as counted backpressure.
+        assert_eq!(q.enqueue_free(d(0x1080, 64)), Err(QueueError::Full));
+        assert_eq!(q.post_receive(d(0x1000, 64)), Ok(()));
+        assert_eq!(q.post_receive(d(0x1040, 64)), Ok(()));
+        assert_eq!(q.post_receive(d(0x1080, 64)), Err(QueueError::Full));
+        assert_eq!(q.overflow_drops(), 2);
+        // The queue keeps working after overflow.
+        assert!(q.take_free().is_some());
+        assert!(q.enqueue_free(d(0x1080, 64)).is_ok());
+        let overflows = sink
+            .drain()
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::RingOverflow { channel: 7 }))
+            .count();
+        assert_eq!(overflows, 2);
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct NicStats {
     pub aih_dispatches: u64,
     /// PATHFINDER comparison cells evaluated.
     pub classify_cells: u64,
+    /// Received PDUs rejected because the AAL5 trailer CRC-32 did not
+    /// match the reassembled bytes.
+    pub rx_crc_failures: u64,
+    /// Received PDUs discarded for any reassembly failure (CRC, length
+    /// mismatch, truncation). Superset of `rx_crc_failures`.
+    pub rx_frames_discarded: u64,
 }
 
 impl NicStats {
@@ -55,6 +61,8 @@ impl NicStats {
         self.polls += o.polls;
         self.aih_dispatches += o.aih_dispatches;
         self.classify_cells += o.classify_cells;
+        self.rx_crc_failures += o.rx_crc_failures;
+        self.rx_frames_discarded += o.rx_frames_discarded;
     }
 }
 

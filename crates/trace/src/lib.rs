@@ -267,6 +267,39 @@ pub enum TraceEvent {
     /// A periodic metrics sample (counter deltas for the interval ending
     /// at the record's timestamp).
     Metrics(MetricsSample),
+    /// The fault injector discarded a cell in the fabric (random loss or
+    /// a scheduled brownout window).
+    CellDropped {
+        /// VCI of the PDU the cell belonged to.
+        vci: u32,
+        /// Index of the cell within its PDU.
+        cell: u32,
+    },
+    /// AAL5 reassembly rejected a PDU (CRC-32 or length-check failure).
+    CrcFail {
+        /// VCI of the rejected PDU.
+        vci: u32,
+    },
+    /// The reliability layer armed a retransmission timer.
+    RetransmitScheduled {
+        /// Oldest unacknowledged sequence number the timer guards.
+        seq: u64,
+        /// Timeout in picoseconds (after backoff).
+        rto_ps: u64,
+    },
+    /// The reliability layer retransmitted a frame.
+    RetransmitFired {
+        /// Sequence number of the retransmitted frame.
+        seq: u64,
+        /// Transmission attempt number (1 = first retransmission).
+        attempt: u32,
+    },
+    /// An in-order frame (or descriptor) was dropped because its receive
+    /// ring was full; the sender will retransmit after a NAK or timeout.
+    RingOverflow {
+        /// The overflowing channel (or receiving node for wire frames).
+        channel: u32,
+    },
 }
 
 impl TraceEvent {
@@ -294,6 +327,11 @@ impl TraceEvent {
             | DsmMsg { .. } => "dsm",
             ProtoTx { .. } => "wire",
             Metrics(_) => "metrics",
+            CellDropped { .. }
+            | CrcFail { .. }
+            | RetransmitScheduled { .. }
+            | RetransmitFired { .. }
+            | RingOverflow { .. } => "faults",
         }
     }
 
@@ -324,6 +362,11 @@ impl TraceEvent {
             DsmMsg { .. } => "dsm_msg",
             ProtoTx { .. } => "proto_tx",
             Metrics(_) => "metrics",
+            CellDropped { .. } => "cell_dropped",
+            CrcFail { .. } => "crc_fail",
+            RetransmitScheduled { .. } => "retransmit_scheduled",
+            RetransmitFired { .. } => "retransmit_fired",
+            RingOverflow { .. } => "ring_overflow",
         }
     }
 }
@@ -401,6 +444,20 @@ impl Serialize for TraceEvent {
                     }
                 }
             }
+            CellDropped { vci, cell } => {
+                put("vci", vci.to_value());
+                put("cell", cell.to_value());
+            }
+            CrcFail { vci } => put("vci", vci.to_value()),
+            RetransmitScheduled { seq, rto_ps } => {
+                put("seq", seq.to_value());
+                put("rto_ps", rto_ps.to_value());
+            }
+            RetransmitFired { seq, attempt } => {
+                put("seq", seq.to_value());
+                put("attempt", attempt.to_value());
+            }
+            RingOverflow { channel } => put("channel", channel.to_value()),
         }
         Value::Object(m)
     }
@@ -497,6 +554,24 @@ impl Deserialize for TraceEvent {
                 dur_ps: field(o, "dur_ps")?,
             },
             "metrics" => Metrics(MetricsSample::from_value(v)?),
+            "cell_dropped" => CellDropped {
+                vci: field(o, "vci")?,
+                cell: field(o, "cell")?,
+            },
+            "crc_fail" => CrcFail {
+                vci: field(o, "vci")?,
+            },
+            "retransmit_scheduled" => RetransmitScheduled {
+                seq: field(o, "seq")?,
+                rto_ps: field(o, "rto_ps")?,
+            },
+            "retransmit_fired" => RetransmitFired {
+                seq: field(o, "seq")?,
+                attempt: field(o, "attempt")?,
+            },
+            "ring_overflow" => RingOverflow {
+                channel: field(o, "channel")?,
+            },
             other => return Err(DeError::msg(format!("unknown trace event {other:?}"))),
         })
     }
@@ -783,8 +858,34 @@ mod tests {
                 dur_ps: 1,
             },
             TraceEvent::Metrics(MetricsSample::default()),
+            TraceEvent::CellDropped { vci: 0, cell: 0 },
         ];
         let tracks: std::collections::BTreeSet<_> = events.iter().map(|e| e.track()).collect();
-        assert_eq!(tracks.len(), 10);
+        assert_eq!(tracks.len(), 11);
+    }
+
+    #[test]
+    fn fault_events_roundtrip_through_jsonl() {
+        let events = [
+            TraceEvent::CellDropped { vci: 6, cell: 12 },
+            TraceEvent::CrcFail { vci: 6 },
+            TraceEvent::RetransmitScheduled {
+                seq: 9,
+                rto_ps: 100_000,
+            },
+            TraceEvent::RetransmitFired { seq: 9, attempt: 2 },
+            TraceEvent::RingOverflow { channel: 3 },
+        ];
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.track(), "faults");
+            let rec = TraceRecord {
+                t_ps: i as u64,
+                node: 2,
+                event: *ev,
+            };
+            let json = serde_json::to_string(&rec).unwrap();
+            let back: TraceRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, rec);
+        }
     }
 }

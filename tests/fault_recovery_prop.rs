@@ -1,0 +1,66 @@
+//! Property test: for any loss/corruption probabilities in (0, 0.2] and
+//! any fault seed, a small Jacobi run completes and computes exactly the
+//! lossless reference answer. This is the reliability layer's contract —
+//! faults may cost time, never correctness.
+
+use cni::{Config, FaultPlan, World};
+use cni_apps::jacobi;
+use cni_dsm::access;
+use proptest::prelude::*;
+
+fn run_grid(plan: FaultPlan) -> Vec<f64> {
+    let params = jacobi::JacobiParams {
+        n: 12,
+        iters: 2,
+        verify: true,
+    };
+    let cfg = Config::paper_default()
+        .with_procs(2)
+        .with_page_bytes(512)
+        .with_faults(plan);
+    let mut world = World::new(cfg);
+    let (layout, progs) = jacobi::programs(&mut world, params);
+    let _ = world.run(progs);
+    let grid = jacobi::result_grid(layout, params.iters);
+    let page_bytes = world.config().page_bytes;
+    (0..params.n * params.n)
+        .map(|k| {
+            let addr = grid.add((k * 8) as u64);
+            let page = addr.page(page_bytes);
+            let word = addr.word(page_bytes);
+            for p in 0..world.config().procs {
+                if let Some(h) = world.space(p).try_page(page) {
+                    if h.flags.state() != access::INVALID {
+                        return f64::from_bits(h.frame.load(word));
+                    }
+                }
+            }
+            panic!("no valid copy of word {k}");
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    fn any_fault_scenario_completes_with_lossless_results(
+        drop_pm in 1u64..=200,
+        corrupt_pm in 1u64..=200,
+        seed in 1u64..=1_000_000,
+    ) {
+        let expect = jacobi::reference(12, 2);
+        let plan = FaultPlan {
+            drop_prob: drop_pm as f64 / 1000.0,
+            corrupt_prob: corrupt_pm as f64 / 1000.0,
+            seed,
+            ..FaultPlan::none()
+        };
+        let got = run_grid(plan);
+        for (k, (&g, &e)) in got.iter().zip(&expect).enumerate() {
+            prop_assert!(
+                (g - e).abs() < 1e-12,
+                "drop={drop_pm}pm corrupt={corrupt_pm}pm seed={seed}: grid[{k}] = {g}, want {e}"
+            );
+        }
+    }
+}
