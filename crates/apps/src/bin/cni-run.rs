@@ -19,14 +19,27 @@
 use cni::{kind_name, Config, FaultPlan, RunReport, SimTime, TraceSink, REPORT_VERSION};
 use cni_apps::cholesky::CholeskyMatrix;
 use cni_apps::experiments::{run_app, run_app_traced, App};
-use cni_trace::export::{write_chrome, write_jsonl};
+use cni_batch::Pool;
+use cni_trace::export::{job_trace_path, write_chrome, write_jsonl};
 use std::collections::HashMap;
 use std::io::BufWriter;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: cni-run --app <jacobi|water|cholesky|latency> [options]\n\
+         \x20      cni-run --sweep <spec.json> [--jobs N] [options]\n\
+         \n\
+         sweep mode (parallel batch over a JSON run list):\n\
+           --sweep PATH        JSON array of run objects; see docs of\n\
+                               cni_apps::sweep for the format\n\
+           --jobs N            worker threads (default: $CNI_JOBS, else\n\
+                               the machine's available parallelism)\n\
+           --out PATH          also write the batch report JSON to PATH\n\
+           --trace-dir DIR     record each run's events to its own file\n\
+                               DIR/<index>-<label>.<ext>\n\
+           --json              print the batch report as JSON\n\
          \n\
          common options:\n\
            --procs N           processors (default 8)\n\
@@ -167,10 +180,144 @@ fn print_report(label: &str, cfg: &Config, r: &RunReport, json: bool) {
     }
 }
 
+/// Execute `--sweep`: parse the spec, run every job on a work-stealing
+/// pool, print/persist the batch report. Per-run reports are bit-identical
+/// to what the same spec produces under `--jobs 1` (or a plain single
+/// run); only wall-clock changes with the worker count.
+fn run_sweep(args: &HashMap<String, String>, spec_path: &str) -> ExitCode {
+    let json = args.contains_key("json");
+    let jobs: usize = get(args, "jobs", cni_batch::default_jobs());
+    let trace_format = args
+        .get("trace-format")
+        .map(String::as_str)
+        .unwrap_or("chrome");
+    if !matches!(trace_format, "chrome" | "jsonl") {
+        eprintln!("unknown trace format {trace_format:?} (chrome or jsonl)");
+        usage();
+    }
+    let trace_dir = args.get("trace-dir").cloned();
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create trace dir {dir:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read sweep spec {spec_path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let specs = match cni_apps::sweep::parse_sweep(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad sweep spec {spec_path:?}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "sweep: {} run(s) on {} worker(s)",
+        specs.len(),
+        Pool::new(jobs).workers()
+    );
+    let ext = if trace_format == "chrome" {
+        "json"
+    } else {
+        "jsonl"
+    };
+    let report = Pool::new(jobs).run_batch(specs, |i, spec| {
+        let cfg = spec.effective_config();
+        match &trace_dir {
+            None => run_app(cfg, spec.workload),
+            Some(dir) => {
+                let sink = TraceSink::ring(1 << 20);
+                let r = run_app_traced(cfg, spec.workload, sink.clone(), None);
+                let path = job_trace_path(Path::new(dir), i, &spec.label, ext);
+                let records = sink.drain();
+                match std::fs::File::create(&path) {
+                    Err(e) => eprintln!("cannot create {path:?}: {e}"),
+                    Ok(f) => {
+                        let mut w = BufWriter::new(f);
+                        let res = match trace_format {
+                            "chrome" => write_chrome(&mut w, &records),
+                            _ => write_jsonl(&mut w, &records),
+                        };
+                        if let Err(e) = res {
+                            eprintln!("cannot write {path:?}: {e}");
+                        }
+                    }
+                }
+                r
+            }
+        }
+    });
+    if let Some(out) = args.get("out") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(out, s + "\n") {
+                    eprintln!("cannot write {out:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot serialize batch report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("batch report serializes")
+        );
+    } else {
+        println!(
+            "{:>5} {:>28} {:>12} {:>10} {:>12} {:>10}",
+            "job", "label", "wall(ms)", "hit(%)", "messages", "host(s)"
+        );
+        for j in &report.jobs {
+            match &j.report {
+                Some(r) => println!(
+                    "{:>5} {:>28} {:>12.2} {:>10.1} {:>12} {:>10.2}",
+                    j.index,
+                    j.label,
+                    r.wall.as_ms_f64(),
+                    r.hit_ratio() * 100.0,
+                    r.messages,
+                    j.timing.wall_s
+                ),
+                None => println!(
+                    "{:>5} {:>28} PANICKED: {}",
+                    j.index,
+                    j.label,
+                    j.error.as_deref().unwrap_or("?")
+                ),
+            }
+        }
+        println!(
+            "batch: {}/{} runs ok on {} worker(s); wall {:.2}s, serial-equivalent {:.2}s",
+            report.completed(),
+            report.jobs.len(),
+            report.workers,
+            report.wall_s,
+            report.serial_wall_s()
+        );
+    }
+    if report.completed() == report.jobs.len() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if args.contains_key("help") {
         usage();
+    }
+    if let Some(spec_path) = args.get("sweep") {
+        return run_sweep(&args, &spec_path.clone());
     }
     let json = args.contains_key("json");
     let procs: usize = get(&args, "procs", 8);

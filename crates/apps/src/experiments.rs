@@ -8,9 +8,16 @@
 //! page-size sensitivity (5, 9, 12), overhead breakdowns (Tables 2–4),
 //! Message-Cache size sensitivity (Figure 13), node-to-node latency
 //! (Figure 14) and the unrestricted-cell-size improvement (Table 5).
+//!
+//! Every sweep executes its runs through `cni-batch`'s work-stealing
+//! [`Pool`]: each run is an independent deterministic simulation, so the
+//! harness enumerates the full run list up front, hands it to the pool,
+//! and assembles results *by index*. Results are identical whatever
+//! `$CNI_JOBS` says — parallelism only changes the wall clock.
 
 use crate::{cholesky, jacobi, water};
 use cni::{Config, ProcTimes, RunReport, SimTime, TraceSink, World};
+use cni_batch::Pool;
 use serde::{Deserialize, Serialize};
 
 /// Which application an experiment runs.
@@ -50,6 +57,22 @@ impl App {
 
 /// The workload seed used throughout the evaluation.
 pub const SEED: u64 = 0x5EED;
+
+/// The pool every sweep in this module runs on, sized by
+/// [`cni_batch::default_jobs`] (`$CNI_JOBS` overrides the machine's
+/// available parallelism). Quiet: the figure harnesses print their own
+/// tables.
+fn pool() -> Pool {
+    Pool::with_default_workers().quiet()
+}
+
+/// `cfg` re-seeded for averaging run `k` (the seed schedule [`mean_wall`]
+/// has always used).
+fn seeded(cfg: Config, k: u64) -> Config {
+    let mut c = cfg;
+    c.seed = cfg.seed.wrapping_add(k * 0x9E37);
+    c
+}
 
 /// Run `app` on a cluster configured by `cfg`.
 pub fn run_app(cfg: Config, app: App) -> RunReport {
@@ -117,28 +140,32 @@ pub struct SpeedupPoint {
 /// Mean completion time over `runs` seeds: convoy formation in
 /// lock-heavy phases makes single deterministic runs noisy, and
 /// experiments that *difference* two similar walls (page-size sweeps,
-/// Table 5) need the averaging.
+/// Table 5) need the averaging. The seeds run in parallel on the batch
+/// pool; the mean is over the same seed schedule either way.
 pub fn mean_wall(cfg: Config, app: App, runs: u64) -> f64 {
-    (0..runs)
-        .map(|k| {
-            let mut c = cfg;
-            c.seed = cfg.seed.wrapping_add(k * 0x9E37);
-            run_app(c, app).wall.as_ps() as f64
-        })
-        .sum::<f64>()
-        / runs as f64
+    let cfgs: Vec<Config> = (0..runs).map(|k| seeded(cfg, k)).collect();
+    let walls = pool().map(cfgs, |_, c| run_app(*c, app).wall.as_ps() as f64);
+    walls.iter().sum::<f64>() / runs as f64
 }
 
 /// A full speedup curve (Figures 2–4, 6–8, 10–11): both configurations at
 /// each processor count, normalised to their own single-processor runs.
+/// All `2 + 2·|procs|` runs execute concurrently on the batch pool.
 pub fn speedup_curve(base: Config, app: App, procs: &[usize]) -> Vec<SpeedupPoint> {
-    let cni_base = run_app(base.cni().with_procs(1), app).wall;
-    let std_base = run_app(base.standard().with_procs(1), app).wall;
+    let mut cfgs = vec![base.cni().with_procs(1), base.standard().with_procs(1)];
+    for &p in procs {
+        cfgs.push(base.cni().with_procs(p));
+        cfgs.push(base.standard().with_procs(p));
+    }
+    let reports = pool().map(cfgs, |_, cfg| run_app(*cfg, app));
+    let cni_base = reports[0].wall;
+    let std_base = reports[1].wall;
     procs
         .iter()
-        .map(|&p| {
-            let cni = run_app(base.cni().with_procs(p), app);
-            let std_ = run_app(base.standard().with_procs(p), app);
+        .enumerate()
+        .map(|(k, &p)| {
+            let cni = &reports[2 + 2 * k];
+            let std_ = &reports[3 + 2 * k];
             SpeedupPoint {
                 procs: p,
                 cni_speedup: cni_base.as_ps() as f64 / cni.wall.as_ps() as f64,
@@ -160,25 +187,42 @@ pub struct PageSizePoint {
     pub std_speedup: f64,
 }
 
-/// Page-size sensitivity (Figures 5, 9, 12).
+/// Page-size sensitivity (Figures 5, 9, 12). The whole grid — per size:
+/// two single-processor baselines plus 3 averaging seeds for each
+/// interface — is one flat batch; results are indexed back per size.
 pub fn page_size_sweep(
     base: Config,
     app: App,
     procs: usize,
     sizes: &[usize],
 ) -> Vec<PageSizePoint> {
+    const RUNS: u64 = 3;
+    let stride = 2 + 2 * RUNS as usize;
+    let mut cfgs = Vec::with_capacity(sizes.len() * stride);
+    for &bytes in sizes {
+        let cfg = base.with_page_bytes(bytes);
+        cfgs.push(cfg.cni().with_procs(1));
+        cfgs.push(cfg.standard().with_procs(1));
+        for k in 0..RUNS {
+            cfgs.push(seeded(cfg.cni().with_procs(procs), k));
+        }
+        for k in 0..RUNS {
+            cfgs.push(seeded(cfg.standard().with_procs(procs), k));
+        }
+    }
+    let walls = pool().map(cfgs, |_, c| run_app(*c, app).wall.as_ps() as f64);
     sizes
         .iter()
-        .map(|&bytes| {
-            let cfg = base.with_page_bytes(bytes);
-            let cni_base = run_app(cfg.cni().with_procs(1), app).wall.as_ps() as f64;
-            let std_base = run_app(cfg.standard().with_procs(1), app).wall.as_ps() as f64;
-            let cni = mean_wall(cfg.cni().with_procs(procs), app, 3);
-            let std_ = mean_wall(cfg.standard().with_procs(procs), app, 3);
+        .enumerate()
+        .map(|(s, &bytes)| {
+            let b = s * stride;
+            let mean = |lo: usize| -> f64 {
+                walls[lo..lo + RUNS as usize].iter().sum::<f64>() / RUNS as f64
+            };
             PageSizePoint {
                 page_bytes: bytes,
-                cni_speedup: cni_base / cni,
-                std_speedup: std_base / std_,
+                cni_speedup: walls[b] / mean(b + 2),
+                std_speedup: walls[b + 1] / mean(b + 2 + RUNS as usize),
             }
         })
         .collect()
@@ -210,15 +254,15 @@ impl OverheadRow {
     }
 }
 
-/// Overhead breakdowns for both configurations (Tables 2–4).
+/// Overhead breakdowns for both configurations (Tables 2–4); the two
+/// runs execute concurrently.
 pub fn overhead_table(base: Config, app: App, procs: usize) -> (OverheadRow, OverheadRow) {
     let cni_cfg = base.cni().with_procs(procs);
     let std_cfg = base.standard().with_procs(procs);
-    let cni = run_app(cni_cfg, app);
-    let std_ = run_app(std_cfg, app);
+    let reports = pool().map(vec![cni_cfg, std_cfg], |_, c| run_app(*c, app));
     (
-        OverheadRow::from_times(cni.mean_breakdown(), &cni_cfg),
-        OverheadRow::from_times(std_.mean_breakdown(), &std_cfg),
+        OverheadRow::from_times(reports[0].mean_breakdown(), &cni_cfg),
+        OverheadRow::from_times(reports[1].mean_breakdown(), &std_cfg),
     )
 }
 
@@ -231,38 +275,43 @@ pub struct CacheSizePoint {
     pub hit_ratio_pct: f64,
 }
 
-/// Hit ratio as a function of Message-Cache size (Figure 13).
+/// Hit ratio as a function of Message-Cache size (Figure 13); one batch
+/// job per cache size.
 pub fn cache_size_sweep(
     base: Config,
     app: App,
     procs: usize,
     sizes: &[usize],
 ) -> Vec<CacheSizePoint> {
+    let cfgs: Vec<Config> = sizes
+        .iter()
+        .map(|&bytes| base.cni().with_procs(procs).with_msg_cache_bytes(bytes))
+        .collect();
+    let reports = pool().map(cfgs, |_, c| run_app(*c, app));
     sizes
         .iter()
-        .map(|&bytes| {
-            let r = run_app(
-                base.cni().with_procs(procs).with_msg_cache_bytes(bytes),
-                app,
-            );
-            CacheSizePoint {
-                cache_bytes: bytes,
-                hit_ratio_pct: r.hit_ratio() * 100.0,
-            }
+        .zip(&reports)
+        .map(|(&bytes, r)| CacheSizePoint {
+            cache_bytes: bytes,
+            hit_ratio_pct: r.hit_ratio() * 100.0,
         })
         .collect()
 }
 
 /// Percentage improvement from the unrestricted (jumbo) cell size
-/// (Table 5), for the CNI configuration.
+/// (Table 5), for the CNI configuration. All six runs (3 averaging seeds
+/// × {restricted, jumbo}) are one batch.
 pub fn jumbo_improvement_pct(base: Config, app: App, procs: usize) -> f64 {
-    let with_cells = mean_wall(base.cni().with_procs(procs), app, 3);
-    let jumbo = mean_wall(
-        base.cni().with_procs(procs).with_unrestricted_cells(),
-        app,
-        3,
-    );
-    (with_cells - jumbo) / with_cells * 100.0
+    const RUNS: u64 = 3;
+    let restricted = base.cni().with_procs(procs);
+    let jumbo = restricted.with_unrestricted_cells();
+    let mut cfgs: Vec<Config> = (0..RUNS).map(|k| seeded(restricted, k)).collect();
+    cfgs.extend((0..RUNS).map(|k| seeded(jumbo, k)));
+    let walls = pool().map(cfgs, |_, c| run_app(*c, app).wall.as_ps() as f64);
+    let mean = |lo: usize| walls[lo..lo + RUNS as usize].iter().sum::<f64>() / RUNS as f64;
+    let with_cells = mean(0);
+    let jumbo_wall = mean(RUNS as usize);
+    (with_cells - jumbo_wall) / with_cells * 100.0
 }
 
 /// One row of the mechanism-ablation study: the CNI with one mechanism
@@ -311,23 +360,20 @@ pub fn ablation(base: Config, app: App, procs: usize) -> Vec<AblationRow> {
         ),
         ("standard NIC", base.standard().with_procs(procs)),
     ];
-    let mut rows = Vec::new();
-    let mut cni_wall = 0.0;
-    for (name, cfg) in variants {
-        let r = run_app(cfg, app);
-        let wall_ms = r.wall.as_ms_f64();
-        if rows.is_empty() {
-            cni_wall = wall_ms;
-        }
-        rows.push(AblationRow {
+    let (names, cfgs): (Vec<&str>, Vec<Config>) = variants.into_iter().unzip();
+    let reports = pool().map(cfgs, |_, c| run_app(*c, app));
+    let cni_wall = reports[0].wall.as_ms_f64();
+    names
+        .into_iter()
+        .zip(&reports)
+        .map(|(name, r)| AblationRow {
             variant: name.to_string(),
-            wall_ms,
-            slowdown_vs_cni: wall_ms / cni_wall,
+            wall_ms: r.wall.as_ms_f64(),
+            slowdown_vs_cni: r.wall.as_ms_f64() / cni_wall,
             hit_ratio_pct: r.hit_ratio() * 100.0,
             interrupts: r.interrupts(),
-        });
-    }
-    rows
+        })
+        .collect()
 }
 
 /// One point of the node-to-node latency microbenchmark (Figure 14).
@@ -344,14 +390,21 @@ pub struct LatencyPoint {
 /// Measure best-case one-way latency via a warmed-up ping-pong: the sender
 /// reuses one page-backed buffer, so after the cold start every CNI
 /// transmit hits the Message Cache (the paper's "assuming a 100% network
-/// cache hit ratio").
+/// cache hit ratio"). Each (size, interface) pair is one batch job.
 pub fn latency_curve(base: Config, sizes: &[usize], rounds: u32) -> Vec<LatencyPoint> {
+    let mut jobs: Vec<(usize, Config)> = Vec::with_capacity(sizes.len() * 2);
+    for &bytes in sizes {
+        jobs.push((bytes, base.cni()));
+        jobs.push((bytes, base.standard()));
+    }
+    let us = pool().map(jobs, |_, &(bytes, cfg)| one_way_latency(cfg, bytes, rounds));
     sizes
         .iter()
-        .map(|&bytes| LatencyPoint {
+        .enumerate()
+        .map(|(k, &bytes)| LatencyPoint {
             bytes,
-            cni_us: one_way_latency(base.cni(), bytes, rounds),
-            std_us: one_way_latency(base.standard(), bytes, rounds),
+            cni_us: us[2 * k],
+            std_us: us[2 * k + 1],
         })
         .collect()
 }

@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod jacobi;
 pub mod mp_jacobi;
 pub mod sparse;
+pub mod sweep;
 pub mod water;
 
 pub use cholesky::{CholeskyLayout, CholeskyMatrix};

@@ -9,25 +9,31 @@ use cni_apps::experiments::{ablation, App};
 
 fn tree_barrier_study() {
     use cni_apps::experiments::run_app;
+    use cni_batch::Pool;
     println!("== extension: combining-tree barrier vs centralised manager ==");
     println!(
         "{:>8} {:>14} {:>14} {:>10}",
         "procs", "central(ms)", "tree(ms)", "tree/ctrl"
     );
     let app = App::Jacobi { n: 128, iters: 25 }; // barrier-bound at scale
-    let mut rows = Vec::new();
-    for procs in [8usize, 16, 32] {
-        let central = run_app(Config::paper_default().with_procs(procs), app)
-            .wall
-            .as_ms_f64();
-        let tree = run_app(
+    const PROCS: [usize; 3] = [8, 16, 32];
+    // One batch job per (procs, barrier) pair; the pool work-steals
+    // across them and results come back in sweep order.
+    let mut cfgs: Vec<Config> = Vec::new();
+    for procs in PROCS {
+        cfgs.push(Config::paper_default().with_procs(procs));
+        cfgs.push(
             Config::paper_default()
                 .with_procs(procs)
                 .with_tree_barrier(),
-            app,
-        )
-        .wall
-        .as_ms_f64();
+        );
+    }
+    let walls = Pool::with_default_workers()
+        .quiet()
+        .map(cfgs, |_, &cfg| run_app(cfg, app).wall.as_ms_f64());
+    let mut rows = Vec::new();
+    for (k, procs) in PROCS.into_iter().enumerate() {
+        let (central, tree) = (walls[2 * k], walls[2 * k + 1]);
         println!(
             "{procs:>8} {central:>14.2} {tree:>14.2} {:>10.2}",
             tree / central

@@ -8,6 +8,7 @@
 
 use cni::Config;
 use cni_apps::experiments::{run_app, App};
+use cni_batch::Pool;
 
 fn main() {
     let app = App::Jacobi { n: 256, iters: 25 };
@@ -16,14 +17,23 @@ fn main() {
         "{:>16} {:>12} {:>12} {:>12}",
         "interrupt(us)", "CNI(ms)", "Std(ms)", "Std/CNI"
     );
-    let mut rows = Vec::new();
+    // Both interfaces at every cost point, as one flat work-stealing
+    // batch; rows come back in sweep order regardless of completion.
+    let mut cfgs: Vec<(u64, Config)> = Vec::new();
     for us in [5u64, 10, 20, 40, 80] {
         let cycles = us * 166; // 166 cycles per microsecond at 166 MHz
         let mut cfg = Config::paper_default().with_procs(8);
         cfg.nic.interrupt_cycles = cycles;
         cfg.nic.interrupt_occupancy_cycles = (cycles / 4).max(400);
-        let cni = run_app(cfg.cni(), app).wall.as_ms_f64();
-        let std_ = run_app(cfg.standard(), app).wall.as_ms_f64();
+        cfgs.push((us, cfg.cni()));
+        cfgs.push((us, cfg.standard()));
+    }
+    let walls = Pool::with_default_workers()
+        .quiet()
+        .map(cfgs, |_, &(_, cfg)| run_app(cfg, app).wall.as_ms_f64());
+    let mut rows = Vec::new();
+    for (k, us) in [5u64, 10, 20, 40, 80].into_iter().enumerate() {
+        let (cni, std_) = (walls[2 * k], walls[2 * k + 1]);
         println!("{us:>16} {cni:>12.2} {std_:>12.2} {:>12.2}", std_ / cni);
         rows.push((us, cni, std_));
     }

@@ -407,7 +407,16 @@ pub fn experiments() -> Vec<Experiment> {
 
 /// Run every experiment whose id or title contains one of `filters` (all
 /// when empty), in registry order.
+///
+/// Each experiment internally fans its independent runs out over a
+/// [`cni_batch::Pool`] sized by [`cni_batch::default_jobs`] (override
+/// with `CNI_JOBS=N`); the printed rows are identical at any worker
+/// count.
 pub fn run_filtered(filters: &[String]) {
+    eprintln!(
+        "[experiments run on {} worker(s); set CNI_JOBS to change]",
+        cni_batch::default_jobs()
+    );
     for e in experiments() {
         let selected = filters.is_empty()
             || filters

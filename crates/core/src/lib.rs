@@ -28,6 +28,8 @@
 //! Channels, Application Interrupt Handler runtime, and the standard
 //! baseline NIC) and [`cni_dsm`] (lazy invalidate release consistency).
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod ctx;
 pub mod report;
@@ -35,7 +37,10 @@ pub mod world;
 
 pub use config::{Config, ProtoCosts};
 pub use ctx::{ProcCtx, Reply};
-pub use report::{kind_name, speedup, KindLatency, ProcTimes, RunReport, REPORT_VERSION};
+pub use report::{
+    kind_name, speedup, KindHistogram, KindLatency, ProcTimes, RunReport, OLDEST_PARSEABLE_VERSION,
+    REPORT_VERSION,
+};
 pub use world::{Program, World};
 
 // Re-export the tracing surface so embedders need only this crate.

@@ -4,15 +4,44 @@ use cni_dsm::DsmStats;
 use cni_faults::FaultStats;
 use cni_nic::msgcache::MsgCacheStats;
 use cni_nic::stats::NicStats;
-use cni_sim::{Clock, SimTime};
+use cni_sim::{Clock, Histogram, SimTime};
 use cni_trace::TraceSummary;
 use serde::{Deserialize, Serialize};
 
 /// Schema version of [`RunReport`]'s serialized form. Bumped whenever a
 /// field is added, removed or changes meaning, so archived `--json` output
-/// is self-describing. Version 3 added the `faults` record (fault
-/// injection and retransmission counters).
-pub const REPORT_VERSION: u32 = 3;
+/// is self-describing.
+///
+/// History:
+/// * **2** — first versioned schema: added `version` and the per-kind
+///   `latency` summaries.
+/// * **3** — added the `faults` record (fault injection and
+///   retransmission counters).
+/// * **4** — added `latency_hist`, the raw per-kind latency histograms,
+///   so batch runs can merge distributions across runs
+///   (`cni-batch`'s `BatchReport`).
+///
+/// Reports from any version in [`OLDEST_PARSEABLE_VERSION`]`..=`
+/// [`REPORT_VERSION`] still parse — see [`RunReport::parse_json`].
+pub const REPORT_VERSION: u32 = 4;
+
+/// The oldest archived report schema [`RunReport::parse_json`] accepts.
+pub const OLDEST_PARSEABLE_VERSION: u32 = 2;
+
+/// Raw one-way latency histogram of one wire message kind, in
+/// nanoseconds (the unit the engine records; [`KindLatency`] divides by
+/// 10³ for its microsecond summaries). Unlike the summarised
+/// [`KindLatency`], histograms are mergeable across runs (bucket-wise),
+/// which is what batch aggregation needs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct KindHistogram {
+    /// The wire kind byte (`0xD0..=0xD8` protocol, `0xA0` application).
+    pub kind: u8,
+    /// Log-2 bucketed latency distribution (values in whole
+    /// nanoseconds). Empty-histogram percentiles are 0 by
+    /// [`Histogram::percentile`]'s documented contract.
+    pub hist: Histogram,
+}
 
 /// Per-processor time breakdown, in virtual time.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -87,14 +116,63 @@ pub struct RunReport {
     /// One-way wire latency distribution per message kind (kinds that
     /// never appeared are omitted).
     pub latency: Vec<KindLatency>,
+    /// Raw per-kind latency histograms behind `latency` (schema ≥ 4;
+    /// empty when parsed from an older archive). These are what
+    /// `cni-batch` merges across the runs of a batch.
+    pub latency_hist: Vec<KindHistogram>,
     /// Trace-buffer accounting when tracing was enabled, `None` otherwise.
     pub trace: Option<TraceSummary>,
     /// Fault-injection and reliability-protocol counters (all zero when
-    /// the run used a zero fault plan).
+    /// the run used a zero fault plan). Schema ≥ 3; zeroes when parsed
+    /// from a version-2 archive.
     pub faults: FaultStats,
 }
 
 impl RunReport {
+    /// Parse a serialized report of any supported schema version.
+    ///
+    /// * Versions [`OLDEST_PARSEABLE_VERSION`]`..=`[`REPORT_VERSION`]
+    ///   parse; fields a version predates are filled with their
+    ///   documented defaults (`faults` zeroed below 3, `latency_hist`
+    ///   empty below 4). The parsed struct keeps the archive's original
+    ///   `version` value.
+    /// * A missing, non-integer, too-old or too-new `version` field is
+    ///   rejected with a descriptive error — a report written by a future
+    ///   major schema must not be silently misread.
+    pub fn parse_json(s: &str) -> Result<RunReport, String> {
+        let mut v: serde_json::Value =
+            serde_json::from_str(s).map_err(|e| format!("malformed report JSON: {e}"))?;
+        let obj = v
+            .as_object_mut()
+            .ok_or_else(|| "report JSON is not an object".to_string())?;
+        let version = obj
+            .get("version")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| "report has no integer `version` field".to_string())?;
+        if version < OLDEST_PARSEABLE_VERSION as u64 {
+            return Err(format!(
+                "report schema version {version} predates the oldest supported \
+                 version {OLDEST_PARSEABLE_VERSION}"
+            ));
+        }
+        if version > REPORT_VERSION as u64 {
+            return Err(format!(
+                "report schema version {version} is newer than this build \
+                 understands (max {REPORT_VERSION})"
+            ));
+        }
+        // Migrate: materialise fields the archive's schema predates.
+        if version < 3 && !obj.contains_key("faults") {
+            obj.insert("faults".to_string(), FaultStats::default().to_value());
+        }
+        if version < 4 && !obj.contains_key("latency_hist") {
+            obj.insert(
+                "latency_hist".to_string(),
+                Vec::<KindHistogram>::new().to_value(),
+            );
+        }
+        RunReport::from_value(&v).map_err(|e| format!("invalid v{version} report: {e}"))
+    }
     /// The paper's *network cache hit ratio*, aggregated across nodes:
     /// board-resident transmissions over page-backed transmissions.
     pub fn hit_ratio(&self) -> f64 {
@@ -188,6 +266,7 @@ mod tests {
             messages: 0,
             msg_kinds: [0; 9],
             latency: Vec::new(),
+            latency_hist: Vec::new(),
             trace: None,
             faults: FaultStats::default(),
         }
@@ -221,5 +300,71 @@ mod tests {
         let clock = Clock::from_mhz(166);
         let t = clock.cycles(2_000_000_000);
         assert!((RunReport::gcycles(t, clock) - 2.0).abs() < 1e-9);
+    }
+
+    /// A hand-written archive at `version`, shaped like the fields that
+    /// schema actually had: v2 predates `faults`, v3 predates
+    /// `latency_hist`.
+    fn archived_json(version: u32) -> String {
+        let mut r = report(&[(3, 4)]);
+        r.version = version;
+        let mut v = serde_json::to_value(&r).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        if version < 4 {
+            obj.remove("latency_hist");
+        }
+        if version < 3 {
+            obj.remove("faults");
+        }
+        serde_json::to_string(&v).unwrap()
+    }
+
+    #[test]
+    fn parse_json_reads_v2_archives() {
+        let r = RunReport::parse_json(&archived_json(2)).unwrap();
+        assert_eq!(r.version, 2);
+        assert_eq!(r.faults, FaultStats::default());
+        assert!(r.latency_hist.is_empty());
+        assert_eq!(r.nic[0].tx_cache_hits, 3);
+        assert!((r.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_json_reads_v3_archives() {
+        let r = RunReport::parse_json(&archived_json(3)).unwrap();
+        assert_eq!(r.version, 3);
+        assert!(r.latency_hist.is_empty());
+    }
+
+    #[test]
+    fn parse_json_round_trips_v4() {
+        let mut orig = report(&[(1, 2)]);
+        let mut h = Histogram::new();
+        h.record(7);
+        h.record(130);
+        orig.latency_hist = vec![KindHistogram {
+            kind: 0xA0,
+            hist: h,
+        }];
+        let json = serde_json::to_string(&orig).unwrap();
+        let back = RunReport::parse_json(&json).unwrap();
+        assert_eq!(back.version, REPORT_VERSION);
+        assert_eq!(back.latency_hist.len(), 1);
+        assert_eq!(back.latency_hist[0].kind, 0xA0);
+        assert_eq!(back.latency_hist[0].hist.count(), 2);
+        // Re-serialising the parsed report is byte-identical.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn parse_json_rejects_unknown_majors() {
+        for bad in [0, 1, REPORT_VERSION + 1, 99] {
+            let err = RunReport::parse_json(&archived_json(bad)).unwrap_err();
+            assert!(err.contains("version") || err.contains("schema"), "{err}");
+        }
+        let err = RunReport::parse_json("{\"wall\": 0}").unwrap_err();
+        assert!(err.contains("version"), "{err}");
+        assert!(RunReport::parse_json("not json").is_err());
+        assert!(RunReport::parse_json("[1, 2]").is_err());
     }
 }

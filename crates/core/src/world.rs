@@ -27,7 +27,7 @@
 
 use crate::config::Config;
 use crate::ctx::{AccessCosts, Op, ProcCtx, Reply, YieldMsg};
-use crate::report::{KindLatency, ProcTimes, RunReport, REPORT_VERSION};
+use crate::report::{KindHistogram, KindLatency, ProcTimes, RunReport, REPORT_VERSION};
 use cni_atm::{Cell, Fabric};
 use cni_dsm::{
     DsmConfig, DsmNode, HandleResult, Msg, NodeSpace, PageId, Payload, ProcId, VAddr, Work,
@@ -589,6 +589,16 @@ impl World {
                 p99_us: h.percentile(99.0) / 1e3,
             })
             .collect();
+        let latency_hist = self
+            .latency
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(i, h)| KindHistogram {
+                kind: if i < 9 { 0xD0 + i as u8 } else { 0xA0 },
+                hist: h.clone(),
+            })
+            .collect();
         RunReport {
             version: REPORT_VERSION,
             wall,
@@ -608,6 +618,7 @@ impl World {
             messages: self.proto_messages,
             msg_kinds: self.msg_kinds,
             latency,
+            latency_hist,
             trace: self.trace.summary(),
             faults: {
                 let mut f = self.rel_stats;

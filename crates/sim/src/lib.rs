@@ -21,6 +21,8 @@
 //! * [`rng`] — a small, seedable SplitMix64 generator for components that
 //!   need deterministic pseudo-randomness inside the simulation.
 
+#![deny(missing_docs)]
+
 pub mod cothread;
 pub mod queue;
 pub mod rng;

@@ -145,7 +145,14 @@ impl Histogram {
     }
 
     /// Upper bound (exclusive) of the bucket containing the p-th percentile,
-    /// `p` in `[0, 100]`. Returns 0 for an empty histogram.
+    /// `p` in `[0, 100]`.
+    ///
+    /// **Empty-histogram contract:** with no recorded observations this
+    /// returns 0 for every `p` (never NaN, never a panic). Aggregation
+    /// code — in particular `cni-batch`'s merging of per-kind latency
+    /// histograms, where a message kind may appear in no run of a batch —
+    /// relies on this: an absent distribution reads as "0 of whatever
+    /// unit", matching [`Histogram::mean`].
     pub fn percentile_bound(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -162,10 +169,14 @@ impl Histogram {
     }
 
     /// Estimate of the p-th percentile (`p` in `[0, 100]`) by linear
-    /// interpolation within the containing power-of-two bucket. Returns 0
-    /// for an empty histogram. Exact whenever a bucket holds a single
-    /// distinct value (buckets 0–1); elsewhere the error is bounded by the
-    /// bucket width.
+    /// interpolation within the containing power-of-two bucket. Exact
+    /// whenever a bucket holds a single distinct value (buckets 0–1);
+    /// elsewhere the error is bounded by the bucket width.
+    ///
+    /// **Empty-histogram contract:** with no recorded observations this
+    /// returns 0.0 for every `p` — including `p = 0` and `p = 100` —
+    /// never NaN and never a panic. See [`Histogram::percentile_bound`]
+    /// for why downstream merging code depends on this.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -296,6 +307,37 @@ mod tests {
         assert_eq!(Histogram::new().percentile(99.0), 0.0);
         // Monotone in p.
         assert!(h.percentile(10.0) <= h.percentile(99.0));
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        // The documented contract: every percentile of an empty histogram
+        // is 0 / 0.0 — finite, deterministic, no NaN, no panic — so batch
+        // merging can treat "kind never observed" as a zero distribution.
+        let h = Histogram::new();
+        for p in [0.0, 50.0, 99.0, 100.0, -5.0, 250.0] {
+            assert_eq!(h.percentile_bound(p), 0, "percentile_bound({p})");
+            let v = h.percentile(p);
+            assert_eq!(v, 0.0, "percentile({p})");
+            assert!(!v.is_nan());
+        }
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merging_empty_histograms_preserves_the_contract() {
+        // empty ∪ empty is still empty…
+        let mut e = Histogram::new();
+        e.merge(&Histogram::new());
+        assert_eq!(e.percentile(99.0), 0.0);
+        assert_eq!(e.percentile_bound(50.0), 0);
+        // …and empty ∪ populated behaves exactly like the populated side.
+        let mut pop = Histogram::new();
+        pop.record(8);
+        e.merge(&pop);
+        assert_eq!(e.percentile_bound(100.0), pop.percentile_bound(100.0));
+        assert_eq!(e.percentile(100.0), pop.percentile(100.0));
     }
 
     #[test]

@@ -19,6 +19,35 @@ use crate::{MetricsSample, TraceEvent, TraceRecord, NO_NODE};
 use serde_json::{json, Map, Value};
 use std::collections::BTreeSet;
 use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Route one job of a batch to its own trace file:
+/// `<dir>/<index>-<label>.<ext>`, with the label sanitised to
+/// filesystem-safe characters (anything outside `[A-Za-z0-9._-]` becomes
+/// `_`). The zero-padded job index keeps a directory listing in
+/// submission order and keeps paths unique even when two jobs share a
+/// label.
+///
+/// ```
+/// use cni_trace::export::job_trace_path;
+/// use std::path::Path;
+///
+/// let p = job_trace_path(Path::new("traces"), 3, "jacobi 64/cni", "jsonl");
+/// assert_eq!(p, Path::new("traces/0003-jacobi_64_cni.jsonl"));
+/// ```
+pub fn job_trace_path(dir: &Path, index: usize, label: &str, ext: &str) -> PathBuf {
+    let safe: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dir.join(format!("{index:04}-{safe}.{ext}"))
+}
 
 /// Stable thread-track ids for the Chrome export (one lane per component).
 const TRACKS: [&str; 10] = [
