@@ -11,6 +11,8 @@
 //! the granularity of the applications keeping the programming paradigm
 //! constant").
 
+#![deny(missing_docs)]
+
 pub mod cholesky;
 pub mod experiments;
 pub mod jacobi;

@@ -13,7 +13,7 @@
 use crate::cell::{Cell, ATM_PAYLOAD_BYTES};
 use crate::crc::crc32;
 use bytes::{BufMut, Bytes, BytesMut};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Size of the AAL5 CPCS trailer.
 pub const AAL5_TRAILER_BYTES: usize = 8;
@@ -122,7 +122,15 @@ impl Segmenter {
 /// Per-VCI reassembly state.
 #[derive(Default)]
 pub struct Reassembler {
-    partial: HashMap<u16, BytesMut>,
+    partial: BTreeMap<u16, BytesMut>,
+}
+
+/// Big-endian integer from the first `N` bytes of `b`, or `None` when
+/// `b` is shorter (panic-free trailer decoding: the receive path must
+/// survive arbitrarily corrupt or truncated input).
+fn be_uint<const N: usize>(b: &[u8]) -> Option<u64> {
+    let field = b.get(..N)?;
+    Some(field.iter().fold(0u64, |acc, &x| (acc << 8) | u64::from(x)))
 }
 
 impl Reassembler {
@@ -139,7 +147,7 @@ impl Reassembler {
         if !cell.header.end_of_pdu {
             return None;
         }
-        let pdu = self.partial.remove(&cell.header.vci).expect("entry exists");
+        let pdu = self.partial.remove(&cell.header.vci).unwrap_or_default();
         Some(Self::finish(pdu.freeze()))
     }
 
@@ -147,16 +155,21 @@ impl Reassembler {
         if pdu.len() < AAL5_TRAILER_BYTES {
             return Err(ReassemblyError::Truncated);
         }
+        // Trailer layout: .. | UU | CPI | len (2) | CRC-32 (4).
         let body_end = pdu.len() - 4;
-        let rx_crc = u32::from_be_bytes(pdu[body_end..].try_into().expect("4 bytes"));
-        if crc32(&pdu[..body_end]) != rx_crc {
+        let Some(rx_crc) = pdu.get(body_end..).and_then(be_uint::<4>) else {
+            return Err(ReassemblyError::Truncated);
+        };
+        let Some(body) = pdu.get(..body_end) else {
+            return Err(ReassemblyError::Truncated);
+        };
+        if u64::from(crc32(body)) != rx_crc {
             return Err(ReassemblyError::CrcMismatch);
         }
-        let len = u16::from_be_bytes(
-            pdu[pdu.len() - 6..pdu.len() - 4]
-                .try_into()
-                .expect("2 bytes"),
-        ) as usize;
+        let Some(len) = pdu.get(pdu.len() - 6..).and_then(be_uint::<2>) else {
+            return Err(ReassemblyError::Truncated);
+        };
+        let len = len as usize;
         if len > pdu.len() - AAL5_TRAILER_BYTES {
             return Err(ReassemblyError::LengthMismatch);
         }

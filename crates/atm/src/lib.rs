@@ -20,6 +20,8 @@
 //!   cells and pipelines them through source link → banyan stages → sink
 //!   link, returning cell-accurate first/last arrival times.
 
+#![deny(missing_docs)]
+
 pub mod aal5;
 pub mod cell;
 pub mod crc;

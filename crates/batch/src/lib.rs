@@ -351,9 +351,13 @@ impl Pool {
         let total = specs.len();
         let done = AtomicUsize::new(0);
         let progress = self.progress;
+        // Designated host-timing module (DESIGN.md §4.7): JobTiming wall
+        // clocks are kept out of RunReport, so host time is permitted here.
+        #[allow(clippy::disallowed_methods)]
         let t0 = Instant::now();
         let jobs = self.map(specs, |i, spec| {
             let cpu0 = thread_cpu_seconds();
+            #[allow(clippy::disallowed_methods)]
             let jt0 = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| runner(i, spec)));
             let wall_s = jt0.elapsed().as_secs_f64();

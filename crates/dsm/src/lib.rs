@@ -26,6 +26,8 @@
 //! host behind interrupts. The logic is identical — only the cost model
 //! differs — which is exactly the comparison the paper makes.
 
+#![deny(missing_docs)]
+
 pub mod cluster;
 pub mod diff;
 pub mod node;

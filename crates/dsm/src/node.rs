@@ -25,7 +25,7 @@ use crate::space::{access, NodeSpace};
 use crate::types::{LockId, PageId, ProcId, VClock, WriteNotice};
 use cni_trace::{TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Static DSM parameters.
@@ -126,7 +126,7 @@ enum Blocked {
         want_write: bool,
         awaiting_page: bool,
         /// writer → requested `upto` interval, for outstanding diff fetches.
-        outstanding: HashMap<ProcId, u32>,
+        outstanding: BTreeMap<ProcId, u32>,
         /// Diffs received but not yet applied; applied at completion in a
         /// linear extension of their causal order.
         buffered: Vec<(ProcId, u32, VClock, Diff)>,
@@ -174,26 +174,26 @@ pub struct DsmNode {
     /// Write-notice log per writer, ascending by interval.
     log: Vec<Vec<(u32, PageId)>>,
     /// Per page: writer intervals reflected in the local frame.
-    pv: HashMap<PageId, VClock>,
+    pv: BTreeMap<PageId, VClock>,
     /// Per page: max interval each writer is known to have written it.
-    knowledge: HashMap<PageId, VClock>,
+    knowledge: BTreeMap<PageId, VClock>,
     /// Twins for pages written in the current interval.
-    twins: HashMap<PageId, Vec<u64>>,
+    twins: BTreeMap<PageId, Vec<u64>>,
     /// Pages written in the current interval (insertion-ordered).
     dirty_pages: Vec<PageId>,
     /// Early diffs taken when a dirty page had to be invalidated.
-    pending_self: HashMap<PageId, Diff>,
+    pending_self: BTreeMap<PageId, Diff>,
     /// Own diffs with their interval's vector time, keyed by
     /// (page, interval). Kept for the run's lifetime (bounded runs; a
     /// production system would garbage-collect at barriers).
-    my_diffs: HashMap<(PageId, u32), (Diff, VClock)>,
+    my_diffs: BTreeMap<(PageId, u32), (Diff, VClock)>,
     /// Manager side: probable owner per managed lock.
-    probable: HashMap<LockId, ProcId>,
+    probable: BTreeMap<LockId, ProcId>,
     /// Holder side: token state per lock.
-    holders: HashMap<LockId, HolderState>,
+    holders: BTreeMap<LockId, HolderState>,
     /// Explicit page-home overrides (first-touch placement); pages not
     /// listed default to `page mod N`.
-    homes: HashMap<PageId, ProcId>,
+    homes: BTreeMap<PageId, ProcId>,
     /// Barrier manager (processor 0).
     barrier_mgr: Option<BarrierMgr>,
     /// Next barrier epoch this processor will arrive at.
@@ -216,15 +216,15 @@ impl DsmNode {
             space,
             vc: VClock::zero(n),
             log: vec![Vec::new(); n],
-            pv: HashMap::new(),
-            knowledge: HashMap::new(),
-            twins: HashMap::new(),
+            pv: BTreeMap::new(),
+            knowledge: BTreeMap::new(),
+            twins: BTreeMap::new(),
             dirty_pages: Vec::new(),
-            pending_self: HashMap::new(),
-            my_diffs: HashMap::new(),
-            probable: HashMap::new(),
-            holders: HashMap::new(),
-            homes: HashMap::new(),
+            pending_self: BTreeMap::new(),
+            my_diffs: BTreeMap::new(),
+            probable: BTreeMap::new(),
+            holders: BTreeMap::new(),
+            homes: BTreeMap::new(),
             barrier_mgr: (me.0 == 0 || cfg.tree_barrier).then(|| BarrierMgr {
                 epoch: 0,
                 arrived: 0,
@@ -495,7 +495,7 @@ impl DsmNode {
 
     fn make_writable(&mut self, page: PageId, work: &mut Work) {
         let h = self.space.page(page);
-        if let std::collections::hash_map::Entry::Vacant(e) = self.twins.entry(page) {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.twins.entry(page) {
             let twin = h.frame.snapshot();
             work.twin_words += twin.len() as u64;
             e.insert(twin);
@@ -583,7 +583,7 @@ impl DsmNode {
             page,
             want_write,
             awaiting_page: true,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             buffered: Vec::new(),
             committed: Vec::new(),
         });
@@ -1113,7 +1113,7 @@ impl DsmNode {
         }
         let zero = VClock::zero(self.cfg.procs);
         let kn = self.knowledge.get(&page).unwrap_or(&zero).clone();
-        let mut outstanding = HashMap::new();
+        let mut outstanding = BTreeMap::new();
         for w in (0..self.cfg.procs as u32).map(ProcId) {
             if w == self.me {
                 continue;

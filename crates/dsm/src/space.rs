@@ -14,6 +14,7 @@
 
 use crate::types::PageId;
 use parking_lot::RwLock;
+// cni-lint: allow(nondet-map) -- page table under RwLock, keyed get/insert only; never iterated
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -145,6 +146,7 @@ pub struct PageHandle {
 pub struct NodeSpace {
     page_bytes: usize,
     line_bytes: usize,
+    // cni-lint: allow(nondet-map) -- keyed page lookups only; iteration order never observed
     pages: RwLock<HashMap<PageId, PageHandle>>,
 }
 
@@ -156,6 +158,7 @@ impl NodeSpace {
         NodeSpace {
             page_bytes,
             line_bytes,
+            // cni-lint: allow(nondet-map) -- see field declaration: keyed lookups only
             pages: RwLock::new(HashMap::new()),
         }
     }

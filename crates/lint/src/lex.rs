@@ -1,0 +1,373 @@
+//! A lightweight Rust tokenizer.
+//!
+//! The analyzer needs *just enough* lexical structure to reason about
+//! source files without a full parser: identifiers and punctuation with
+//! line/column positions, with string/char literals and comments
+//! correctly skipped so that `HashMap` inside a doc comment or a format
+//! string never produces a finding. Comments are preserved separately
+//! because suppressions (`// cni-lint: allow(..) -- ..`) and `// SAFETY:`
+//! annotations live in them.
+//!
+//! The lexer is intentionally forgiving: on input it does not understand
+//! it advances one byte and keeps going. A lint must never panic on the
+//! code it audits.
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column of the token's first byte.
+    pub col: u32,
+}
+
+/// Token kinds the analyzer distinguishes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `fn`, ...).
+    Ident(String),
+    /// A single punctuation byte (`::` arrives as two `Punct(':')`).
+    Punct(char),
+    /// A string, byte-string, raw-string or char literal (contents dropped).
+    Literal,
+    /// A numeric literal (contents dropped).
+    Number,
+    /// A lifetime (`'a`); kept distinct from char literals.
+    Lifetime,
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment with its position; `text` excludes the delimiters.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: u32,
+    /// Comment body without `//`, `/*`, `*/`.
+    pub text: String,
+}
+
+/// Tokenize `src` into (tokens, comments).
+pub fn tokenize(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let (tline, tcol) = (line, col);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    bump!();
+                }
+                comments.push(Comment {
+                    line: tline,
+                    end_line: tline,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i + 2;
+                bump!();
+                bump!();
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        bump!();
+                        bump!();
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        bump!();
+                        bump!();
+                    } else {
+                        bump!();
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                comments.push(Comment {
+                    line: tline,
+                    end_line: line,
+                    text: src[start..end].to_string(),
+                });
+            }
+            b'"' => {
+                bump!();
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        bump!();
+                        bump!();
+                    } else if b[i] == b'"' {
+                        bump!();
+                        break;
+                    } else {
+                        bump!();
+                    }
+                }
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                // r"..", r#".."#, b"..", br#".."#, rb".." and friends.
+                let mut j = i;
+                while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+                    j += 1;
+                }
+                let raw = b[i..j].contains(&b'r');
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                // Advance past the prefix (j points at the opening quote).
+                while i < j {
+                    bump!();
+                }
+                bump!(); // opening quote
+                loop {
+                    if i >= b.len() {
+                        break;
+                    }
+                    if !raw && b[i] == b'\\' && i + 1 < b.len() {
+                        bump!();
+                        bump!();
+                        continue;
+                    }
+                    if b[i] == b'"' {
+                        let mut k = i + 1;
+                        let mut seen = 0usize;
+                        while seen < hashes && k < b.len() && b[k] == b'#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            while i < k {
+                                bump!();
+                            }
+                            break;
+                        }
+                    }
+                    bump!();
+                }
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                if is_lifetime(b, i) {
+                    bump!();
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        bump!();
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Lifetime,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    bump!();
+                    while i < b.len() {
+                        if b[i] == b'\\' && i + 1 < b.len() {
+                            bump!();
+                            bump!();
+                        } else if b[i] == b'\'' {
+                            bump!();
+                            break;
+                        } else {
+                            bump!();
+                        }
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Literal,
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // `0..10` must not swallow the range dots.
+                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                        break;
+                    }
+                    bump!();
+                }
+                toks.push(Token {
+                    kind: TokKind::Number,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    bump!();
+                }
+                toks.push(Token {
+                    kind: TokKind::Ident(src[start..i].to_string()),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ => {
+                bump!();
+                toks.push(Token {
+                    kind: TokKind::Punct(c as char),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Is the `r`/`b` run at `i` the prefix of a raw or byte string literal?
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    let mut prefix = [false; 2]; // saw r, saw b
+    while j < b.len() {
+        match b[j] {
+            b'r' if !prefix[0] => prefix[0] = true,
+            b'b' if !prefix[1] => prefix[1] = true,
+            _ => break,
+        }
+        j += 1;
+    }
+    while j < b.len() && b[j] == b'#' {
+        if !prefix[0] {
+            return false; // b#... is not a literal prefix
+        }
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Does the `'` at `i` start a lifetime rather than a char literal?
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    // 'x' or '\n' are chars; 'a (no closing quote after one ident char
+    // run) is a lifetime. 'static, 'a>, 'a, are all lifetimes.
+    let Some(&first) = b.get(i + 1) else {
+        return false;
+    };
+    if first == b'\\' {
+        return false;
+    }
+    if !(first.is_ascii_alphabetic() || first == b'_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    // A closing quote right after the ident run makes it a char literal
+    // (single-char case like 'a').
+    !(j == i + 2 && j < b.len() && b[j] == b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .0
+            .into_iter()
+            .filter_map(|t| t.ident().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a block /* nested */ comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw "quoted" here"#;
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let (_, comments) = tokenize("let x = 1; // trailing\n// own line\n");
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[1].line, 2);
+        assert!(comments[0].text.contains("trailing"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }";
+        let (toks, _) = tokenize(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn static_lifetime_then_code_still_lexes() {
+        let ids = idents("let x: &'static str = y; let m = HashSet::new();");
+        assert!(ids.iter().any(|s| s == "HashSet"));
+    }
+
+    #[test]
+    fn numeric_range_does_not_swallow_dots() {
+        let (toks, _) = tokenize("for i in 0..10 {}");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let (toks, _) = tokenize("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

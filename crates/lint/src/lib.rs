@@ -1,0 +1,42 @@
+//! `cni-lint`: the workspace static-analysis pass that enforces the
+//! determinism contract (DESIGN.md §4.7).
+//!
+//! The whole evaluation methodology — execution-driven simulation with
+//! byte-identical `RunReport`s for a given seed, at any worker count —
+//! is only as strong as the absence of hidden nondeterminism sources.
+//! This crate walks every first-party source file with a lightweight
+//! Rust tokenizer (no network, no syn: consistent with the vendored
+//! `third_party/` policy) and enforces five rules:
+//!
+//! | ID | slug             | rule |
+//! |----|------------------|------|
+//! | D1 | `nondet-map`     | no `HashMap`/`HashSet` in determinism-sensitive crates |
+//! | D2 | `host-time`      | no `Instant::now`/`SystemTime::now` outside host-timing modules |
+//! | D3 | `ambient-rng`    | no `thread_rng`/`from_entropy`/`RandomState` in sim crates |
+//! | P1 | `panic-path`     | no `unwrap`/`expect`/panic macros/range-slicing on protocol receive paths |
+//! | U1 | `unsafe-no-safety` | every `unsafe` carries a `// SAFETY:` comment |
+//!
+//! A finding is waived with a suppression comment on the same line or
+//! the line directly above:
+//!
+//! ```text
+//! // cni-lint: allow(nondet-map) -- keyed lookups only; never iterated
+//! ```
+//!
+//! The justification is mandatory; suppressions without one, and
+//! suppressions that no longer match a finding, are themselves findings
+//! (`bad-suppression`, `unused-suppression`) so waivers cannot rot
+//! silently. Test code (`#[cfg(test)]` modules, `tests/`, `benches/`,
+//! `examples/`) is exempt: determinism of the simulation, not of test
+//! scaffolding, is the contract.
+
+#![deny(missing_docs)]
+
+pub mod lex;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use report::{render_json, render_text};
+pub use rules::{analyze_source, FileAnalysis, Finding, Rule, Suppression};
+pub use walk::{analyze_workspace, WorkspaceReport};

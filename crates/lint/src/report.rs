@@ -1,0 +1,147 @@
+//! Diagnostic rendering: rustc-style text and `--json` machine output.
+//!
+//! The JSON writer is hand-rolled (string escaping only) so the lint
+//! has zero dependencies — it must stay buildable even when the rest of
+//! the workspace is mid-refactor.
+
+use crate::rules::{Finding, Rule};
+use crate::walk::WorkspaceReport;
+use std::fmt::Write as _;
+
+/// Render one finding rustc-style.
+fn render_finding(out: &mut String, f: &Finding) {
+    let _ = writeln!(
+        out,
+        "error[{}/{}]: {}",
+        f.rule.id(),
+        f.rule.slug(),
+        f.message
+    );
+    let _ = writeln!(out, "  --> {}:{}:{}", f.path, f.line, f.col);
+    let _ = writeln!(out, "   = help: {}", f.rule.help());
+}
+
+/// Render the full human-readable report: findings, the suppression
+/// summary table (waivers stay visible), and a one-line verdict.
+pub fn render_text(r: &WorkspaceReport) -> String {
+    let mut out = String::new();
+    for f in &r.findings {
+        render_finding(&mut out, f);
+        out.push('\n');
+    }
+    if !r.suppressions.is_empty() {
+        let _ = writeln!(out, "suppressions ({}):", r.suppressions.len());
+        let width = r
+            .suppressions
+            .iter()
+            .map(|s| s.path.len() + 6)
+            .max()
+            .unwrap_or(20);
+        for s in &r.suppressions {
+            let loc = format!("{}:{}", s.path, s.line);
+            let _ = writeln!(
+                out,
+                "  {loc:<width$}  {:<18} {}",
+                s.rule.slug(),
+                s.justification
+            );
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "{} file(s) scanned, {} finding(s), {} suppression(s)",
+        r.files_scanned,
+        r.findings.len(),
+        r.suppressions.len()
+    );
+    if r.is_clean() {
+        let _ = writeln!(out, "determinism contract: clean");
+    } else {
+        let by_rule = count_by_rule(r);
+        let _ = writeln!(out, "determinism contract: VIOLATED ({by_rule})");
+    }
+    out
+}
+
+fn count_by_rule(r: &WorkspaceReport) -> String {
+    let rules = [
+        Rule::NondetMap,
+        Rule::HostTime,
+        Rule::AmbientRng,
+        Rule::PanicPath,
+        Rule::UnsafeNoSafety,
+        Rule::BadSuppression,
+        Rule::UnusedSuppression,
+    ];
+    let mut parts = Vec::new();
+    for rule in rules {
+        let n = r.findings.iter().filter(|f| f.rule == rule).count();
+        if n > 0 {
+            parts.push(format!("{}: {n}", rule.id()));
+        }
+    }
+    parts.join(", ")
+}
+
+/// Escape `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the machine-readable `--json` report.
+pub fn render_json(r: &WorkspaceReport) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", r.files_scanned);
+    let _ = writeln!(out, "  \"clean\": {},", r.is_clean());
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in r.findings.iter().enumerate() {
+        let comma = if i + 1 < r.findings.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"slug\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"col\": {}, \"message\": \"{}\"}}{comma}",
+            f.rule.id(),
+            f.rule.slug(),
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.message)
+        );
+    }
+    out.push_str("  ],\n  \"suppressions\": [\n");
+    for (i, s) in r.suppressions.iter().enumerate() {
+        let comma = if i + 1 < r.suppressions.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"slug\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"justification\": \"{}\", \"used\": {}}}{comma}",
+            s.rule.id(),
+            s.rule.slug(),
+            json_escape(&s.path),
+            s.line,
+            json_escape(&s.justification),
+            s.used
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -1,0 +1,668 @@
+//! Rule definitions and the per-file analysis pass.
+//!
+//! Rules operate on the token stream from [`crate::lex`], with three
+//! layers of context derived first:
+//!
+//! 1. **Crate classification** from the file's workspace-relative path:
+//!    which rules apply at all (D1/D3 only bite in the
+//!    determinism-sensitive simulation crates; D2 exempts the designated
+//!    host-timing modules).
+//! 2. **Test-region exclusion**: `#[cfg(test)]`/`#[test]`-gated items
+//!    and test-only file trees are skipped — the contract covers the
+//!    simulation, not its test scaffolding.
+//! 3. **P1 regions**: the protocol receive/reassembly functions (AAL5
+//!    reassembly, go-back-N frame/ack receive, PATHFINDER dispatch)
+//!    where corrupt input is expected and panicking operators are
+//!    banned.
+
+use crate::lex::{tokenize, Token};
+
+/// The crates whose iteration order, randomness, and clocks can reach
+/// `RunReport`, trace output, or protocol decisions.
+pub const SIM_CRATES: &[&str] = &[
+    "sim",
+    "core",
+    "nic",
+    "atm",
+    "pathfinder",
+    "dsm",
+    "faults",
+    "trace",
+];
+
+/// Files allowed to read host clocks: the designated host-timing
+/// modules (`cni-batch`'s `JobTiming`, which is explicitly kept out of
+/// `RunReport`, and the wall-clock measurement harness in `cni-bench`).
+const HOST_TIME_EXEMPT: &[&str] = &["crates/batch/src/lib.rs", "crates/bench/"];
+
+/// Protocol receive/reassembly regions: (file suffix, function names).
+/// Corrupt input is expected on these paths post-PR2, so panicking
+/// operators are banned inside them.
+const PANIC_PATH_REGIONS: &[(&str, &[&str])] = &[
+    ("crates/atm/src/aal5.rs", &["push", "finish"]),
+    ("crates/core/src/world.rs", &["on_frame_rx", "on_ack_rx"]),
+    (
+        "crates/pathfinder/src/classifier.rs",
+        &[
+            "classify",
+            "classify_traced",
+            "walk",
+            "bind_flow",
+            "lookup_flow",
+            "unbind_flow",
+        ],
+    ),
+    ("crates/nic/src/device.rs", &["ingest_frame"]),
+];
+
+/// A lint rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D1: unordered hash collections in determinism-sensitive crates.
+    NondetMap,
+    /// D2: host clock reads outside designated host-timing modules.
+    HostTime,
+    /// D3: ambient (non-`Config`-seeded) randomness in sim crates.
+    AmbientRng,
+    /// P1: panicking operators on protocol receive/reassembly paths.
+    PanicPath,
+    /// U1: `unsafe` without a `// SAFETY:` comment.
+    UnsafeNoSafety,
+    /// A malformed suppression comment (unknown rule, missing `--`
+    /// justification).
+    BadSuppression,
+    /// A suppression that waives nothing (stale waiver).
+    UnusedSuppression,
+}
+
+impl Rule {
+    /// Short diagnostic id (`D1`...).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NondetMap => "D1",
+            Rule::HostTime => "D2",
+            Rule::AmbientRng => "D3",
+            Rule::PanicPath => "P1",
+            Rule::UnsafeNoSafety => "U1",
+            Rule::BadSuppression => "S1",
+            Rule::UnusedSuppression => "S2",
+        }
+    }
+
+    /// Suppression-comment slug (`nondet-map`...).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::NondetMap => "nondet-map",
+            Rule::HostTime => "host-time",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::PanicPath => "panic-path",
+            Rule::UnsafeNoSafety => "unsafe-no-safety",
+            Rule::BadSuppression => "bad-suppression",
+            Rule::UnusedSuppression => "unused-suppression",
+        }
+    }
+
+    /// The slugs a suppression comment may name (meta rules S1/S2 are
+    /// not suppressible — waivers of the waiver system would defeat it).
+    pub fn suppressible_from_slug(slug: &str) -> Option<Rule> {
+        match slug {
+            "nondet-map" => Some(Rule::NondetMap),
+            "host-time" => Some(Rule::HostTime),
+            "ambient-rng" => Some(Rule::AmbientRng),
+            "panic-path" => Some(Rule::PanicPath),
+            "unsafe-no-safety" => Some(Rule::UnsafeNoSafety),
+            _ => None,
+        }
+    }
+
+    /// One-line `help:` text shown under a diagnostic.
+    pub fn help(self) -> &'static str {
+        match self {
+            Rule::NondetMap => {
+                "use BTreeMap/BTreeSet (or a seeded hasher), or add \
+                 `// cni-lint: allow(nondet-map) -- <why iteration order cannot leak>`"
+            }
+            Rule::HostTime => {
+                "derive time from SimTime; host clocks live only in batch::JobTiming and cni-bench"
+            }
+            Rule::AmbientRng => "derive all randomness from Config seeds (SimRng/Pcg32)",
+            Rule::PanicPath => {
+                "corrupt input is expected here: return an error or count-and-drop instead of \
+                 panicking"
+            }
+            Rule::UnsafeNoSafety => "add a `// SAFETY:` comment on or directly above the block",
+            Rule::BadSuppression => {
+                "grammar: `// cni-lint: allow(<rule-slug>) -- <non-empty justification>`"
+            }
+            Rule::UnusedSuppression => "the waiver matches no finding; delete it",
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What was found.
+    pub message: String,
+}
+
+/// A parsed, well-formed suppression comment.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The waived rule.
+    pub rule: Rule,
+    /// The mandatory justification text.
+    pub justification: String,
+    /// Whether the suppression waived at least one finding.
+    pub used: bool,
+}
+
+/// Result of analyzing one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileAnalysis {
+    /// Unsuppressed findings.
+    pub findings: Vec<Finding>,
+    /// All well-formed suppressions (used or not).
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Which crate (by directory name under `crates/`) a path belongs to.
+fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.split("crates/").nth(1)?;
+    rest.split('/').next()
+}
+
+fn is_sim_crate(path: &str) -> bool {
+    crate_of(path).is_some_and(|c| SIM_CRATES.contains(&c))
+}
+
+fn is_host_time_exempt(path: &str) -> bool {
+    HOST_TIME_EXEMPT
+        .iter()
+        .any(|e| path.contains(e) || path.ends_with(e.trim_end_matches('/')))
+}
+
+/// Test-only file trees (integration tests, benches, examples) are out
+/// of scope for every rule.
+fn is_test_path(path: &str) -> bool {
+    let markers = ["/tests/", "/benches/", "/examples/"];
+    markers.iter().any(|m| path.contains(m))
+        || path.starts_with("tests/")
+        || path.starts_with("benches/")
+        || path.starts_with("examples/")
+}
+
+/// Line ranges (inclusive) of `#[cfg(test)]`/`#[test]`-gated items.
+fn test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let start_line = toks[i].line;
+            // Scan the attribute to its closing bracket.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut has_test = false;
+            let mut has_not = false;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                } else if let Some(id) = toks[j].ident() {
+                    if id == "test" {
+                        has_test = true;
+                    }
+                    if id == "not" {
+                        has_not = true;
+                    }
+                }
+                j += 1;
+            }
+            // `cfg(not(test))` code is compiled in production: keep it.
+            if has_test && !has_not {
+                if let Some(end_line) = item_end_line(toks, j) {
+                    out.push((start_line, end_line));
+                    i = j;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The last line of the item starting at token `i` (skipping any further
+/// attributes): either the `;` that ends a braceless item or the
+/// matching close of its first `{` block.
+fn item_end_line(toks: &[Token], mut i: usize) -> Option<u32> {
+    // Skip stacked attributes.
+    while i + 1 < toks.len() && toks[i].is_punct('#') && toks[i + 1].is_punct('[') {
+        let mut depth = 0i32;
+        loop {
+            if i >= toks.len() {
+                return None;
+            }
+            if toks[i].is_punct('[') {
+                depth += 1;
+            } else if toks[i].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+            return Some(t.line);
+        } else if t.is_punct('{') && paren == 0 && bracket == 0 {
+            return brace_close_line(toks, i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Line of the `}` matching the `{` at token index `open`.
+fn brace_close_line(toks: &[Token], open: usize) -> Option<u32> {
+    let mut depth = 0i32;
+    for t in &toks[open..] {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(t.line);
+            }
+        }
+    }
+    None
+}
+
+/// Line ranges of the P1 (protocol receive path) functions in `path`.
+fn panic_path_ranges(path: &str, toks: &[Token]) -> Vec<(u32, u32)> {
+    let Some((_, fns)) = PANIC_PATH_REGIONS
+        .iter()
+        .find(|(suffix, _)| path.ends_with(suffix))
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].ident() == Some("fn") {
+            if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
+                if fns.contains(&name) {
+                    // Find the body's opening brace; a `;` first means a
+                    // bodiless declaration.
+                    let mut j = i + 2;
+                    let mut paren = 0i32;
+                    while j < toks.len() {
+                        let t = &toks[j];
+                        if t.is_punct('(') {
+                            paren += 1;
+                        } else if t.is_punct(')') {
+                            paren -= 1;
+                        } else if t.is_punct(';') && paren == 0 {
+                            break;
+                        } else if t.is_punct('{') && paren == 0 {
+                            if let Some(end) = brace_close_line(toks, j) {
+                                out.push((toks[i].line, end));
+                            }
+                            break;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Parse one comment as a suppression. `None`: not a suppression
+/// comment at all. `Some(Err(msg))`: malformed.
+fn parse_suppression(text: &str) -> Option<Result<(Rule, String), String>> {
+    let idx = text.find("cni-lint:")?;
+    let rest = text[idx + "cni-lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Some(Err(
+            "expected `allow(<rule-slug>)` after `cni-lint:`".to_string()
+        ));
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(Err("unclosed `allow(` in suppression".to_string()));
+    };
+    let slug = rest[..close].trim();
+    let Some(rule) = Rule::suppressible_from_slug(slug) else {
+        return Some(Err(format!("unknown or unsuppressible rule `{slug}`")));
+    };
+    let after = rest[close + 1..].trim_start();
+    let Some(justification) = after.strip_prefix("--") else {
+        return Some(Err(
+            "missing ` -- <justification>` after `allow(..)`".to_string()
+        ));
+    };
+    let justification = justification.trim();
+    if justification.is_empty() {
+        return Some(Err("empty justification".to_string()));
+    }
+    Some(Ok((rule, justification.to_string())))
+}
+
+/// Identifiers that, called as macros (`name!`), abort on the spot.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Analyze one source file. `path` must be workspace-relative with `/`
+/// separators — it selects which rules apply.
+pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
+    let mut out = FileAnalysis::default();
+    if is_test_path(path) {
+        return out;
+    }
+    let (toks, comments) = tokenize(src);
+    let excluded = test_ranges(&toks);
+    let p1_ranges = panic_path_ranges(path, &toks);
+    let sim = is_sim_crate(path);
+    let time_exempt = is_host_time_exempt(path);
+
+    let mut candidates: Vec<Finding> = Vec::new();
+    let push = |candidates: &mut Vec<Finding>, rule: Rule, line: u32, col: u32, msg: String| {
+        // One finding per (rule, line): a `use` naming HashMap twice is
+        // one decision for the author and one suppression.
+        if candidates.iter().any(|f| f.rule == rule && f.line == line) {
+            return;
+        }
+        candidates.push(Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            col,
+            message: msg,
+        });
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if in_ranges(&excluded, t.line) {
+            continue;
+        }
+        let Some(id) = t.ident() else {
+            // P1: range-slice indexing `buf[a..b]` — the only indexing
+            // form the tokenizer can attribute reliably.
+            if t.is_punct('[')
+                && in_ranges(&p1_ranges, t.line)
+                && i > 0
+                && (toks[i - 1].ident().is_some()
+                    || toks[i - 1].is_punct(')')
+                    || toks[i - 1].is_punct(']'))
+                && index_has_range(&toks, i)
+            {
+                push(
+                    &mut candidates,
+                    Rule::PanicPath,
+                    t.line,
+                    t.col,
+                    "range-slice indexing on a protocol receive path (panics on short input)"
+                        .to_string(),
+                );
+            }
+            continue;
+        };
+        match id {
+            "HashMap" | "HashSet" if sim => {
+                push(
+                    &mut candidates,
+                    Rule::NondetMap,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{id}` in determinism-sensitive crate `{}`",
+                        crate_name(path)
+                    ),
+                );
+            }
+            "Instant" | "SystemTime" if !time_exempt && follows_path_call(&toks, i, "now") => {
+                push(
+                    &mut candidates,
+                    Rule::HostTime,
+                    t.line,
+                    t.col,
+                    format!("`{id}::now()` outside the designated host-timing modules"),
+                );
+            }
+            "thread_rng" | "from_entropy" | "RandomState" | "OsRng" if sim => {
+                push(
+                    &mut candidates,
+                    Rule::AmbientRng,
+                    t.line,
+                    t.col,
+                    format!("ambient randomness source `{id}` in a sim crate"),
+                );
+            }
+            "unwrap" | "expect"
+                if in_ranges(&p1_ranges, t.line)
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                push(
+                    &mut candidates,
+                    Rule::PanicPath,
+                    t.line,
+                    t.col,
+                    format!("`.{id}()` on a protocol receive path"),
+                );
+            }
+            m if PANIC_MACROS.contains(&m)
+                && in_ranges(&p1_ranges, t.line)
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                push(
+                    &mut candidates,
+                    Rule::PanicPath,
+                    t.line,
+                    t.col,
+                    format!("`{m}!` on a protocol receive path"),
+                );
+            }
+            "unsafe" => {
+                let covered = comments.iter().any(|c| {
+                    c.text.contains("SAFETY:") && c.end_line <= t.line && c.end_line + 3 >= t.line
+                });
+                if !covered {
+                    push(
+                        &mut candidates,
+                        Rule::UnsafeNoSafety,
+                        t.line,
+                        t.col,
+                        "`unsafe` without a `// SAFETY:` comment".to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Suppressions: same line as the finding, or the line directly above.
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    for c in &comments {
+        if in_ranges(&excluded, c.line) {
+            continue;
+        }
+        // Doc comments (`///`, `//!`, `/** */`) never carry live
+        // suppressions — they may quote the grammar as documentation.
+        if matches!(c.text.as_bytes().first(), Some(b'/' | b'!' | b'*')) {
+            continue;
+        }
+        match parse_suppression(&c.text) {
+            None => {}
+            Some(Err(msg)) => {
+                out.findings.push(Finding {
+                    rule: Rule::BadSuppression,
+                    path: path.to_string(),
+                    line: c.line,
+                    col: 1,
+                    message: msg,
+                });
+            }
+            Some(Ok((rule, justification))) => {
+                suppressions.push(Suppression {
+                    path: path.to_string(),
+                    line: c.line,
+                    rule,
+                    justification,
+                    used: false,
+                });
+                // Remember the last line the comment spans for matching.
+                if c.end_line != c.line {
+                    if let Some(s) = suppressions.last_mut() {
+                        s.line = c.end_line;
+                    }
+                }
+            }
+        }
+    }
+
+    for f in candidates {
+        let waived = suppressions
+            .iter_mut()
+            .find(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line));
+        match waived {
+            Some(s) => s.used = true,
+            None => out.findings.push(f),
+        }
+    }
+    for s in &suppressions {
+        if !s.used {
+            out.findings.push(Finding {
+                rule: Rule::UnusedSuppression,
+                path: path.to_string(),
+                line: s.line,
+                col: 1,
+                message: format!("suppression for `{}` waives nothing", s.rule.slug()),
+            });
+        }
+    }
+    out.suppressions = suppressions;
+    out.findings.sort_by_key(|a| (a.line, a.col, a.rule));
+    out
+}
+
+fn crate_name(path: &str) -> String {
+    crate_of(path)
+        .map(|c| format!("cni-{c}"))
+        .unwrap_or_else(|| "cni-suite".to_string())
+}
+
+/// Does `toks[i]` (an ident) begin `Ident::method(`?
+fn follows_path_call(toks: &[Token], i: usize, method: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).and_then(|t| t.ident()) == Some(method)
+        && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+}
+
+/// Does the index expression opening at `toks[open] == '['` contain a
+/// `..` at bracket depth 1 (i.e. is it a range slice)?
+fn index_has_range(toks: &[Token], open: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('[') || t.is_punct('(') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(']') || t.is_punct(')') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if depth == 1 && t.is_punct('.') && toks.get(j + 1).is_some_and(|n| n.is_punct('.'))
+        {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_grammar() {
+        assert!(parse_suppression("ordinary comment").is_none());
+        let ok = parse_suppression("cni-lint: allow(nondet-map) -- keyed lookups only");
+        assert!(matches!(ok, Some(Ok((Rule::NondetMap, _)))));
+        assert!(matches!(
+            parse_suppression("cni-lint: allow(nondet-map)"),
+            Some(Err(_))
+        ));
+        assert!(matches!(
+            parse_suppression("cni-lint: allow(nondet-map) -- "),
+            Some(Err(_))
+        ));
+        assert!(matches!(
+            parse_suppression("cni-lint: allow(made-up-rule) -- why"),
+            Some(Err(_))
+        ));
+        assert!(matches!(
+            parse_suppression("cni-lint: allow(unused-suppression) -- meta"),
+            Some(Err(_))
+        ));
+    }
+
+    #[test]
+    fn crate_classification() {
+        assert!(is_sim_crate("crates/dsm/src/node.rs"));
+        assert!(is_sim_crate("crates/trace/src/lib.rs"));
+        assert!(!is_sim_crate("crates/apps/src/lib.rs"));
+        assert!(!is_sim_crate("crates/batch/src/lib.rs"));
+        assert!(is_host_time_exempt("crates/batch/src/lib.rs"));
+        assert!(is_host_time_exempt("crates/bench/src/lib.rs"));
+        assert!(!is_host_time_exempt("crates/sim/src/time.rs"));
+        assert!(is_test_path("crates/nic/tests/msgcache_model.rs"));
+        assert!(is_test_path("tests/byte_identity.rs"));
+        assert!(!is_test_path("crates/nic/src/msgcache.rs"));
+    }
+}

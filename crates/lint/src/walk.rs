@@ -1,0 +1,106 @@
+//! Workspace traversal: find every first-party source file and run the
+//! per-file analysis over it.
+//!
+//! First-party means the crates under `crates/` plus the umbrella
+//! package's `src/`. The vendored `third_party/` stand-ins, `target/`,
+//! and test-only trees (`tests/`, `benches/`, `examples/`) are out of
+//! scope. Files are visited in sorted path order so the lint's own
+//! output is deterministic.
+
+use crate::rules::{analyze_source, Finding, Suppression};
+use std::path::{Path, PathBuf};
+
+/// The aggregate result of a workspace run.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceReport {
+    /// Unsuppressed findings across all files, in path order.
+    pub findings: Vec<Finding>,
+    /// Every well-formed suppression encountered (the waiver table).
+    pub suppressions: Vec<Suppression>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl WorkspaceReport {
+    /// True when the workspace is clean (no unsuppressed findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Recursively collect `.rs` files under `dir` into `out`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// The source roots scanned, relative to the workspace root: each
+/// crate's `src/` tree plus the umbrella package's.
+fn source_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for d in dirs {
+            let src = d.join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    let umbrella = root.join("src");
+    if umbrella.is_dir() {
+        roots.push(umbrella);
+    }
+    roots
+}
+
+/// Analyze the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
+    let mut report = WorkspaceReport::default();
+    let mut files = Vec::new();
+    for src_root in source_roots(root) {
+        collect_rs(&src_root, &mut files);
+    }
+    files.sort();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)?;
+        let analysis = analyze_source(&rel, &src);
+        report.findings.extend(analysis.findings);
+        report.suppressions.extend(analysis.suppressions);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// Locate the workspace root: walk up from `start` until a directory
+/// holding a `Cargo.toml` that declares `[workspace]` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,181 @@
+//! Fixture-based self-tests: every rule must fire on a seeded-bad
+//! snippet at the expected lines, and stay quiet on its clean
+//! counterpart. Fixtures live in `tests/fixtures/` and are analyzed
+//! under *virtual* workspace-relative paths, because crate
+//! classification (sim vs host-timing vs test code) is derived from the
+//! path, not the file's real location.
+
+use cni_lint::rules::{analyze_source, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// `(rule, line)` pairs of an analysis, in report order.
+fn hits(path: &str, src: &str) -> Vec<(Rule, u32)> {
+    analyze_source(path, src)
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn d1_fires_on_hash_collections_in_sim_crates() {
+    let src = fixture("d1_bad.rs");
+    assert_eq!(
+        hits("crates/dsm/src/fixture.rs", &src),
+        vec![
+            (Rule::NondetMap, 1), // use ... HashMap
+            (Rule::NondetMap, 2), // use ... HashSet
+            (Rule::NondetMap, 5), // field: HashMap<..>
+            (Rule::NondetMap, 6), // field: HashSet<..>
+        ]
+    );
+}
+
+#[test]
+fn d1_quiet_on_btree_collections() {
+    let src = fixture("d1_clean.rs");
+    assert!(hits("crates/dsm/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
+fn d1_quiet_outside_sim_crates() {
+    // Same bad source, but under a non-determinism-sensitive crate:
+    // cni-batch may key host-side bookkeeping however it likes.
+    let src = fixture("d1_bad.rs");
+    assert!(hits("crates/batch/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
+fn d1_quiet_in_cfg_test_code() {
+    let src = fixture("d1_test_code.rs");
+    assert!(hits("crates/dsm/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
+fn d1_suppression_waives_and_is_reported_used() {
+    let src = fixture("d1_suppressed.rs");
+    let analysis = analyze_source("crates/nic/src/fixture.rs", &src);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    assert_eq!(analysis.suppressions.len(), 2);
+    for s in &analysis.suppressions {
+        assert!(s.used, "suppression at line {} unused", s.line);
+        assert!(!s.justification.is_empty());
+    }
+}
+
+#[test]
+fn d2_fires_on_host_clocks_anywhere_outside_exempt_modules() {
+    let src = fixture("d2_bad.rs");
+    // cni-apps is not even a sim crate — D2 applies workspace-wide.
+    assert_eq!(
+        hits("crates/apps/src/fixture.rs", &src),
+        vec![(Rule::HostTime, 4), (Rule::HostTime, 8)]
+    );
+}
+
+#[test]
+fn d2_quiet_in_designated_host_timing_modules() {
+    let src = fixture("d2_bad.rs");
+    assert!(hits("crates/batch/src/lib.rs", &src).is_empty());
+    assert!(hits("crates/bench/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
+fn d3_fires_on_ambient_randomness_in_sim_crates() {
+    let src = fixture("d3_bad.rs");
+    assert_eq!(
+        hits("crates/sim/src/fixture.rs", &src),
+        vec![(Rule::AmbientRng, 2)]
+    );
+}
+
+#[test]
+fn d3_quiet_on_config_seeded_rng() {
+    let src = fixture("d3_clean.rs");
+    assert!(hits("crates/sim/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
+fn p1_fires_inside_protocol_receive_fns_only() {
+    let src = fixture("p1_bad.rs");
+    // `push` is an AAL5 receive-path function; the helper below it is
+    // not, so its `.expect()` must NOT be flagged.
+    assert_eq!(
+        hits("crates/atm/src/aal5.rs", &src),
+        vec![
+            (Rule::PanicPath, 2), // &buf[0..4]
+            (Rule::PanicPath, 3), // .unwrap()
+            (Rule::PanicPath, 5), // panic!
+        ]
+    );
+}
+
+#[test]
+fn p1_quiet_on_get_based_parsing() {
+    let src = fixture("p1_clean.rs");
+    assert!(hits("crates/atm/src/aal5.rs", &src).is_empty());
+}
+
+#[test]
+fn p1_quiet_when_file_is_not_a_receive_path() {
+    // The same panicking code outside the registered receive-path files
+    // is not P1's business.
+    let src = fixture("p1_bad.rs");
+    assert!(hits("crates/apps/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
+fn p1_suppression_on_line_above_waives() {
+    let src = fixture("p1_suppressed.rs");
+    let analysis = analyze_source("crates/atm/src/aal5.rs", &src);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    assert_eq!(analysis.suppressions.len(), 1);
+    assert!(analysis.suppressions[0].used);
+}
+
+#[test]
+fn u1_fires_on_unsafe_without_safety_comment() {
+    let src = fixture("u1_bad.rs");
+    assert_eq!(
+        hits("crates/nic/src/fixture.rs", &src),
+        vec![(Rule::UnsafeNoSafety, 2)]
+    );
+}
+
+#[test]
+fn u1_quiet_with_safety_comment() {
+    let src = fixture("u1_clean.rs");
+    assert!(hits("crates/nic/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
+fn s1_fires_on_malformed_suppressions() {
+    let src = fixture("s1_bad.rs");
+    assert_eq!(
+        hits("crates/dsm/src/fixture.rs", &src),
+        vec![
+            (Rule::BadSuppression, 1), // unknown rule slug
+            (Rule::BadSuppression, 4), // missing `-- <justification>`
+        ]
+    );
+}
+
+#[test]
+fn s2_fires_on_stale_suppressions() {
+    let src = fixture("s2_unused.rs");
+    let analysis = analyze_source("crates/dsm/src/fixture.rs", &src);
+    assert_eq!(
+        analysis
+            .findings
+            .iter()
+            .map(|f| (f.rule, f.line))
+            .collect::<Vec<_>>(),
+        vec![(Rule::UnusedSuppression, 1)]
+    );
+    assert_eq!(analysis.suppressions.len(), 1);
+    assert!(!analysis.suppressions[0].used);
+}

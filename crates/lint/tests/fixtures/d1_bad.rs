@@ -1,0 +1,7 @@
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct FlowTable {
+    flows: HashMap<u32, u64>,
+    seen: HashSet<u32>,
+}

@@ -1,0 +1,7 @@
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub struct FlowTable {
+    flows: BTreeMap<u32, u64>,
+    seen: BTreeSet<u32>,
+}

@@ -1,0 +1,6 @@
+// cni-lint: allow(nondet-map) -- keyed lookups only; the map is never iterated
+use std::collections::HashMap;
+
+pub struct Cache {
+    map: HashMap<u64, u32>, // cni-lint: allow(nondet-map) -- keyed lookups only; never iterated
+}

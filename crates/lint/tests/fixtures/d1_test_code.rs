@@ -1,0 +1,15 @@
+pub fn production_path(x: u32) -> u32 {
+    x.wrapping_mul(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_maps_are_fine_in_test_code() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,6 @@
+use rand::{Pcg32, SeedableRng};
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,12 @@
+pub fn push(buf: &[u8]) -> u32 {
+    let head = &buf[0..4];
+    let len = u32::from_be_bytes(head.try_into().unwrap());
+    if len == 0 {
+        panic!("zero-length PDU");
+    }
+    len
+}
+
+pub fn helper_outside_receive_path(buf: &[u8]) -> u8 {
+    buf.first().copied().expect("caller checked non-empty")
+}

@@ -1,0 +1,6 @@
+pub fn push(buf: &[u8]) -> Option<u32> {
+    let head = buf.get(0..4)?;
+    let mut field = [0u8; 4];
+    field.copy_from_slice(head);
+    Some(u32::from_be_bytes(field))
+}

@@ -1,0 +1,7 @@
+pub fn finish(buf: &[u8]) -> u32 {
+    // cni-lint: allow(panic-path) -- the caller validated the length one frame earlier
+    let head = &buf[0..4];
+    let mut field = [0u8; 4];
+    field.copy_from_slice(head);
+    u32::from_be_bytes(field)
+}

@@ -1,0 +1,5 @@
+// cni-lint: allow(made-up-rule) -- this slug does not exist
+use std::collections::BTreeMap;
+
+// cni-lint: allow(nondet-map)
+pub type Map = BTreeMap<u32, u32>;

@@ -1,0 +1,4 @@
+// cni-lint: allow(nondet-map) -- stale waiver left behind after a refactor
+use std::collections::BTreeMap;
+
+pub type Map = BTreeMap<u32, u32>;

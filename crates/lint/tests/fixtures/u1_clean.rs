@@ -1,0 +1,5 @@
+pub fn read_reg(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid, aligned, and live for
+    // the duration of the call.
+    unsafe { p.read_volatile() }
+}

@@ -1,0 +1,36 @@
+//! The lint's own acceptance gate, as a test: the real workspace must
+//! be clean, with every suppression both used and justified. This is
+//! what CI's `cargo run -p cni-lint -- --check` enforces; keeping it in
+//! `cargo test` too means a violation fails the ordinary test run even
+//! where the CI step is skipped.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_honors_the_determinism_contract() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf();
+    let report = cni_lint::walk::analyze_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 40,
+        "scanned only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "determinism contract violated:\n{}",
+        cni_lint::report::render_text(&report)
+    );
+    for s in &report.suppressions {
+        assert!(s.used, "stale suppression {}:{}", s.path, s.line);
+        assert!(
+            !s.justification.is_empty(),
+            "unjustified suppression {}:{}",
+            s.path,
+            s.line
+        );
+    }
+}

@@ -22,6 +22,8 @@
 //! * [`config`] / [`stats`] — the tunable cost model and the counters the
 //!   evaluation reads (network-cache hit ratio, DMA bytes, interrupts…).
 
+#![deny(missing_docs)]
+
 pub mod bus;
 pub mod config;
 pub mod device;

@@ -23,6 +23,7 @@
 //! ([`crate::NicConfig::msg_cache_buffers`]).
 
 use serde::{Deserialize, Serialize};
+// cni-lint: allow(nondet-map) -- page→slot index, keyed ops only; CLOCK order lives in the slots Vec
 use std::collections::HashMap;
 
 /// Statistics of one Message Cache.
@@ -124,6 +125,7 @@ impl Rtlb {
 /// ```
 pub struct MessageCache {
     slots: Vec<Slot>,
+    // cni-lint: allow(nondet-map) -- keyed get/insert/remove only; eviction order is the CLOCK hand
     map: HashMap<u64, usize>,
     hand: usize,
     rtlb: Rtlb,
@@ -142,6 +144,7 @@ impl MessageCache {
                 };
                 buffers
             ],
+            // cni-lint: allow(nondet-map) -- see field declaration: keyed ops only
             map: HashMap::with_capacity(buffers * 2),
             hand: 0,
             rtlb: Rtlb::new(rtlb_entries),

@@ -24,6 +24,8 @@
 //!   fragments short-circuit through the binding table
 //!   ([`Classifier::bind_flow`] / [`Classifier::lookup_flow`]).
 
+#![deny(missing_docs)]
+
 pub mod classifier;
 pub mod pattern;
 

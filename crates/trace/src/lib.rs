@@ -44,6 +44,8 @@
 //! assert!(off.drain().is_empty());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod export;
 
 use serde::{Deserialize, Serialize};
