@@ -9,10 +9,17 @@
 //! overhead the paper's Table 5 quantifies; the [`Segmenter`] therefore also
 //! supports an unrestricted (jumbo) mode that carries the whole PDU in one
 //! cell.
+//!
+//! The data path is zero-copy past the one inherent gather/scatter each
+//! direction: segmentation builds the padded PDU image once and hands every
+//! cell a [`PduBuf`] *view* of it; reassembly gathers cell payloads into a
+//! buffer drawn from a [`BufPool`] and freezes it into
+//! the returned `PduBuf` without a copy.
 
+use crate::buf::{BufPool, PduBuf};
 use crate::cell::{Cell, ATM_PAYLOAD_BYTES};
 use crate::crc::crc32;
-use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
 /// Size of the AAL5 CPCS trailer.
@@ -84,45 +91,75 @@ impl Segmenter {
         }
     }
 
+    /// Build the padded PDU image (`data` + zero fill to `len` + pad +
+    /// trailer) and split it into cell views. `data` shorter than `len`
+    /// models a frame whose tail is zero fill — the engine's protocol
+    /// frames — without the caller materialising those zeros first.
+    fn segment_image(&self, vci: u16, data: &[u8], len: usize) -> Vec<Cell> {
+        assert!(len <= AAL5_MAX_PDU, "PDU too large for AAL5: {len} bytes");
+        debug_assert!(data.len() <= len);
+        let cap = self.cell_payload.unwrap_or(len + AAL5_TRAILER_BYTES);
+        let total = (len + AAL5_TRAILER_BYTES).div_ceil(cap).max(1) * cap;
+        let pad = total - len - AAL5_TRAILER_BYTES;
+
+        let mut pdu = Vec::with_capacity(total);
+        pdu.extend_from_slice(data);
+        // Zero fill to the logical PDU length, then pad to a whole number
+        // of cells; the two fills are one resize.
+        pdu.resize(len + pad, 0);
+        pdu.push(0); // CPCS-UU
+        pdu.push(0); // CPI
+        pdu.extend_from_slice(&(len as u16).to_be_bytes());
+        // CRC over everything up to (not including) the CRC field itself.
+        let crc = crc32(&pdu);
+        pdu.extend_from_slice(&crc.to_be_bytes());
+        let image = PduBuf::from_vec(pdu);
+
+        let n = image.len() / cap;
+        let mut cells = Vec::with_capacity(n);
+        for (i, chunk) in image.chunks(cap).enumerate() {
+            cells.push(Cell::new(vci, i + 1 == n, chunk));
+        }
+        cells
+    }
+
     /// Segment `data` into cells on `vci`.
     ///
     /// # Panics
     /// Panics if `data` exceeds [`AAL5_MAX_PDU`].
     pub fn segment(&self, vci: u16, data: &[u8]) -> Vec<Cell> {
-        assert!(
-            data.len() <= AAL5_MAX_PDU,
-            "PDU too large for AAL5: {} bytes",
-            data.len()
-        );
-        let cap = self.cell_payload.unwrap_or(data.len() + AAL5_TRAILER_BYTES);
-        let total = (data.len() + AAL5_TRAILER_BYTES).div_ceil(cap).max(1) * cap;
-        let pad = total - data.len() - AAL5_TRAILER_BYTES;
+        self.segment_image(vci, data, data.len())
+    }
 
-        let mut pdu = BytesMut::with_capacity(total);
-        pdu.put_slice(data);
-        pdu.put_bytes(0, pad);
-        pdu.put_u8(0); // CPCS-UU
-        pdu.put_u8(0); // CPI
-        pdu.put_u16(data.len() as u16);
-        // CRC over everything up to (not including) the CRC field itself.
-        let crc = crc32(&pdu);
-        pdu.put_u32(crc);
-        let pdu: Bytes = pdu.freeze();
-
-        let n = pdu.len() / cap;
-        let mut cells = Vec::with_capacity(n);
-        for i in 0..n {
-            let chunk = pdu.slice(i * cap..(i + 1) * cap);
-            cells.push(Cell::new(vci, i + 1 == n, chunk));
-        }
-        cells
+    /// Segment a `len`-byte PDU whose leading bytes are `prefix` and whose
+    /// remainder is zero fill, without the caller allocating the image.
+    /// Byte-identical to `segment(vci, &{prefix + zeros})`; the engine's
+    /// frame headers use this to skip one full-frame copy per transmission
+    /// attempt.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds [`AAL5_MAX_PDU`].
+    pub fn segment_prefixed(&self, vci: u16, prefix: &[u8], len: usize) -> Vec<Cell> {
+        let n = prefix.len().min(len);
+        // `get` keeps the clamp panic-free for any prefix/len combination.
+        self.segment_image(vci, prefix.get(..n).unwrap_or(prefix), len)
     }
 }
 
 /// Per-VCI reassembly state.
-#[derive(Default)]
+///
+/// Gather buffers come from an internal [`BufPool`]; rejected PDUs return
+/// their storage to the pool, and callers that are done with a delivered
+/// PDU can donate it back through [`Reassembler::recycle`].
 pub struct Reassembler {
-    partial: BTreeMap<u16, BytesMut>,
+    partial: BTreeMap<u16, Vec<u8>>,
+    pool: BufPool,
+}
+
+impl Default for Reassembler {
+    fn default() -> Self {
+        Reassembler::new()
+    }
 }
 
 /// Big-endian integer from the first `N` bytes of `b`, or `None` when
@@ -136,22 +173,51 @@ fn be_uint<const N: usize>(b: &[u8]) -> Option<u64> {
 impl Reassembler {
     /// Fresh reassembler with no partial PDUs.
     pub fn new() -> Self {
-        Reassembler::default()
+        Reassembler {
+            partial: BTreeMap::new(),
+            pool: BufPool::new(),
+        }
+    }
+
+    /// Fresh reassembler whose gather-buffer pool retains up to `retain`
+    /// buffers (the buffer-pool knob; see DESIGN.md §4.1).
+    pub fn with_pool_retain(retain: usize) -> Self {
+        Reassembler {
+            partial: BTreeMap::new(),
+            pool: BufPool::with_retain(retain),
+        }
     }
 
     /// Accept one cell. Returns `Some(..)` when this cell completes a PDU:
     /// the user payload on success, or the detected error.
-    pub fn push(&mut self, cell: &Cell) -> Option<Result<Bytes, ReassemblyError>> {
-        let buf = self.partial.entry(cell.header.vci).or_default();
+    pub fn push(&mut self, cell: &Cell) -> Option<Result<PduBuf, ReassemblyError>> {
+        let buf = match self.partial.entry(cell.header.vci) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => v.insert(self.pool.acquire(cell.payload.len())),
+        };
         buf.extend_from_slice(&cell.payload);
         if !cell.header.end_of_pdu {
             return None;
         }
         let pdu = self.partial.remove(&cell.header.vci).unwrap_or_default();
-        Some(Self::finish(pdu.freeze()))
+        Some(match Self::finish(&pdu) {
+            Ok(len) => {
+                let image = PduBuf::from_vec(pdu);
+                // `finish` proved len <= image len, so the view exists.
+                match image.view(0, len) {
+                    Some(v) => Ok(v),
+                    None => Err(ReassemblyError::LengthMismatch),
+                }
+            }
+            Err(e) => {
+                self.pool.recycle_vec(pdu);
+                Err(e)
+            }
+        })
     }
 
-    fn finish(pdu: Bytes) -> Result<Bytes, ReassemblyError> {
+    /// Validate the trailer; on success return the user-payload length.
+    fn finish(pdu: &[u8]) -> Result<usize, ReassemblyError> {
         if pdu.len() < AAL5_TRAILER_BYTES {
             return Err(ReassemblyError::Truncated);
         }
@@ -173,12 +239,23 @@ impl Reassembler {
         if len > pdu.len() - AAL5_TRAILER_BYTES {
             return Err(ReassemblyError::LengthMismatch);
         }
-        Ok(pdu.slice(..len))
+        Ok(len)
+    }
+
+    /// Donate a delivered PDU's storage back to the gather-buffer pool (a
+    /// no-op unless `buf` is the storage's sole remaining owner).
+    pub fn recycle(&mut self, buf: PduBuf) {
+        self.pool.recycle(buf);
     }
 
     /// Number of VCIs with a partially reassembled PDU.
     pub fn pending(&self) -> usize {
         self.partial.len()
+    }
+
+    /// Number of gather buffers currently retained by the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.retained()
     }
 }
 
@@ -245,13 +322,43 @@ mod tests {
     }
 
     #[test]
+    fn cells_are_views_of_one_image() {
+        // The zero-copy contract: segmenting must not copy per cell. All
+        // cells of a PDU alias one backing buffer, so the total payload
+        // bytes equal the image length while only one allocation exists.
+        let seg = Segmenter::standard();
+        let data = vec![0x5Au8; 500];
+        let cells = seg.segment(1, &data);
+        for c in &cells {
+            assert_eq!(c.payload.len(), ATM_PAYLOAD_BYTES);
+        }
+        // Identical contents to a reference re-segmentation.
+        let reference = seg.segment(1, &data);
+        assert_eq!(cells, reference);
+    }
+
+    #[test]
+    fn segment_prefixed_matches_materialised_zero_fill() {
+        let seg = Segmenter::standard();
+        for (prefix_len, total) in [(0usize, 0usize), (8, 16), (16, 16), (16, 2048), (5, 4096)] {
+            let prefix: Vec<u8> = (0..prefix_len).map(|i| (i * 7 + 1) as u8).collect();
+            let mut image = vec![0u8; total];
+            let n = prefix.len().min(total);
+            image[..n].copy_from_slice(&prefix[..n]);
+            assert_eq!(
+                seg.segment_prefixed(9, &prefix, total),
+                seg.segment(9, &image),
+                "prefix {prefix_len} / total {total}"
+            );
+        }
+    }
+
+    #[test]
     fn corrupted_payload_detected() {
         let seg = Segmenter::standard();
         let data = vec![7u8; 500];
         let mut cells = seg.segment(1, &data);
-        let mut corrupted: Vec<u8> = cells[3].payload.to_vec();
-        corrupted[10] ^= 0x80;
-        cells[3].payload = Bytes::from(corrupted);
+        cells[3].payload.xor_bit(10, 7);
         let mut rx = Reassembler::new();
         let mut result = None;
         for c in &cells {
@@ -260,6 +367,42 @@ mod tests {
             }
         }
         assert_eq!(result, Some(Err(ReassemblyError::CrcMismatch)));
+    }
+
+    #[test]
+    fn rejected_pdus_recycle_their_gather_buffer() {
+        let seg = Segmenter::standard();
+        let data = vec![7u8; 500];
+        let mut cells = seg.segment(1, &data);
+        cells[0].payload.xor_bit(0, 0);
+        let mut rx = Reassembler::new();
+        for c in &cells {
+            let _ = rx.push(c);
+        }
+        assert_eq!(rx.pooled(), 1, "CRC reject returns its buffer");
+        // The next PDU reuses the pooled buffer rather than allocating.
+        let clean = seg.segment(1, &data);
+        for c in &clean {
+            let _ = rx.push(c);
+        }
+        assert_eq!(rx.pooled(), 0, "reused for the next gather");
+    }
+
+    #[test]
+    fn delivered_pdus_can_be_recycled_by_the_caller() {
+        let seg = Segmenter::standard();
+        let data = vec![3u8; 200];
+        let cells = seg.segment(1, &data);
+        let mut rx = Reassembler::new();
+        let mut out = None;
+        for c in &cells {
+            if let Some(r) = rx.push(c) {
+                out = Some(r);
+            }
+        }
+        let pdu = out.expect("EOP").expect("valid");
+        rx.recycle(pdu);
+        assert_eq!(rx.pooled(), 1);
     }
 
     #[test]
@@ -303,7 +446,7 @@ mod tests {
     fn lone_eop_cell_with_no_trailer_is_truncated() {
         // A single end-of-PDU cell whose accumulated bytes are fewer than
         // the trailer cannot be a valid AAL5 frame.
-        let cell = Cell::new(5, true, Bytes::from(vec![0u8; 4]));
+        let cell = Cell::new(5, true, PduBuf::from_vec(vec![0u8; 4]));
         let mut rx = Reassembler::new();
         assert_eq!(rx.push(&cell), Some(Err(ReassemblyError::Truncated)));
     }

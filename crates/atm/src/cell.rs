@@ -4,11 +4,12 @@
 //! We model the header fields that matter to the CNI design — the VCI used
 //! for connection demultiplexing, the AAL5 end-of-PDU indication carried in
 //! the payload-type field, and the cell-loss-priority bit — and keep the
-//! payload as owned bytes. The *unrestricted cell size* experiment of the
+//! payload as a reference-counted [`PduBuf`] view, so a cell borrows its
+//! slice of the segmented PDU image instead of owning a copy. The *unrestricted cell size* experiment of the
 //! paper's Table 5 is supported by allowing payloads larger than 48 bytes;
 //! [`Cell::is_jumbo`] reports when a cell exceeds the standard size.
 
-use bytes::Bytes;
+use crate::buf::PduBuf;
 use serde::{Deserialize, Serialize};
 
 /// Bytes in a standard ATM cell header.
@@ -68,12 +69,12 @@ pub struct Cell {
     pub header: CellHeader,
     /// Payload bytes. Exactly [`ATM_PAYLOAD_BYTES`] for standard cells;
     /// longer for jumbo cells in the unrestricted-cell-size experiment.
-    pub payload: Bytes,
+    pub payload: PduBuf,
 }
 
 impl Cell {
     /// Build a cell on `vci` carrying `payload`.
-    pub fn new(vci: u16, end_of_pdu: bool, payload: Bytes) -> Self {
+    pub fn new(vci: u16, end_of_pdu: bool, payload: PduBuf) -> Self {
         Cell {
             header: CellHeader {
                 vci,
@@ -131,10 +132,10 @@ mod tests {
 
     #[test]
     fn wire_size_and_jumbo() {
-        let std_cell = Cell::new(7, false, Bytes::from(vec![0u8; ATM_PAYLOAD_BYTES]));
+        let std_cell = Cell::new(7, false, PduBuf::from_vec(vec![0u8; ATM_PAYLOAD_BYTES]));
         assert_eq!(std_cell.wire_bytes(), ATM_CELL_BYTES);
         assert!(!std_cell.is_jumbo());
-        let jumbo = Cell::new(7, true, Bytes::from(vec![0u8; 4096]));
+        let jumbo = Cell::new(7, true, PduBuf::from_vec(vec![0u8; 4096]));
         assert_eq!(jumbo.wire_bytes(), 4096 + ATM_HEADER_BYTES);
         assert!(jumbo.is_jumbo());
     }

@@ -1,17 +1,23 @@
 //! CRC-32 as used by the AAL5 trailer (IEEE 802.3 polynomial 0x04C11DB7,
 //! reflected form 0xEDB88320, initial value all-ones, final complement).
 //!
-//! Table-driven, computed once at first use.
+//! Slicing-by-8: eight derived lookup tables let the inner loop consume
+//! eight bytes per step instead of one, which matters because the CRC is
+//! the single largest per-byte cost on the segmentation/reassembly hot
+//! path (the `hotpath` bench in cni-bench tracks it). The tables are
+//! computed once at first use and produce bit-identical values to the
+//! classic one-byte-at-a-time algorithm (the tests pin the standard check
+//! vectors).
 
 use std::sync::OnceLock;
 
 const POLY_REFLECTED: u32 = 0xEDB8_8320;
 
-fn table() -> &'static [u32; 256] {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, entry) in t.iter_mut().enumerate() {
+fn tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<Box<[[u32; 256]; 8]>> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = Box::new([[0u32; 256]; 8]);
+        for i in 0..256 {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 {
@@ -20,7 +26,15 @@ fn table() -> &'static [u32; 256] {
                     c >> 1
                 };
             }
-            *entry = c;
+            t[0][i] = c;
+        }
+        // t[k][i] extends t[0] by k extra zero bytes, so eight parallel
+        // lookups fold one u64 of input into the running state at once.
+        for k in 1..8 {
+            for i in 0..256 {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
         }
         t
     })
@@ -46,10 +60,26 @@ impl Crc32 {
 
     /// Absorb bytes.
     pub fn update(&mut self, data: &[u8]) {
-        let t = table();
-        for &b in data {
-            self.state = (self.state >> 8) ^ t[((self.state ^ b as u32) & 0xFF) as usize];
+        let t = tables();
+        let mut chunks = data.chunks_exact(8);
+        let mut s = self.state;
+        for c in chunks.by_ref() {
+            // The chunk is exactly 8 bytes; fold all of them at once.
+            let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ s;
+            let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+            s = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
         }
+        for &b in chunks.remainder() {
+            s = (s >> 8) ^ t[0][((s ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = s;
     }
 
     /// Final CRC value.

@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 
 pub mod aal5;
+pub mod buf;
 pub mod cell;
 pub mod crc;
 pub mod fabric;
@@ -31,6 +32,7 @@ pub mod pipe;
 pub mod switch;
 
 pub use aal5::{Reassembler, ReassemblyError, Segmenter};
+pub use buf::{BufPool, PduBuf};
 pub use cell::{Cell, CellHeader, ATM_CELL_BYTES, ATM_HEADER_BYTES, ATM_PAYLOAD_BYTES};
 pub use fabric::{AtmConfig, Fabric, FaultyPduTiming, PduTiming};
 pub use link::Link;

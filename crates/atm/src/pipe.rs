@@ -8,7 +8,7 @@
 //! drive that contract with arbitrary payloads and fault patterns.
 
 use crate::aal5::{Reassembler, ReassemblyError, Segmenter};
-use bytes::Bytes;
+use crate::buf::PduBuf;
 use cni_sim::SplitMix64;
 
 /// Channel fault model: per-cell corruption and drop probabilities, in
@@ -35,7 +35,7 @@ impl FaultModel {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PipeOutcome {
     /// The PDU was delivered intact.
-    Delivered(Bytes),
+    Delivered(PduBuf),
     /// The reassembler rejected the PDU (integrity failure detected).
     Rejected(ReassemblyError),
     /// The end-of-PDU cell was lost; nothing was delivered (the PDU is
@@ -100,11 +100,12 @@ impl CellPipe {
             }
             if (self.rng.next_u64() & 0xFFFF) < self.faults.corrupt_per_64k as u64 {
                 self.stats.cells_corrupted += 1;
-                let mut payload = cell.payload.to_vec();
-                let byte = (self.rng.next_below(payload.len() as u64)) as usize;
+                let byte = (self.rng.next_below(cell.payload.len() as u64)) as usize;
                 let bit = (self.rng.next_below(8)) as u8;
-                payload[byte] ^= 1 << bit;
-                cell.payload = Bytes::from(payload);
+                // Copy-on-write: only this corrupted cell materialises a
+                // private copy; the rest of the train keeps sharing the
+                // segmented image.
+                cell.payload.xor_bit(byte, bit);
             }
             if let Some(done) = self.reassembler.push(&cell) {
                 outcome = match done {

@@ -1,0 +1,209 @@
+//! Hot-path regression microbenchmarks for the zero-copy PDU path and the
+//! 4-ary event queue (ISSUE 5).
+//!
+//! Measures the four structures every experiment leans on — AAL5
+//! segmentation, reassembly, event-queue churn, and one end-to-end Jacobi-8
+//! run — and writes `BENCH_hotpath.json` (repo root when run via
+//! `cargo bench -p cni-bench --bench hotpath`) comparing against the
+//! pre-overhaul baseline captured before the `PduBuf`/4-ary-heap rewrite.
+//! `-- --quick` shrinks the repetition counts for CI smoke runs.
+//!
+//! This is a custom harness rather than criterion: the regression gate
+//! needs structured JSON output (baseline, current, speedup per probe),
+//! not just printed ns/iter lines.
+
+use cni::Config;
+use cni_apps::experiments::{run_app, App};
+use cni_atm::{Reassembler, Segmenter};
+use cni_sim::{EventQueue, SimTime};
+use serde::Serialize;
+use std::hint::black_box;
+use std::io::Write;
+
+/// Nanoseconds per operation for each probe.
+#[derive(Clone, Copy, Debug, Serialize)]
+struct Timings {
+    /// Segment one 2 KB page into 43 standard cells.
+    segment_2k_ns: f64,
+    /// Reassemble those 43 cells back into the PDU (CRC checked).
+    reassemble_2k_ns: f64,
+    /// Full segment→reassemble round trip of a 2 KB page.
+    roundtrip_2k_ns: f64,
+    /// One pop+schedule churn step on a 4096-deep event queue.
+    queue_churn_ns: f64,
+    /// One end-to-end Jacobi run on 8 processors (n=48, 6 iterations).
+    jacobi8_e2e_ns: f64,
+}
+
+/// Pre-overhaul numbers, measured on the commit immediately before the
+/// zero-copy/4-ary-heap rewrite with this same harness (release profile,
+/// same repetition counts). Units: ns/op.
+const BASELINE: Timings = Timings {
+    segment_2k_ns: 7041.0,
+    reassemble_2k_ns: 6804.0,
+    roundtrip_2k_ns: 14147.0,
+    queue_churn_ns: 83.0,
+    jacobi8_e2e_ns: 4_496_000.0,
+};
+
+#[derive(Serialize)]
+struct Speedups {
+    segment_2k: f64,
+    reassemble_2k: f64,
+    roundtrip_2k: f64,
+    queue_churn: f64,
+    jacobi8_e2e: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    baseline: Timings,
+    current: Timings,
+    speedup: Speedups,
+}
+
+/// Median-of-runs timer: `reps` timed samples of `iters` calls each.
+fn measure<F: FnMut()>(iters: u64, reps: usize, mut f: F) -> f64 {
+    // Warm-up pass (fills pools, caches, lazy tables).
+    for _ in 0..iters.min(64) {
+        f();
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        #[allow(clippy::disallowed_methods)]
+        let t = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bench_all(quick: bool) -> Timings {
+    let scale = if quick { 8 } else { 1 };
+    let seg = Segmenter::standard();
+    let page = vec![0xA5u8; 2048];
+
+    let segment_2k_ns = measure(2048 / scale, 9, || {
+        black_box(seg.segment(9, black_box(&page)));
+    });
+
+    let cells = seg.segment(9, &page);
+    let mut rx = Reassembler::new();
+    let reassemble_2k_ns = measure(2048 / scale, 9, || {
+        let mut out = None;
+        for cell in &cells {
+            if let Some(r) = rx.push(cell) {
+                out = Some(r);
+            }
+        }
+        black_box(out.expect("EOP present").expect("valid PDU"));
+    });
+
+    let mut rx = Reassembler::new();
+    let roundtrip_2k_ns = measure(1024 / scale, 9, || {
+        let cells = seg.segment(9, black_box(&page));
+        let mut out = None;
+        for cell in &cells {
+            if let Some(r) = rx.push(cell) {
+                out = Some(r);
+            }
+        }
+        black_box(out.expect("EOP present").expect("valid PDU"));
+    });
+
+    // Event-queue churn: steady state of a 4096-deep queue, one pop + one
+    // reschedule per step with deterministically scattered deltas.
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut delta = move || {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (rng >> 33) % 10_000 + 1
+    };
+    for i in 0..4096u64 {
+        let d = delta();
+        q.schedule_after(SimTime::from_ns(d), i);
+    }
+    let queue_churn_ns = measure(65_536 / scale, 9, || {
+        let (_, ev) = q.pop().expect("queue stays full");
+        let d = delta();
+        q.schedule_after(SimTime::from_ns(d), black_box(ev));
+    });
+
+    let jacobi8_e2e_ns = measure(1, if quick { 3 } else { 7 }, || {
+        black_box(run_app(
+            Config::paper_default(),
+            App::Jacobi { n: 48, iters: 6 },
+        ));
+    });
+
+    Timings {
+        segment_2k_ns,
+        reassemble_2k_ns,
+        roundtrip_2k_ns,
+        queue_churn_ns,
+        jacobi8_e2e_ns,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "quick");
+    let current = bench_all(quick);
+    let ratio = |base: f64, now: f64| if now > 0.0 { base / now } else { 0.0 };
+    let speedup = Speedups {
+        segment_2k: ratio(BASELINE.segment_2k_ns, current.segment_2k_ns),
+        reassemble_2k: ratio(BASELINE.reassemble_2k_ns, current.reassemble_2k_ns),
+        roundtrip_2k: ratio(BASELINE.roundtrip_2k_ns, current.roundtrip_2k_ns),
+        queue_churn: ratio(BASELINE.queue_churn_ns, current.queue_churn_ns),
+        jacobi8_e2e: ratio(BASELINE.jacobi8_e2e_ns, current.jacobi8_e2e_ns),
+    };
+
+    let row = |name: &str, base: f64, now: f64| {
+        println!(
+            "{name:<22} {base:>14.1} {now:>14.1} {:>9.2}x",
+            ratio(base, now)
+        );
+    };
+    println!(
+        "{:<22} {:>14} {:>14} {:>10}",
+        "hotpath probe", "baseline ns", "current ns", "speedup"
+    );
+    row("segment_2k", BASELINE.segment_2k_ns, current.segment_2k_ns);
+    row(
+        "reassemble_2k",
+        BASELINE.reassemble_2k_ns,
+        current.reassemble_2k_ns,
+    );
+    row(
+        "roundtrip_2k",
+        BASELINE.roundtrip_2k_ns,
+        current.roundtrip_2k_ns,
+    );
+    row(
+        "queue_churn",
+        BASELINE.queue_churn_ns,
+        current.queue_churn_ns,
+    );
+    row(
+        "jacobi8_e2e",
+        BASELINE.jacobi8_e2e_ns,
+        current.jacobi8_e2e_ns,
+    );
+
+    let report = BenchReport {
+        baseline: BASELINE,
+        current,
+        speedup,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    // Cargo runs bench binaries with CWD = the package dir; anchor the
+    // report at the workspace root so CI can pick it up from one place.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_hotpath.json");
+    writeln!(f, "{json}").expect("write BENCH_hotpath.json");
+    println!("wrote BENCH_hotpath.json");
+}

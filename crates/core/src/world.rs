@@ -470,8 +470,11 @@ impl World {
             });
             thread.set_trace(self.trace.clone(), me);
             self.cpus[p].thread = Some(thread);
-            self.q.schedule_at(SimTime::ZERO, Ev::Resume(p));
         }
+        // All processors wake at time zero: one bulk insert, tie-broken by
+        // sequence number exactly as the per-call path would be.
+        self.q
+            .schedule_batch_at(SimTime::ZERO, (0..self.cfg.procs).map(Ev::Resume));
         if self.trace.is_enabled() {
             if let Some(iv) = self.metrics_interval {
                 self.q.schedule_at(SimTime::ZERO + iv, Ev::MetricsTick);
@@ -1066,18 +1069,24 @@ impl World {
             (None, false)
         };
         let bytes = frag.bytes as usize;
-        let mut image = vec![0u8; bytes];
+        // Only the first 16 bytes of a frame carry information (header +
+        // little-endian sequence number); the rest is zero fill that the
+        // segmenter materialises directly into the PDU image, so a
+        // retransmission attempt no longer allocates and copies a
+        // frame-sized scratch vector.
+        let mut prefix = [0u8; 16];
         let hn = header.len().min(bytes);
-        image[..hn].copy_from_slice(&header[..hn]);
+        prefix[..hn].copy_from_slice(&header[..hn]);
         let end = bytes.min(16);
         if end > 8 {
-            image[8..end].copy_from_slice(&seq.to_le_bytes()[..end - 8]);
+            prefix[8..end].copy_from_slice(&seq.to_le_bytes()[..end - 8]);
         }
         // Data frames travel on VCI `src * 2`; acknowledgements on
         // `src * 2 + 1`, so a retransmission can never interleave with the
         // reverse stream inside the destination's per-VCI reassembler.
         let vci = (src * 2) as u16;
-        let (cells, done) = self.fault_transmit(now, src, dst, vci, &image, page, cacheable);
+        let (cells, done) =
+            self.fault_transmit(now, src, dst, vci, &prefix[..end], bytes, page, cacheable);
         if let Some(arrival) = done {
             self.trace.emit_at(
                 arrival.as_ps(),
@@ -1100,10 +1109,11 @@ impl World {
         }
     }
 
-    /// Push one raw frame image through `src`'s NIC and the faulty fabric:
-    /// segment it, apply the injector's per-cell fates (dropping or
-    /// bit-flipping cells), and return the surviving cells plus the
-    /// reassembly-complete time when the end-of-PDU cell was delivered.
+    /// Push one raw frame through `src`'s NIC and the faulty fabric:
+    /// segment it (the frame is `prefix` followed by zero fill to `bytes`),
+    /// apply the injector's per-cell fates (dropping or bit-flipping
+    /// cells), and return the surviving cells plus the reassembly-complete
+    /// time when the end-of-PDU cell was delivered.
     #[allow(clippy::too_many_arguments)]
     fn fault_transmit(
         &mut self,
@@ -1111,11 +1121,11 @@ impl World {
         src: usize,
         dst: usize,
         vci: u16,
-        image: &[u8],
+        prefix: &[u8],
+        bytes: usize,
         page: Option<u64>,
         cacheable: bool,
     ) -> (Vec<Cell>, Option<SimTime>) {
-        let bytes = image.len();
         let cells_n = self.fabric.segmenter().cell_count(bytes);
         let tx = self.nics[src].transmit(
             now,
@@ -1128,7 +1138,7 @@ impl World {
                 origin: TxOrigin::Board,
             },
         );
-        let cells = self.fabric.segmenter().segment(vci, image);
+        let cells = self.fabric.segmenter().segment_prefixed(vci, prefix, bytes);
         let inj = self
             .injector
             .as_mut()
@@ -1152,12 +1162,10 @@ impl World {
                     continue;
                 }
                 CellFate::Corrupt { byte, bit } => {
-                    let mut v = cell.payload.to_vec();
-                    if !v.is_empty() {
-                        let b = (byte as usize).min(v.len() - 1);
-                        v[b] ^= 1 << (bit & 7);
-                    }
-                    cell.payload = v.into();
+                    // Copy-on-write: only this cell's view materialises a
+                    // private copy; the train's other cells keep sharing
+                    // the segmented image.
+                    cell.payload.xor_bit(byte as usize, bit);
                 }
                 CellFate::Deliver => {}
             }
@@ -1203,7 +1211,7 @@ impl World {
         image[1] = from as u8;
         image[8..16].copy_from_slice(&ack.to_le_bytes());
         let vci = (from * 2 + 1) as u16;
-        let (cells, done) = self.fault_transmit(now, from, to, vci, &image, None, false);
+        let (cells, done) = self.fault_transmit(now, from, to, vci, &image, 16, None, false);
         if let Some(arrival) = done {
             self.q.schedule_at(
                 arrival,
@@ -1225,7 +1233,12 @@ impl World {
     /// doubles as a NAK for go-back-N.
     fn on_frame_rx(&mut self, t: SimTime, src: usize, dst: usize, seq: u64, cells: Vec<Cell>) {
         match self.nics[dst].ingest_frame(&cells) {
-            Some(Ok(_)) => {}
+            Some(Ok(pdu)) => {
+                // The frame's bytes are not consumed further (the typed
+                // message rides in `Frag::wire`); hand the gather buffer
+                // straight back to the NIC's pool.
+                self.nics[dst].recycle_pdu(pdu);
+            }
             Some(Err(_)) => {
                 // The NIC counted the discard (and the CRC failure).
                 let ack = self.rel_rx[dst][src].expected;
@@ -1308,9 +1321,10 @@ impl World {
 
     /// A (possibly corrupt) acknowledgement arrived back at sender `to`.
     fn on_ack_rx(&mut self, t: SimTime, to: usize, from: usize, ack: u64, cells: Vec<Cell>) {
-        if !matches!(self.nics[to].ingest_frame(&cells), Some(Ok(_))) {
+        match self.nics[to].ingest_frame(&cells) {
+            Some(Ok(pdu)) => self.nics[to].recycle_pdu(pdu),
             // Corrupt ack: the NIC counted it; retransmission recovers.
-            return;
+            _ => return,
         }
         let cap = self.cfg.faults.window as usize;
         let rto0 = SimTime::from_ps(self.cfg.faults.rto_base_ps);

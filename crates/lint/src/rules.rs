@@ -40,6 +40,12 @@ const HOST_TIME_EXEMPT: &[&str] = &["crates/batch/src/lib.rs", "crates/bench/"];
 /// operators are banned inside them.
 const PANIC_PATH_REGIONS: &[(&str, &[&str])] = &[
     ("crates/atm/src/aal5.rs", &["push", "finish"]),
+    // PduBuf view/split methods: every received cell's payload flows
+    // through these, so a panicking index here is reachable from the wire.
+    (
+        "crates/atm/src/buf.rs",
+        &["as_slice", "view", "chunks", "xor_bit"],
+    ),
     ("crates/core/src/world.rs", &["on_frame_rx", "on_ack_rx"]),
     (
         "crates/pathfinder/src/classifier.rs",

@@ -121,6 +121,21 @@ fn p1_quiet_on_get_based_parsing() {
 }
 
 #[test]
+fn p1_covers_pdubuf_view_methods() {
+    // The zero-copy PduBuf view/split methods are on the receive path:
+    // panicking slice indexing inside them is a P1 finding, while other
+    // methods of the same file stay out of scope.
+    let src = fixture("p1_bufview_bad.rs");
+    assert_eq!(
+        hits("crates/atm/src/buf.rs", &src),
+        vec![
+            (Rule::PanicPath, 3), // &self.data[offset..offset + len]
+            (Rule::PanicPath, 8), // .unwrap()
+        ]
+    );
+}
+
+#[test]
 fn p1_quiet_when_file_is_not_a_receive_path() {
     // The same panicking code outside the registered receive-path files
     // is not P1's business.

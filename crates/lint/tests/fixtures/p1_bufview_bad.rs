@@ -1,0 +1,16 @@
+impl PduBuf {
+    pub fn view(&self, offset: usize, len: usize) -> PduBuf {
+        let bytes = &self.data[offset..offset + len];
+        PduBuf::copy_from_slice(bytes)
+    }
+
+    pub fn xor_bit(&mut self, byte: usize, bit: u8) {
+        let b = self.storage.get_mut(byte).unwrap();
+        *b ^= 1 << (bit & 7);
+    }
+
+    // Not a registered view/split method: out of P1 scope.
+    pub fn debug_dump(&self) -> String {
+        format!("{:?}", &self.data[..self.end])
+    }
+}

@@ -24,7 +24,7 @@ use crate::config::{NicConfig, NicKind};
 use crate::msgcache::{MessageCache, MsgCacheStats};
 use crate::queues::ChannelQueues;
 use crate::stats::NicStats;
-use bytes::Bytes;
+use cni_atm::PduBuf;
 use cni_atm::{Cell, Reassembler, ReassemblyError};
 use cni_pathfinder::{Classifier, Pattern};
 use cni_sim::SimTime;
@@ -344,7 +344,7 @@ impl Nic {
     /// `cells` carries the end-of-PDU mark. Rejected PDUs are counted into
     /// [`NicStats::rx_crc_failures`] / [`NicStats::rx_frames_discarded`]
     /// and emit a `CrcFail` trace event.
-    pub fn ingest_frame(&mut self, cells: &[Cell]) -> Option<Result<Bytes, ReassemblyError>> {
+    pub fn ingest_frame(&mut self, cells: &[Cell]) -> Option<Result<PduBuf, ReassemblyError>> {
         let mut out = None;
         for cell in cells {
             if let Some(done) = self.reassembler.push(cell) {
@@ -364,6 +364,16 @@ impl Nic {
             }
         }
         out
+    }
+
+    /// Hand a PDU delivered by [`Nic::ingest_frame`] back to the board:
+    /// its gather buffer returns to the reassembler's pool (when the
+    /// handle is the storage's sole owner) instead of hitting the
+    /// allocator on every frame. Buffers move through the receive path by
+    /// reference-counted handle; this is the release half of that
+    /// life cycle.
+    pub fn recycle_pdu(&mut self, pdu: PduBuf) {
+        self.reassembler.recycle(pdu);
     }
 
     /// Move a board-resident PDU into host memory and notify the
@@ -699,9 +709,7 @@ mod tests {
         // Same frame with exactly one payload bit flipped: the trailer
         // CRC-32 must catch it on receive.
         let mut cells = seg.segment(4, &data);
-        let mut tampered = cells[2].payload.to_vec();
-        tampered[11] ^= 1 << 5;
-        cells[2].payload = Bytes::from(tampered);
+        cells[2].payload.xor_bit(11, 5);
         let bad = nic.ingest_frame(&cells).expect("EOP present");
         assert_eq!(bad, Err(ReassemblyError::CrcMismatch));
         assert_eq!(nic.stats().rx_crc_failures, 1);

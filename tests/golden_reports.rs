@@ -1,0 +1,128 @@
+//! Golden-report snapshot tests: the byte-identity determinism contract
+//! (DESIGN.md §4.7) pinned down as checked-in fixtures.
+//!
+//! Each test runs one canonical configuration and compares the full
+//! `RunReport` JSON byte-for-byte against `tests/golden/<name>.json`. Any
+//! engine change that alters *anything* observable — an event reordering, a
+//! stray cell copy that shifts a counter, a serialization tweak — fails the
+//! suite with a unified first-difference diagnostic. Changes that are
+//! *supposed* to alter the reports regenerate the fixtures with:
+//!
+//! ```text
+//! CNI_BLESS=1 cargo test --test golden_reports
+//! ```
+//!
+//! The four configs cover the matrix that matters: both NIC kinds, the
+//! lossless fast path and the go-back-N fault path, and two process counts.
+
+use cni::Config;
+use cni_apps::cholesky::CholeskyMatrix;
+use cni_apps::experiments::{run_app, App};
+use cni_faults::FaultPlan;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Render `report` exactly as the fixture stores it: pretty JSON plus a
+/// trailing newline (so the files are POSIX text files).
+fn render(report: &cni::RunReport) -> String {
+    let mut s = serde_json::to_string_pretty(report).expect("RunReport serializes");
+    s.push('\n');
+    s
+}
+
+/// Point out the first differing line so a drift failure is debuggable
+/// without an external diff tool.
+fn first_difference(got: &str, want: &str) -> String {
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        if g != w {
+            return format!(
+                "first difference at line {}:\n  got:  {g}\n  want: {w}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "one report is a prefix of the other (got {} lines, want {})",
+        got.lines().count(),
+        want.lines().count()
+    )
+}
+
+fn check_golden(name: &str, cfg: Config, app: App) {
+    let report = run_app(cfg, app);
+    let got = render(&report);
+    let path = golden_path(name);
+    if std::env::var_os("CNI_BLESS").is_some() {
+        std::fs::write(&path, &got).expect("write blessed fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run `CNI_BLESS=1 cargo test --test golden_reports`",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "golden report `{name}` drifted from {}.\n{}\n\
+         If the change is intentional, regenerate with \
+         `CNI_BLESS=1 cargo test --test golden_reports`.",
+        path.display(),
+        first_difference(&got, &want)
+    );
+}
+
+#[test]
+fn jacobi8_cni_report_is_golden() {
+    check_golden(
+        "jacobi8_cni",
+        Config::paper_default(),
+        App::Jacobi { n: 48, iters: 6 },
+    );
+}
+
+#[test]
+fn jacobi8_standard_report_is_golden() {
+    check_golden(
+        "jacobi8_std",
+        Config::paper_default().standard(),
+        App::Jacobi { n: 48, iters: 6 },
+    );
+}
+
+#[test]
+fn water8_lossy_report_is_golden() {
+    // A lossy channel exercises the go-back-N machinery: the fixture pins
+    // retransmit counts, CRC failures, and fault statistics along with the
+    // usual timing and cache numbers.
+    let plan = FaultPlan {
+        drop_prob: 0.02,
+        corrupt_prob: 0.01,
+        seed: 7,
+        ..FaultPlan::none()
+    };
+    check_golden(
+        "water8_lossy",
+        Config::paper_default().with_faults(plan),
+        App::Water {
+            molecules: 27,
+            steps: 2,
+        },
+    );
+}
+
+#[test]
+fn cholesky4_report_is_golden() {
+    check_golden(
+        "cholesky4",
+        Config::paper_default().with_procs(4),
+        App::Cholesky {
+            matrix: CholeskyMatrix::Mesh { rows: 12, cols: 12 },
+        },
+    );
+}
