@@ -1,0 +1,80 @@
+//! `cni-analyze` — offline analysis of a JSONL simulation trace.
+//!
+//! ```text
+//! cni-run --app jacobi --n 48 --iters 6 --obs --trace run.jsonl --trace-format jsonl
+//! cni-analyze run.jsonl
+//! cni-analyze run.jsonl --folded stacks.txt   # flamegraph.pl input
+//! ```
+//!
+//! Reads a trace recorded by `cni-run --trace ... --trace-format jsonl`
+//! (with spans enabled via `--obs`) and prints the same analysis the
+//! live `--obs` run prints: span accounting, per-kind and per-channel
+//! stage decomposition, the critical path of the last barrier interval
+//! and the run-wide utilization profile. Output is byte-deterministic:
+//! the same trace file always renders the same report.
+
+use cni_obs::{folded_stacks, read_jsonl, render_analysis, utilization};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cni-analyze <trace.jsonl> [--folded PATH]\n\
+         \n\
+         \x20 <trace.jsonl>   JSONL trace from cni-run --trace ... --trace-format jsonl\n\
+         \x20 --folded PATH   also write the utilization profile as folded\n\
+         \x20                 stacks (flamegraph.pl / collapsed-stack input)"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut trace_path: Option<String> = None;
+    let mut folded_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--help" | "-h" => usage(),
+            "--folded" => {
+                let Some(p) = args.next() else {
+                    eprintln!("missing value for --folded");
+                    usage();
+                };
+                folded_path = Some(p);
+            }
+            _ if a.starts_with('-') => {
+                eprintln!("unknown option {a:?}");
+                usage();
+            }
+            _ if trace_path.is_some() => {
+                eprintln!("more than one trace file given");
+                usage();
+            }
+            _ => trace_path = Some(a),
+        }
+    }
+    let Some(path) = trace_path else { usage() };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match read_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", render_analysis(&records));
+    if let Some(out) = &folded_path {
+        let stacks = folded_stacks(&utilization(&records));
+        if let Err(e) = std::fs::write(out, stacks) {
+            eprintln!("cannot write {out:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("folded stacks written: {out}");
+    }
+    ExitCode::SUCCESS
+}

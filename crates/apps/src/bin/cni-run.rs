@@ -15,10 +15,16 @@
 //! classifications, DSM protocol actions, periodic metrics samples) and
 //! exports them as a Chrome trace-event file (load in Perfetto /
 //! `chrome://tracing`) or as JSONL.
+//!
+//! With `--obs` the run additionally threads causal span ids through
+//! every PDU lifecycle and prints the `cni-obs` analysis: per-message
+//! stage decomposition, the barrier interval's critical path and the
+//! run-wide utilization profile. A JSONL trace written under `--obs`
+//! can be re-analysed offline with `cni-analyze`.
 
 use cni::{kind_name, Config, FaultPlan, RunReport, SimTime, TraceSink, REPORT_VERSION};
 use cni_apps::cholesky::CholeskyMatrix;
-use cni_apps::experiments::{run_app, run_app_traced, App};
+use cni_apps::experiments::{run_app, run_app_obs, run_app_traced, App};
 use cni_batch::Pool;
 use cni_trace::export::{job_trace_path, write_chrome, write_jsonl};
 use std::collections::HashMap;
@@ -55,6 +61,9 @@ fn usage() -> ! {
            --jitter-ps N       max per-cell delivery jitter in ps (default 0)\n\
            --fault-seed N      fault-injection RNG seed (default 1)\n\
            --json              machine-readable output\n\
+           --obs               causal span tracing + analysis: stage\n\
+                               decomposition, critical path, utilization\n\
+                               (uses the default 100 us metrics sampler)\n\
            --trace PATH        record simulation events to PATH\n\
            --trace-format F    chrome (default; Perfetto-loadable) | jsonl\n\
            --metrics-interval-us N  metrics sample spacing in virtual us\n\
@@ -76,7 +85,7 @@ fn parse_args() -> HashMap<String, String> {
             usage();
         };
         match key {
-            "compare" | "jumbo" | "json" | "help" | "tree-barrier" => {
+            "compare" | "jumbo" | "json" | "help" | "obs" | "tree-barrier" => {
                 out.insert(key.to_string(), "true".to_string());
             }
             _ => {
@@ -133,6 +142,9 @@ fn print_report(label: &str, cfg: &Config, r: &RunReport, json: bool) {
                 }),
                 "latency": serde_json::Value::Array(latency),
                 "faults": serde_json::to_value(r.faults).unwrap_or(serde_json::Value::Null),
+                "stages": r.stages.as_ref()
+                    .and_then(|s| serde_json::to_value(s).ok())
+                    .unwrap_or(serde_json::Value::Null),
             })
         );
         return;
@@ -420,28 +432,35 @@ fn main() -> ExitCode {
     }
     let metrics_us: u64 = get(&args, "metrics-interval-us", 100);
 
+    let obs = args.contains_key("obs");
     let multi = kinds.len() > 1;
     for (label, cfg) in kinds {
-        let (report, sink) = match &trace_path {
-            None => (run_app(cfg, app), TraceSink::Disabled),
-            Some(_) => {
-                // 2^20 events is plenty for the default workloads and keeps
-                // even runaway runs bounded to a few hundred MB of JSON.
-                let sink = TraceSink::ring(1 << 20);
-                let interval = (metrics_us > 0).then(|| SimTime::from_us(metrics_us));
-                let report = run_app_traced(cfg, app, sink.clone(), interval);
-                (report, sink)
-            }
+        let (report, records) = if obs {
+            let (report, records) = run_app_obs(cfg, app);
+            (report, Some(records))
+        } else if trace_path.is_some() {
+            // 2^20 events is plenty for the default workloads and keeps
+            // even runaway runs bounded to a few hundred MB of JSON.
+            let sink = TraceSink::ring(1 << 20);
+            let interval = (metrics_us > 0).then(|| SimTime::from_us(metrics_us));
+            let report = run_app_traced(cfg, app, sink.clone(), interval);
+            (report, Some(sink.drain()))
+        } else {
+            (run_app(cfg, app), None)
         };
         print_report(label, &cfg, &report, json);
-        if let Some(path) = &trace_path {
+        if obs && !json {
+            if let Some(records) = &records {
+                print!("{}", cni_obs::render_analysis(records));
+            }
+        }
+        if let (Some(path), Some(records)) = (&trace_path, &records) {
             // A --compare run produces one trace per interface.
             let path = if multi {
                 format!("{path}.{label}")
             } else {
                 path.clone()
             };
-            let records = sink.drain();
             let file = match std::fs::File::create(&path) {
                 Ok(f) => f,
                 Err(e) => {
@@ -451,8 +470,8 @@ fn main() -> ExitCode {
             };
             let mut w = BufWriter::new(file);
             let res = match trace_format {
-                "chrome" => write_chrome(&mut w, &records),
-                _ => write_jsonl(&mut w, &records),
+                "chrome" => write_chrome(&mut w, records),
+                _ => write_jsonl(&mut w, records),
             };
             if let Err(e) = res {
                 eprintln!("cannot write {path:?}: {e}");

@@ -124,6 +124,21 @@ pub fn run_app_traced(
     world.run(progs)
 }
 
+/// Run `app` with causal span tracing and the utilization sampler on:
+/// the observability configuration behind `cni-run --obs` and the golden
+/// observability fixture. Records into a 2²⁰-event ring with the default
+/// 100 µs metrics cadence, then drains the trace and populates
+/// [`RunReport::stages`](cni::RunReport) with the span-tree stage
+/// decomposition. Returns the drained records so callers can run further
+/// analyses (critical path, utilization) or export the trace.
+pub fn run_app_obs(cfg: Config, app: App) -> (RunReport, Vec<cni::TraceRecord>) {
+    let sink = TraceSink::ring(1 << 20);
+    let mut report = run_app_traced(cfg, app, sink.clone(), Some(SimTime::from_us(100)));
+    let records = sink.drain();
+    report.stages = Some(cni_obs::decompose(&cni_obs::SpanTree::build(&records)));
+    (report, records)
+}
+
 /// One point of a speedup figure.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct SpeedupPoint {

@@ -252,6 +252,17 @@ impl Fabric {
         self.pdus_sent
     }
 
+    /// Cumulative wire-occupancy time of `port`'s access links since
+    /// construction: `(ingress, egress)` serialisation totals. Sampled by
+    /// the utilization profiler; deltas over an interval give the link
+    /// occupancy fraction.
+    pub fn link_busy(&self, port: usize) -> (SimTime, SimTime) {
+        (
+            self.ingress[port].busy_time(),
+            self.egress[port].busy_time(),
+        )
+    }
+
     /// Total cells the switch has forwarded.
     pub fn cells_forwarded(&self) -> u64 {
         self.switch.cells_forwarded()

@@ -14,6 +14,7 @@ pub struct Link {
     prop_delay: SimTime,
     next_free: SimTime,
     bytes_carried: u64,
+    busy: SimTime,
 }
 
 impl Link {
@@ -26,6 +27,7 @@ impl Link {
             prop_delay,
             next_free: SimTime::ZERO,
             bytes_carried: 0,
+            busy: SimTime::ZERO,
         }
     }
 
@@ -40,9 +42,11 @@ impl Link {
     /// last bit arrives at the far end (store-and-forward).
     pub fn transmit(&mut self, ready: SimTime, bytes: usize) -> SimTime {
         let start = ready.max(self.next_free);
-        let end_tx = start + self.serialization(bytes);
+        let ser = self.serialization(bytes);
+        let end_tx = start + ser;
         self.next_free = end_tx;
         self.bytes_carried += bytes as u64;
+        self.busy += ser;
         end_tx + self.prop_delay
     }
 
@@ -54,6 +58,13 @@ impl Link {
     /// Total bytes carried since construction.
     pub fn bytes_carried(&self) -> u64 {
         self.bytes_carried
+    }
+
+    /// Cumulative serialisation (wire-occupancy) time since construction.
+    /// The utilization profiler samples this as a virtual-time gauge:
+    /// delta over interval = link occupancy fraction.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
     }
 
     /// Propagation delay of this link.
@@ -87,6 +98,9 @@ mod tests {
         assert_eq!(a1, ser + SimTime::from_ns(150));
         assert_eq!(a2, ser + ser + SimTime::from_ns(150));
         assert_eq!(link.bytes_carried(), 106);
+        // Occupancy accumulates serialisation time only, not queueing or
+        // propagation.
+        assert_eq!(link.busy_time(), ser + ser);
     }
 
     #[test]

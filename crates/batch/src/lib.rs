@@ -445,6 +445,7 @@ pub fn doctest_report() -> RunReport {
         latency_hist: Vec::new(),
         trace: None,
         faults: cni::FaultStats::default(),
+        stages: None,
     }
 }
 

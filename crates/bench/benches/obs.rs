@@ -1,0 +1,118 @@
+//! Tracing-overhead microbenchmark for the causal span instrumentation
+//! (`cni-obs`).
+//!
+//! Measures the canonical Jacobi-8 run three ways — spans disabled (the
+//! default every figure run uses), spans + utilization sampler enabled,
+//! and the offline analysis pass over the drained trace — and writes
+//! `BENCH_obs.json` at the repo root. The contract: the disabled path is
+//! a single enum branch (overhead in the noise), and the enabled path
+//! stays within 10% of the disabled wall clock. `-- --quick` shrinks the
+//! repetition counts for CI smoke runs.
+
+use cni::{Config, SimTime, TraceSink};
+use cni_apps::experiments::{run_app, run_app_traced, App};
+use cni_obs::{render_analysis, SpanTree};
+use serde::Serialize;
+use std::hint::black_box;
+use std::io::Write;
+
+/// Nanoseconds per end-to-end run (or analysis pass) for each probe.
+#[derive(Clone, Copy, Debug, Serialize)]
+struct Timings {
+    /// Jacobi-8 with the trace sink disabled (the figure-run default).
+    jacobi8_off_ns: f64,
+    /// Jacobi-8 with span tracing and the 100 µs utilization sampler on.
+    jacobi8_obs_ns: f64,
+    /// Building the span tree + rendering the analysis of that trace.
+    analyze_ns: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    current: Timings,
+    /// Enabled-path overhead over the disabled path, in percent.
+    obs_overhead_pct: f64,
+    /// The acceptance ceiling the ISSUE sets for the enabled path.
+    budget_pct: f64,
+}
+
+/// Median-of-runs timer: `reps` timed samples of `iters` calls each.
+fn measure<F: FnMut()>(iters: u64, reps: usize, mut f: F) -> f64 {
+    for _ in 0..iters.min(2) {
+        f();
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        #[allow(clippy::disallowed_methods)]
+        let t = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "quick");
+    let reps = if quick { 3 } else { 9 };
+    let cfg = Config::paper_default();
+    let app = App::Jacobi { n: 48, iters: 6 };
+
+    let jacobi8_off_ns = measure(1, reps, || {
+        black_box(run_app(cfg, app));
+    });
+
+    let jacobi8_obs_ns = measure(1, reps, || {
+        let sink = TraceSink::ring(1 << 20);
+        black_box(run_app_traced(
+            cfg,
+            app,
+            sink.clone(),
+            Some(SimTime::from_us(100)),
+        ));
+        black_box(sink.drain());
+    });
+
+    let sink = TraceSink::ring(1 << 20);
+    run_app_traced(cfg, app, sink.clone(), Some(SimTime::from_us(100)));
+    let records = sink.drain();
+    let analyze_ns = measure(if quick { 2 } else { 8 }, reps, || {
+        let tree = SpanTree::build(black_box(&records));
+        black_box(tree.closed);
+        black_box(render_analysis(&records));
+    });
+
+    let current = Timings {
+        jacobi8_off_ns,
+        jacobi8_obs_ns,
+        analyze_ns,
+    };
+    let obs_overhead_pct = (jacobi8_obs_ns - jacobi8_off_ns) / jacobi8_off_ns * 100.0;
+    println!(
+        "{:<22} {:>14} \n{:<22} {:>14.1}\n{:<22} {:>14.1}\n{:<22} {:>14.1}",
+        "obs probe",
+        "ns/run",
+        "jacobi8 trace off",
+        jacobi8_off_ns,
+        "jacobi8 trace on",
+        jacobi8_obs_ns,
+        "analyze trace",
+        analyze_ns,
+    );
+    println!("span tracing overhead : {obs_overhead_pct:.2}% (budget 10%)");
+
+    let report = BenchReport {
+        current,
+        obs_overhead_pct,
+        budget_pct: 10.0,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    // Cargo runs bench binaries with CWD = the package dir; anchor the
+    // report at the workspace root so CI can pick it up from one place.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_obs.json");
+    writeln!(f, "{json}").expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
+}

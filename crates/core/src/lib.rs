@@ -46,6 +46,10 @@ pub use world::{Program, World};
 // Re-export the tracing surface so embedders need only this crate.
 pub use cni_trace::{TraceEvent, TraceRecord, TraceSink, TraceSummary};
 
+// Re-export the observability surface (span analysis over drained traces)
+// so report consumers can interpret `RunReport::stages`.
+pub use cni_obs::{ObsReport, SpanTree};
+
 // Re-export the fault-injection surface so embedders need only this crate.
 pub use cni_faults::{BrownoutWindow, FaultPlan, FaultStats};
 

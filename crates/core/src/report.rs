@@ -20,10 +20,13 @@ use serde::{Deserialize, Serialize};
 /// * **4** — added `latency_hist`, the raw per-kind latency histograms,
 ///   so batch runs can merge distributions across runs
 ///   (`cni-batch`'s `BatchReport`).
+/// * **5** — added `stages`, the span-derived per-message stage
+///   decomposition (`--obs` runs), and the span accounting counters
+///   inside `trace` (`spans_opened` / `spans_closed` / `span_drops`).
 ///
 /// Reports from any version in [`OLDEST_PARSEABLE_VERSION`]`..=`
 /// [`REPORT_VERSION`] still parse — see [`RunReport::parse_json`].
-pub const REPORT_VERSION: u32 = 4;
+pub const REPORT_VERSION: u32 = 5;
 
 /// The oldest archived report schema [`RunReport::parse_json`] accepts.
 pub const OLDEST_PARSEABLE_VERSION: u32 = 2;
@@ -126,6 +129,10 @@ pub struct RunReport {
     /// the run used a zero fault plan). Schema ≥ 3; zeroes when parsed
     /// from a version-2 archive.
     pub faults: FaultStats,
+    /// Span-derived per-message stage decomposition, present when the
+    /// run was executed with observability enabled (`cni-run --obs`).
+    /// Schema ≥ 5; `None` when parsed from an older archive.
+    pub stages: Option<cni_obs::ObsReport>,
 }
 
 impl RunReport {
@@ -170,6 +177,24 @@ impl RunReport {
                 "latency_hist".to_string(),
                 Vec::<KindHistogram>::new().to_value(),
             );
+        }
+        if version < 5 {
+            if !obj.contains_key("stages") {
+                obj.insert("stages".to_string(), serde_json::Value::Null);
+            }
+            // v5 also widened `TraceSummary` with the span accounting
+            // counters; a pre-v5 archive's (non-null) trace object lacks
+            // them and would fail strict field deserialization.
+            if let Some(mut t) = obj.remove("trace") {
+                if let Some(tm) = t.as_object_mut() {
+                    for key in ["spans_opened", "spans_closed", "span_drops"] {
+                        if !tm.contains_key(key) {
+                            tm.insert(key.to_string(), 0u64.to_value());
+                        }
+                    }
+                }
+                obj.insert("trace".to_string(), t);
+            }
         }
         RunReport::from_value(&v).map_err(|e| format!("invalid v{version} report: {e}"))
     }
@@ -269,6 +294,7 @@ mod tests {
             latency_hist: Vec::new(),
             trace: None,
             faults: FaultStats::default(),
+            stages: None,
         }
     }
 
@@ -304,12 +330,16 @@ mod tests {
 
     /// A hand-written archive at `version`, shaped like the fields that
     /// schema actually had: v2 predates `faults`, v3 predates
-    /// `latency_hist`.
+    /// `latency_hist`, v4 predates `stages` and the span counters inside
+    /// `trace`.
     fn archived_json(version: u32) -> String {
         let mut r = report(&[(3, 4)]);
         r.version = version;
         let mut v = serde_json::to_value(&r).unwrap();
         let obj = v.as_object_mut().unwrap();
+        if version < 5 {
+            obj.remove("stages");
+        }
         if version < 4 {
             obj.remove("latency_hist");
         }
@@ -337,7 +367,28 @@ mod tests {
     }
 
     #[test]
-    fn parse_json_round_trips_v4() {
+    fn parse_json_reads_v4_archives_with_pre_span_trace() {
+        // A v4 archive whose `trace` summary predates the span
+        // accounting counters: migration must default them to zero
+        // instead of failing the missing-field check.
+        let mut v: serde_json::Value = serde_json::from_str(&archived_json(4)).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.insert(
+            "trace".to_string(),
+            serde_json::from_str("{\"recorded\": 12, \"dropped\": 3, \"capacity\": 64}").unwrap(),
+        );
+        let r = RunReport::parse_json(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(r.version, 4);
+        assert!(r.stages.is_none());
+        let t = r.trace.unwrap();
+        assert_eq!(t.recorded, 12);
+        assert_eq!(t.spans_opened, 0);
+        assert_eq!(t.spans_closed, 0);
+        assert_eq!(t.span_drops, 0);
+    }
+
+    #[test]
+    fn parse_json_round_trips_v5() {
         let mut orig = report(&[(1, 2)]);
         let mut h = Histogram::new();
         h.record(7);
@@ -346,12 +397,17 @@ mod tests {
             kind: 0xA0,
             hist: h,
         }];
+        orig.stages = Some(cni_obs::ObsReport {
+            messages: 1,
+            ..cni_obs::ObsReport::default()
+        });
         let json = serde_json::to_string(&orig).unwrap();
         let back = RunReport::parse_json(&json).unwrap();
         assert_eq!(back.version, REPORT_VERSION);
         assert_eq!(back.latency_hist.len(), 1);
         assert_eq!(back.latency_hist[0].kind, 0xA0);
         assert_eq!(back.latency_hist[0].hist.count(), 2);
+        assert_eq!(back.stages.as_ref().map(|s| s.messages), Some(1));
         // Re-serialising the parsed report is byte-identical.
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
     }

@@ -55,8 +55,9 @@ enum Ev {
     /// already charged; scheduling this at the right virtual time keeps
     /// the NIC-processor busy register causal — a lump-charged compute
     /// quantum must not reserve the NIC into the future and stall
-    /// arrivals).
-    Xmit { src: usize, msg: Msg },
+    /// arrivals). `cause` is the span whose effect provoked this send
+    /// (0 for a root cause).
+    Xmit { src: usize, msg: Msg, cause: u64 },
     /// Hand an application message to `src`'s NIC.
     XmitApp {
         src: usize,
@@ -65,9 +66,11 @@ enum Ev {
         page: Option<u64>,
         cacheable: bool,
         data: Option<Arc<Vec<u64>>>,
+        cause: u64,
     },
-    /// A protocol PDU finished arriving at `dst`'s NIC.
-    Proto { msg: Msg },
+    /// A protocol PDU finished arriving at `dst`'s NIC; `span` is its
+    /// message span.
+    Proto { msg: Msg, span: u64 },
     /// An application-level message finished arriving.
     App {
         dst: usize,
@@ -76,6 +79,7 @@ enum Ev {
         page: Option<u64>,
         cacheable: bool,
         data: Option<Arc<Vec<u64>>>,
+        span: u64,
     },
     /// Wake a blocked processor; `overhead` is host time already spent on
     /// its behalf during the wait (delivery, protocol, poll/interrupt).
@@ -90,6 +94,8 @@ enum Ev {
         dst: usize,
         seq: u64,
         cells: Vec<Cell>,
+        /// The frame's transmission-attempt span.
+        span: u64,
     },
     /// A reliable-layer acknowledgement frame arrived back at sender `to`.
     AckRx {
@@ -97,6 +103,8 @@ enum Ev {
         from: usize,
         ack: u64,
         cells: Vec<Cell>,
+        /// The acknowledgement's span.
+        span: u64,
     },
     /// Retransmission timer for the `src -> dst` channel; fires only if
     /// `gen` still matches the channel's timer generation (stale timers
@@ -147,6 +155,9 @@ struct Frag {
     nfrags: u32,
     /// This fragment's wire length in bytes.
     bytes: u32,
+    /// The message span this fragment carries (the receiver closes it
+    /// when the final fragment dispatches).
+    span: u64,
 }
 
 /// One unacknowledged frame in a sender window.
@@ -155,6 +166,10 @@ struct InFlight {
     frag: Frag,
     attempts: u32,
     sent_at: SimTime,
+    /// Span of the frame's *first* transmission attempt: retransmission
+    /// spans are recorded as its children, keeping every wire attempt
+    /// causally linked to the originating send.
+    span: u64,
 }
 
 /// Go-back-N transmit state for one (src, dst) channel.
@@ -211,6 +226,10 @@ struct Cpu {
     pending_reply: Option<Reply>,
     blocked_kind: usize,
     blocked_detail: u64,
+    /// The span whose delivery last woke this processor: program-order
+    /// causality for the messages its next operations send (0 until the
+    /// first wakeup, or always when tracing is disabled).
+    last_wake_span: u64,
 }
 
 impl Cpu {
@@ -231,6 +250,7 @@ impl Cpu {
             pending_reply: None,
             blocked_kind: 0,
             blocked_detail: 0,
+            last_wake_span: 0,
         }
     }
 }
@@ -264,6 +284,16 @@ pub struct World {
     metrics_interval: Option<SimTime>,
     /// Previous cumulative counter snapshot per node, for sample deltas.
     metrics_prev: Vec<MetricsSample>,
+    /// Last allocated span id (0 = none; span ids are 1-based and only
+    /// advance while tracing is enabled, so disabled runs pay nothing and
+    /// the engine's timing never depends on the counter).
+    next_span: u64,
+    /// Previous cumulative busy-time snapshot per node for utilization
+    /// deltas: (NIC processor, ingress link, egress link), picoseconds.
+    util_prev: Vec<(u64, u64, u64)>,
+    /// Receive-ring high-water mark per node within the current metrics
+    /// interval (reset to the live occupancy at each tick).
+    ring_hw: Vec<u32>,
     /// One-way wire latency per message kind, in nanoseconds:
     /// indices 0..=8 are the protocol kinds `0xD0..=0xD8`, index 9 is the
     /// application kind `0xA0`.
@@ -343,6 +373,9 @@ impl World {
             trace: TraceSink::Disabled,
             metrics_interval: None,
             metrics_prev: vec![MetricsSample::default(); cfg.procs],
+            next_span: 0,
+            util_prev: vec![(0, 0, 0); cfg.procs],
+            ring_hw: vec![0; cfg.procs],
             latency: vec![Histogram::new(); 10],
             injector,
             rel_tx: (0..cfg.procs)
@@ -484,8 +517,8 @@ impl World {
         while let Some((t, ev)) = self.q.pop() {
             match ev {
                 Ev::Resume(p) => self.resume(p, Reply::Ok),
-                Ev::Xmit { src, msg } => {
-                    self.transport(src, msg, TxOrigin::Board, t);
+                Ev::Xmit { src, msg, cause } => {
+                    self.transport(src, msg, TxOrigin::Board, t, cause);
                 }
                 Ev::XmitApp {
                     src,
@@ -494,8 +527,9 @@ impl World {
                     page,
                     cacheable,
                     data,
-                } => self.xmit_app(t, src, dst, len, page, cacheable, data),
-                Ev::Proto { msg } => self.arrive_proto(t, msg),
+                    cause,
+                } => self.xmit_app(t, src, dst, len, page, cacheable, data, cause),
+                Ev::Proto { msg, span } => self.arrive_proto(t, msg, span),
                 Ev::App {
                     dst,
                     src,
@@ -503,7 +537,8 @@ impl World {
                     page,
                     cacheable,
                     data,
-                } => self.arrive_app(t, dst, src, len, page, cacheable, data),
+                    span,
+                } => self.arrive_app(t, dst, src, len, page, cacheable, data, span),
                 Ev::Wake { p, overhead } => self.wake(t, p, overhead),
                 Ev::MetricsTick => self.metrics_tick(t),
                 Ev::FrameRx {
@@ -511,13 +546,15 @@ impl World {
                     dst,
                     seq,
                     cells,
-                } => self.on_frame_rx(t, src, dst, seq, cells),
+                    span,
+                } => self.on_frame_rx(t, src, dst, seq, cells, span),
                 Ev::AckRx {
                     to,
                     from,
                     ack,
                     cells,
-                } => self.on_ack_rx(t, to, from, ack, cells),
+                    span,
+                } => self.on_ack_rx(t, to, from, ack, cells, span),
                 Ev::RxmitTimer { src, dst, gen } => self.on_rxmit_timer(t, src, dst, gen),
                 Ev::RingRelease { dst } => {
                     self.ring_used[dst] = self.ring_used[dst].saturating_sub(1);
@@ -557,8 +594,10 @@ impl World {
         }
     }
 
-    /// Emit one [`TraceEvent::Metrics`] delta per node and reschedule the
-    /// next tick while any program is still running.
+    /// Emit one [`TraceEvent::Metrics`] delta and one
+    /// [`TraceEvent::UtilNode`] gauge per node (plus the engine-wide
+    /// [`TraceEvent::UtilQueue`] depth) and reschedule the next tick
+    /// while any program is still running.
     fn metrics_tick(&mut self, t: SimTime) {
         let interval = self.metrics_interval.expect("tick without interval");
         for p in 0..self.cfg.procs {
@@ -567,10 +606,102 @@ impl World {
             self.metrics_prev[p] = cur;
             self.trace
                 .emit_at(t.as_ps(), p as u32, TraceEvent::Metrics(delta));
+            let busy = self.nics[p].busy_time().as_ps();
+            let (ing, eg) = self.fabric.link_busy(p);
+            let (ing, eg) = (ing.as_ps(), eg.as_ps());
+            let prev = self.util_prev[p];
+            self.trace.emit_at(
+                t.as_ps(),
+                p as u32,
+                TraceEvent::UtilNode {
+                    busy_ps: busy - prev.0,
+                    ingress_ps: ing - prev.1,
+                    egress_ps: eg - prev.2,
+                    ring_hw: self.ring_hw[p],
+                    interval_ps: interval.as_ps(),
+                },
+            );
+            self.util_prev[p] = (busy, ing, eg);
+            self.ring_hw[p] = self.ring_used[p];
         }
+        self.trace.emit_at(
+            t.as_ps(),
+            cni_trace::NO_NODE,
+            TraceEvent::UtilQueue {
+                depth: self.q.len() as u32,
+            },
+        );
         if self.live > 0 {
             self.q.schedule_at(t + interval, Ev::MetricsTick);
         }
+    }
+
+    // --- span plumbing ----------------------------------------------------
+
+    /// Allocate the next span id, or 0 when tracing is disabled. Ids are
+    /// assigned in deterministic event order and are only observable
+    /// through the trace, so the disabled-path short-circuit cannot
+    /// perturb simulation timing.
+    fn alloc_span(&mut self) -> u64 {
+        if !self.trace.is_enabled() {
+            return 0;
+        }
+        self.next_span += 1;
+        self.next_span
+    }
+
+    /// Open a span: one message, frame or acknowledgement entering its
+    /// lifecycle at `at`.
+    #[allow(clippy::too_many_arguments)]
+    fn open_span(
+        &mut self,
+        at: SimTime,
+        parent: u64,
+        class: u8,
+        kind: u8,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+    ) -> u64 {
+        let span = self.alloc_span();
+        self.trace.emit_at(
+            at.as_ps(),
+            src as u32,
+            TraceEvent::SpanOpen {
+                span,
+                parent,
+                class,
+                kind,
+                src: src as u32,
+                dst: dst as u32,
+                bytes: bytes as u32,
+            },
+        );
+        span
+    }
+
+    /// Record the receive-side stage durations of `span` from the NIC's
+    /// receive-path timestamps. Runs on the protocol receive path, so it
+    /// must stay free of panicking operators (`cni-lint` P1 enforces
+    /// this).
+    fn record_rx_span(&self, dst: u32, arrival: SimTime, span: u64, rx: &cni_nic::RxPath) {
+        self.trace.emit_at(
+            rx.ready_at.as_ps(),
+            dst,
+            TraceEvent::SpanRx {
+                span,
+                rx_nic_ps: rx.rx_start.saturating_sub(arrival).as_ps(),
+                sar_ps: rx.sar_done.saturating_sub(rx.rx_start).as_ps(),
+            },
+        );
+    }
+
+    /// Close `span` at `at`: its effect was delivered (handler finished,
+    /// payload landed in host memory, frame or ACK ingested). Also on
+    /// the protocol receive path; panic-free like [`Self::record_rx_span`].
+    fn close_span(&self, at: SimTime, node: u32, span: u64) {
+        self.trace
+            .emit_at(at.as_ps(), node, TraceEvent::SpanClose { span });
     }
 
     fn report(&self) -> RunReport {
@@ -635,6 +766,7 @@ impl World {
                     .sum::<u64>();
                 f
             },
+            stages: None,
         }
     }
 
@@ -771,6 +903,7 @@ impl World {
                     }
                 }
                 let at = self.cpus[p].clock;
+                let cause = self.cpus[p].last_wake_span;
                 self.q.schedule_at(
                     at,
                     Ev::XmitApp {
@@ -780,6 +913,7 @@ impl World {
                         page,
                         cacheable,
                         data,
+                        cause,
                     },
                 );
                 self.q.schedule_at(at, Ev::Resume(p));
@@ -873,24 +1007,37 @@ impl World {
 
     /// Transmit a protocol message initiated by `p`'s own (synchronous)
     /// operation: the host-side cost advances `p`'s clock now; the
-    /// NIC-side work runs as an [`Ev::Xmit`] at that time.
+    /// NIC-side work runs as an [`Ev::Xmit`] at that time. The send's
+    /// span parent is whatever span last woke `p` — program-order
+    /// causality.
     fn send_proto_sync(&mut self, p: usize, msg: Msg) {
         self.charge_ov(p, self.host_send_cycles());
         let at = self.cpus[p].clock;
-        self.q.schedule_at(at, Ev::Xmit { src: p, msg });
+        let cause = self.cpus[p].last_wake_span;
+        self.q.schedule_at(at, Ev::Xmit { src: p, msg, cause });
     }
 
     /// Push `msg` through `src`'s NIC and the fabric; returns when the
     /// host-side part is finished (== `now` for board-origin sends).
-    fn transport(&mut self, src: usize, msg: Msg, origin: TxOrigin, now: SimTime) -> SimTime {
+    /// Opens the message's span as a child of `cause`.
+    fn transport(
+        &mut self,
+        src: usize,
+        msg: Msg,
+        origin: TxOrigin,
+        now: SimTime,
+        cause: u64,
+    ) -> SimTime {
         let dst = msg.dst.0 as usize;
         assert_ne!(src, dst, "protocol self-sends are handled locally");
+        let bytes = msg.payload.wire_bytes();
+        let kind = msg.payload.kind();
+        let span = self.open_span(now, cause, cni_trace::SPAN_MSG, kind, src, dst, bytes);
         if self.injector.is_some() {
             debug_assert_eq!(origin, TxOrigin::Board);
-            self.queue_reliable(now, src, dst, WireMsg::Proto(msg));
+            self.queue_reliable(now, src, dst, WireMsg::Proto(msg), span);
             return now;
         }
-        let bytes = msg.payload.wire_bytes();
         let cells = self.fabric.segmenter().cell_count(bytes);
         let tx = self.nics[src].transmit(
             now,
@@ -906,7 +1053,6 @@ impl World {
         let timing = self
             .fabric
             .send_pdu(tx.wire_start, src, dst, bytes, tx.cell_gap);
-        let kind = msg.payload.kind();
         let lat = timing.last_cell_arrival - now;
         self.latency[(kind - 0xD0) as usize].record(lat.as_ps() / 1000);
         self.trace.emit_at(
@@ -918,8 +1064,21 @@ impl World {
                 dur_ps: lat.as_ps(),
             },
         );
+        self.trace.emit_at(
+            timing.last_cell_arrival.as_ps(),
+            src as u32,
+            TraceEvent::SpanTx {
+                span,
+                host_dma_ps: tx.host_done.saturating_sub(now).as_ps(),
+                tx_queue_ps: tx.wire_start.saturating_sub(tx.host_done).as_ps(),
+                wire_ps: timing
+                    .last_cell_arrival
+                    .saturating_sub(tx.wire_start)
+                    .as_ps(),
+            },
+        );
         self.q
-            .schedule_at(timing.last_cell_arrival, Ev::Proto { msg });
+            .schedule_at(timing.last_cell_arrival, Ev::Proto { msg, span });
         self.proto_messages += 1;
         self.msg_kinds[(kind - 0xD0) as usize] += 1;
         tx.host_done
@@ -937,7 +1096,9 @@ impl World {
         page: Option<u64>,
         cacheable: bool,
         data: Option<Arc<Vec<u64>>>,
+        cause: u64,
     ) {
+        let span = self.open_span(t, cause, cni_trace::SPAN_MSG, 0xA0, src, dst, len as usize);
         if self.injector.is_some() {
             let wire = WireMsg::App {
                 src,
@@ -947,7 +1108,7 @@ impl World {
                 cacheable,
                 data,
             };
-            self.queue_reliable(t, src, dst, wire);
+            self.queue_reliable(t, src, dst, wire, span);
             return;
         }
         let cells = self.fabric.segmenter().cell_count(len as usize);
@@ -976,6 +1137,19 @@ impl World {
                 dur_ps: lat.as_ps(),
             },
         );
+        self.trace.emit_at(
+            timing.last_cell_arrival.as_ps(),
+            src as u32,
+            TraceEvent::SpanTx {
+                span,
+                host_dma_ps: tx.host_done.saturating_sub(t).as_ps(),
+                tx_queue_ps: tx.wire_start.saturating_sub(tx.host_done).as_ps(),
+                wire_ps: timing
+                    .last_cell_arrival
+                    .saturating_sub(tx.wire_start)
+                    .as_ps(),
+            },
+        );
         self.q.schedule_at(
             timing.last_cell_arrival,
             Ev::App {
@@ -985,6 +1159,7 @@ impl World {
                 page,
                 cacheable,
                 data,
+                span,
             },
         );
     }
@@ -992,8 +1167,10 @@ impl World {
     // --- reliable-delivery layer (active only under a fault plan) ------------
 
     /// Hand a logical message to the `src -> dst` go-back-N channel: send
-    /// it immediately if the window has room, park it otherwise.
-    fn queue_reliable(&mut self, now: SimTime, src: usize, dst: usize, wire: WireMsg) {
+    /// it immediately if the window has room, park it otherwise. `span`
+    /// is the message span every fragment carries; each wire attempt
+    /// opens a frame span under it.
+    fn queue_reliable(&mut self, now: SimTime, src: usize, dst: usize, wire: WireMsg, span: u64) {
         if let WireMsg::Proto(msg) = &wire {
             let kind = msg.payload.kind();
             self.proto_messages += 1;
@@ -1016,6 +1193,7 @@ impl World {
                 frag: i,
                 nfrags,
                 bytes,
+                span,
             };
             let ch = &mut self.rel_tx[src][dst];
             if ch.window.len() >= cap {
@@ -1025,13 +1203,15 @@ impl World {
             let seq = ch.next_seq;
             ch.next_seq += 1;
             let was_empty = ch.window.is_empty();
+            let fspan = self.send_frame(now, src, dst, seq, &frag, span);
+            let ch = &mut self.rel_tx[src][dst];
             ch.window.push_back(InFlight {
                 seq,
                 frag: frag.clone(),
                 attempts: 0,
                 sent_at: now,
+                span: fspan,
             });
-            self.send_frame(now, src, dst, seq, &frag);
             if was_empty && !armed {
                 self.arm_timer(now, src, dst);
                 armed = true;
@@ -1042,7 +1222,18 @@ impl World {
     /// Transmit one data frame: build its byte image (header, sequence
     /// number, zero fill), push it through the NIC and the faulty fabric,
     /// and schedule the receive event if the end-of-PDU cell survived.
-    fn send_frame(&mut self, now: SimTime, src: usize, dst: usize, seq: u64, frag: &Frag) {
+    /// Opens a frame span under `parent` (the message span on a first
+    /// attempt, the first attempt's frame span on a retransmission) and
+    /// returns it.
+    fn send_frame(
+        &mut self,
+        now: SimTime,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        frag: &Frag,
+        parent: u64,
+    ) -> u64 {
         let (header, page, cacheable) = match &*frag.wire {
             WireMsg::Proto(msg) => (
                 msg.payload.header_bytes(msg.src),
@@ -1085,8 +1276,26 @@ impl World {
         // `src * 2 + 1`, so a retransmission can never interleave with the
         // reverse stream inside the destination's per-VCI reassembler.
         let vci = (src * 2) as u16;
-        let (cells, done) =
-            self.fault_transmit(now, src, dst, vci, &prefix[..end], bytes, page, cacheable);
+        let fspan = self.open_span(
+            now,
+            parent,
+            cni_trace::SPAN_FRAME,
+            header[0],
+            src,
+            dst,
+            bytes,
+        );
+        let (cells, done) = self.fault_transmit(
+            now,
+            src,
+            dst,
+            vci,
+            &prefix[..end],
+            bytes,
+            page,
+            cacheable,
+            fspan,
+        );
         if let Some(arrival) = done {
             self.trace.emit_at(
                 arrival.as_ps(),
@@ -1104,16 +1313,21 @@ impl World {
                     dst,
                     seq,
                     cells,
+                    span: fspan,
                 },
             );
         }
+        fspan
     }
 
     /// Push one raw frame through `src`'s NIC and the faulty fabric:
     /// segment it (the frame is `prefix` followed by zero fill to `bytes`),
     /// apply the injector's per-cell fates (dropping or bit-flipping
     /// cells), and return the surviving cells plus the reassembly-complete
-    /// time when the end-of-PDU cell was delivered.
+    /// time when the end-of-PDU cell was delivered. When the frame
+    /// completes, its transmit-stage durations are recorded on `span`
+    /// (a dropped end-of-PDU cell leaves the span without stages — the
+    /// attempt never finished).
     #[allow(clippy::too_many_arguments)]
     fn fault_transmit(
         &mut self,
@@ -1125,6 +1339,7 @@ impl World {
         bytes: usize,
         page: Option<u64>,
         cacheable: bool,
+        span: u64,
     ) -> (Vec<Cell>, Option<SimTime>) {
         let cells_n = self.fabric.segmenter().cell_count(bytes);
         let tx = self.nics[src].transmit(
@@ -1176,6 +1391,18 @@ impl World {
         } else {
             None
         };
+        if let Some(arrival) = done {
+            self.trace.emit_at(
+                arrival.as_ps(),
+                src as u32,
+                TraceEvent::SpanTx {
+                    span,
+                    host_dma_ps: tx.host_done.saturating_sub(now).as_ps(),
+                    tx_queue_ps: tx.wire_start.saturating_sub(tx.host_done).as_ps(),
+                    wire_ps: arrival.saturating_sub(tx.wire_start).as_ps(),
+                },
+            );
+        }
         (delivered, done)
     }
 
@@ -1203,15 +1430,18 @@ impl World {
     }
 
     /// Send a cumulative acknowledgement frame from `from` back to `to`:
-    /// a real 16-byte PDU that itself crosses the faulty fabric.
-    fn send_ack(&mut self, now: SimTime, from: usize, to: usize, ack: u64) {
+    /// a real 16-byte PDU that itself crosses the faulty fabric. The ACK
+    /// span is a child of `parent`, the frame span whose receipt (or
+    /// rejection) provoked it.
+    fn send_ack(&mut self, now: SimTime, from: usize, to: usize, ack: u64, parent: u64) {
         self.rel_stats.acks_sent += 1;
         let mut image = [0u8; 16];
         image[0] = 0xF1;
         image[1] = from as u8;
         image[8..16].copy_from_slice(&ack.to_le_bytes());
         let vci = (from * 2 + 1) as u16;
-        let (cells, done) = self.fault_transmit(now, from, to, vci, &image, 16, None, false);
+        let aspan = self.open_span(now, parent, cni_trace::SPAN_ACK, 0xF1, from, to, 16);
+        let (cells, done) = self.fault_transmit(now, from, to, vci, &image, 16, None, false, aspan);
         if let Some(arrival) = done {
             self.q.schedule_at(
                 arrival,
@@ -1220,6 +1450,7 @@ impl World {
                     from,
                     ack,
                     cells,
+                    span: aspan,
                 },
             );
         }
@@ -1231,7 +1462,15 @@ impl World {
     /// message exactly once. Every outcome is acknowledged — a corrupt or
     /// out-of-order frame re-acknowledges the current expectation, which
     /// doubles as a NAK for go-back-N.
-    fn on_frame_rx(&mut self, t: SimTime, src: usize, dst: usize, seq: u64, cells: Vec<Cell>) {
+    fn on_frame_rx(
+        &mut self,
+        t: SimTime,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        cells: Vec<Cell>,
+        span: u64,
+    ) {
         match self.nics[dst].ingest_frame(&cells) {
             Some(Ok(pdu)) => {
                 // The frame's bytes are not consumed further (the typed
@@ -1240,21 +1479,25 @@ impl World {
                 self.nics[dst].recycle_pdu(pdu);
             }
             Some(Err(_)) => {
-                // The NIC counted the discard (and the CRC failure).
+                // The NIC counted the discard (and the CRC failure). The
+                // frame span closes here: its lifecycle ended in
+                // rejection, and the NAK it provokes is its child.
+                self.close_span(t, dst as u32, span);
                 let ack = self.rel_rx[dst][src].expected;
-                self.send_ack(t, dst, src, ack);
+                self.send_ack(t, dst, src, ack, span);
                 return;
             }
             // Unreachable in practice: FrameRx is only scheduled when the
             // end-of-PDU cell was delivered, which always completes a PDU.
             None => return,
         }
+        self.close_span(t, dst as u32, span);
         let expected = self.rel_rx[dst][src].expected;
         if seq != expected {
             if seq < expected {
                 self.rel_stats.duplicates += 1;
             }
-            self.send_ack(t, dst, src, expected);
+            self.send_ack(t, dst, src, expected, span);
             return;
         }
         let (frag, sent_at) = {
@@ -1270,7 +1513,7 @@ impl World {
             // An interior fragment: accept and acknowledge it, but the
             // message dispatches only with its final fragment.
             self.rel_rx[dst][src].expected = seq + 1;
-            self.send_ack(t, dst, src, seq + 1);
+            self.send_ack(t, dst, src, seq + 1, span);
             return;
         }
         // Only whole messages occupy receive-ring slots.
@@ -1284,10 +1527,11 @@ impl World {
                     channel: src as u32,
                 },
             );
-            self.send_ack(t, dst, src, expected);
+            self.send_ack(t, dst, src, expected, span);
             return;
         }
         self.ring_used[dst] += 1;
+        self.ring_hw[dst] = self.ring_hw[dst].max(self.ring_used[dst]);
         self.rel_rx[dst][src].expected = seq + 1;
         // One-way latency measured from the final fragment's *first*
         // transmission.
@@ -1302,7 +1546,7 @@ impl World {
         };
         self.latency[li].record((t - sent_at).as_ps() / 1000);
         match (*frag.wire).clone() {
-            WireMsg::Proto(msg) => self.arrive_proto(t, msg),
+            WireMsg::Proto(msg) => self.arrive_proto(t, msg, frag.span),
             WireMsg::App {
                 src: asrc,
                 dst: adst,
@@ -1310,22 +1554,34 @@ impl World {
                 page,
                 cacheable,
                 data,
-            } => self.arrive_app(t, adst, asrc, len, page, cacheable, data),
+            } => self.arrive_app(t, adst, asrc, len, page, cacheable, data, frag.span),
         }
         // The frame occupies its ring slot until the NIC processor is done
         // handling it.
         let release = self.nics[dst].nic_busy_until().max(t);
         self.q.schedule_at(release, Ev::RingRelease { dst });
-        self.send_ack(t, dst, src, seq + 1);
+        self.send_ack(t, dst, src, seq + 1, span);
     }
 
     /// A (possibly corrupt) acknowledgement arrived back at sender `to`.
-    fn on_ack_rx(&mut self, t: SimTime, to: usize, from: usize, ack: u64, cells: Vec<Cell>) {
+    fn on_ack_rx(
+        &mut self,
+        t: SimTime,
+        to: usize,
+        from: usize,
+        ack: u64,
+        cells: Vec<Cell>,
+        span: u64,
+    ) {
         match self.nics[to].ingest_frame(&cells) {
             Some(Ok(pdu)) => self.nics[to].recycle_pdu(pdu),
             // Corrupt ack: the NIC counted it; retransmission recovers.
+            // The ACK span stays unclosed — like a dropped one, it never
+            // took effect, and the unclosed count doubles as a loss
+            // diagnostic.
             _ => return,
         }
+        self.close_span(t, to as u32, span);
         let cap = self.cfg.faults.window as usize;
         let rto0 = SimTime::from_ps(self.cfg.faults.rto_base_ps);
         let ch = &mut self.rel_tx[to][from];
@@ -1350,12 +1606,20 @@ impl World {
                     frag: frag.clone(),
                     attempts: 0,
                     sent_at: t,
+                    span: 0,
                 });
                 admitted.push((seq, frag));
             }
             let empty = ch.window.is_empty();
             for (seq, frag) in &admitted {
-                self.send_frame(t, to, from, *seq, frag);
+                let fspan = self.send_frame(t, to, from, *seq, frag, frag.span);
+                if let Some(f) = self.rel_tx[to][from]
+                    .window
+                    .iter_mut()
+                    .find(|f| f.seq == *seq)
+                {
+                    f.span = fspan;
+                }
             }
             if empty {
                 self.cancel_timer(to, from);
@@ -1385,7 +1649,7 @@ impl World {
             return;
         };
         f.attempts += 1;
-        let (seq, frag, attempt) = (f.seq, f.frag.clone(), f.attempts);
+        let (seq, frag, attempt, first_span) = (f.seq, f.frag.clone(), f.attempts, f.span);
         if attempt >= 10_000 {
             panic!(
                 "reliable delivery cannot make progress: {src}->{dst} seq {seq} resent {attempt} times \
@@ -1405,14 +1669,16 @@ impl World {
             src as u32,
             TraceEvent::RetransmitFired { seq, attempt },
         );
-        self.send_frame(t, src, dst, seq, &frag);
+        // The retransmission's span is a child of the first attempt's, so
+        // every wire attempt hangs off the originating send.
+        self.send_frame(t, src, dst, seq, &frag, first_span);
         self.arm_timer(t, src, dst);
     }
 
     /// Resend every unacknowledged frame on the `src -> dst` channel
     /// (go-back-N recovers the whole window) and restart the timer.
     fn resend_window(&mut self, t: SimTime, src: usize, dst: usize) {
-        let frames: Vec<(u64, Frag, u32)> = self.rel_tx[src][dst]
+        let frames: Vec<(u64, Frag, u32, u64)> = self.rel_tx[src][dst]
             .window
             .iter_mut()
             .map(|f| {
@@ -1423,10 +1689,10 @@ impl World {
                     f.seq,
                     f.attempts
                 );
-                (f.seq, f.frag.clone(), f.attempts)
+                (f.seq, f.frag.clone(), f.attempts, f.span)
             })
             .collect();
-        for (seq, frag, attempt) in &frames {
+        for (seq, frag, attempt, first_span) in &frames {
             self.rel_stats.retransmits += 1;
             self.trace.emit_at(
                 t.as_ps(),
@@ -1436,7 +1702,7 @@ impl World {
                     attempt: *attempt,
                 },
             );
-            self.send_frame(t, src, dst, *seq, frag);
+            self.send_frame(t, src, dst, *seq, frag, *first_span);
         }
         self.arm_timer(t, src, dst);
     }
@@ -1455,12 +1721,13 @@ impl World {
         self.resend_window(t, src, dst);
     }
 
-    fn arrive_proto(&mut self, t: SimTime, msg: Msg) {
+    fn arrive_proto(&mut self, t: SimTime, msg: Msg, span: u64) {
         let dst = msg.dst.0 as usize;
         let bytes = msg.payload.wire_bytes();
         let cells = self.fabric.segmenter().cell_count(bytes);
         let header = msg.payload.header_bytes(msg.src);
         let rx = self.nics[dst].receive(t, cells, &header);
+        self.record_rx_span(dst as u32, t, span, &rx);
         match (self.cfg.nic_kind, rx.disposition) {
             (NicKind::Cni, RxDisposition::Handler(h)) => {
                 debug_assert_eq!(h, DSM_HANDLER);
@@ -1469,12 +1736,17 @@ impl World {
                 let cycles = self.work_cycles_nic(&res.work);
                 let cycles = self.jittered(cycles);
                 let t_done = self.nics[dst].run_handler(rx.ready_at, cycles);
-                // AIH replies leave straight from the board.
+                // AIH replies leave straight from the board, as children
+                // of the message that provoked them.
                 for m in res.out {
-                    self.transport(dst, m, TxOrigin::Board, t_done);
+                    self.transport(dst, m, TxOrigin::Board, t_done, span);
                 }
                 debug_assert!(res.flushed.is_empty(), "AIH handling never flushes");
-                if res.wakeup.is_some() {
+                if res.wakeup.is_none() {
+                    // Handled entirely on the board: the span closes when
+                    // the AIH finishes.
+                    self.close_span(t_done, dst as u32, span);
+                } else {
                     let (len, page, cacheable) = info;
                     // The header cache bit marks pages "likely to migrate
                     // from one host to another" (§2.2): a requester that
@@ -1500,6 +1772,11 @@ impl World {
                             overhead: ov,
                         },
                     );
+                    // The wakeup delivers the effect: close the span and
+                    // make it the parent of whatever the woken processor
+                    // sends next.
+                    self.cpus[dst].last_wake_span = span;
+                    self.close_span(d.at + ov, dst as u32, span);
                 }
             }
             (NicKind::Standard, RxDisposition::HostBound) => {
@@ -1524,7 +1801,14 @@ impl World {
                 debug_assert!(res.flushed.is_empty());
                 for m in res.out {
                     t_occ += self.host(self.cfg.nic.kernel_send_cycles);
-                    self.q.schedule_at(t_occ, Ev::Xmit { src: dst, msg: m });
+                    self.q.schedule_at(
+                        t_occ,
+                        Ev::Xmit {
+                            src: dst,
+                            msg: m,
+                            cause: span,
+                        },
+                    );
                 }
                 self.cpus[dst].async_busy = t_occ;
                 if res.wakeup.is_some() {
@@ -1536,10 +1820,13 @@ impl World {
                             overhead: wake_t - start,
                         },
                     );
+                    self.cpus[dst].last_wake_span = span;
+                    self.close_span(wake_t, dst as u32, span);
                 } else {
                     // Stolen from whatever the host was doing.
                     let stolen = self.host(full).max(t_occ - start);
                     self.cpus[dst].stolen += stolen;
+                    self.close_span(start + stolen, dst as u32, span);
                 }
             }
             (NicKind::Cni, RxDisposition::HostBound) => {
@@ -1556,7 +1843,14 @@ impl World {
                 let mut t_occ = start + self.host(occupancy);
                 for m in res.out {
                     t_occ += self.host(self.cfg.nic.adc_enqueue_cycles);
-                    self.q.schedule_at(t_occ, Ev::Xmit { src: dst, msg: m });
+                    self.q.schedule_at(
+                        t_occ,
+                        Ev::Xmit {
+                            src: dst,
+                            msg: m,
+                            cause: span,
+                        },
+                    );
                 }
                 self.cpus[dst].async_busy = t_occ;
                 if res.wakeup.is_some() {
@@ -1568,9 +1862,12 @@ impl World {
                             overhead: wake_t - start,
                         },
                     );
+                    self.cpus[dst].last_wake_span = span;
+                    self.close_span(wake_t, dst as u32, span);
                 } else {
                     let stolen = self.host(full).max(t_occ - start);
                     self.cpus[dst].stolen += stolen;
+                    self.close_span(start + stolen, dst as u32, span);
                 }
             }
             (kind, disp) => {
@@ -1589,11 +1886,13 @@ impl World {
         page: Option<u64>,
         cacheable: bool,
         data: Option<Arc<Vec<u64>>>,
+        span: u64,
     ) {
         let cells = self.fabric.segmenter().cell_count(len as usize);
         // Application messages carry an app header PATHFINDER has no AIH
         // pattern for: they demultiplex to the host channel.
         let rx = self.nics[dst].receive(t, cells, &[0xA0, src as u8]);
+        self.record_rx_span(dst as u32, t, span, &rx);
         debug_assert_eq!(rx.disposition, RxDisposition::HostBound);
         let waiting = self.cpus[dst].waiting_recv;
         let d = self.nics[dst].deliver_to_host(rx.ready_at, len as usize, page, cacheable, waiting);
@@ -1614,8 +1913,13 @@ impl World {
                     overhead: ov,
                 },
             );
+            self.cpus[dst].last_wake_span = span;
+            self.close_span(d.at + ov, dst as u32, span);
         } else {
             self.cpus[dst].stolen += ov;
+            // The payload is in host memory once the delivery DMA ends;
+            // the receiver just has not polled for it yet.
+            self.close_span(d.at, dst as u32, span);
         }
     }
 

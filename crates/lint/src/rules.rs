@@ -28,6 +28,7 @@ pub const SIM_CRATES: &[&str] = &[
     "dsm",
     "faults",
     "trace",
+    "obs",
 ];
 
 /// Files allowed to read host clocks: the designated host-timing
@@ -46,7 +47,12 @@ const PANIC_PATH_REGIONS: &[(&str, &[&str])] = &[
         "crates/atm/src/buf.rs",
         &["as_slice", "view", "chunks", "xor_bit"],
     ),
-    ("crates/core/src/world.rs", &["on_frame_rx", "on_ack_rx"]),
+    // Span-recording helpers run inside the frame/ack receive paths, so
+    // they inherit the same corrupt-input exposure.
+    (
+        "crates/core/src/world.rs",
+        &["on_frame_rx", "on_ack_rx", "record_rx_span", "close_span"],
+    ),
     (
         "crates/pathfinder/src/classifier.rs",
         &[

@@ -136,6 +136,36 @@ fn p1_covers_pdubuf_view_methods() {
 }
 
 #[test]
+fn p1_covers_span_recording_helpers_in_world() {
+    // The span-recording helpers (`record_rx_span`, `close_span`) run
+    // inside the frame/ack receive paths; panicking operators inside
+    // them are P1 findings, while neighbouring setup helpers stay out
+    // of scope.
+    let src = fixture("p1_span_bad.rs");
+    assert_eq!(
+        hits("crates/core/src/world.rs", &src),
+        vec![
+            (Rule::PanicPath, 2), // spans[idx]
+            (Rule::PanicPath, 7), // .unwrap()
+        ]
+    );
+}
+
+#[test]
+fn p1_quiet_on_panic_free_span_helpers() {
+    let src = fixture("p1_span_clean.rs");
+    assert!(hits("crates/core/src/world.rs", &src).is_empty());
+}
+
+#[test]
+fn d1_covers_the_obs_crate() {
+    // cni-obs folds traces into user-visible reports: its iteration
+    // order is part of the determinism contract like any sim crate.
+    let src = fixture("d1_bad.rs");
+    assert!(!hits("crates/obs/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
 fn p1_quiet_when_file_is_not_a_receive_path() {
     // The same panicking code outside the registered receive-path files
     // is not P1's business.

@@ -1,0 +1,12 @@
+fn record_rx_span(spans: &[u64], idx: usize) -> u64 {
+    let pair = &spans[idx..idx + 2];
+    pair[0]
+}
+
+fn close_span(stack: &mut Vec<u64>) -> u64 {
+    stack.pop().unwrap()
+}
+
+fn unrelated_setup_helper(spans: &[u64]) -> u64 {
+    spans.iter().copied().max().expect("caller seeds one span")
+}

@@ -1,0 +1,7 @@
+fn record_rx_span(spans: &[u64], idx: usize) -> u64 {
+    spans.get(idx).copied().unwrap_or(0)
+}
+
+fn close_span(stack: &mut Vec<u64>) -> u64 {
+    stack.pop().unwrap_or(0)
+}

@@ -88,6 +88,12 @@ pub enum RxDisposition {
 /// Resolved receive-side timing.
 #[derive(Clone, Copy, Debug)]
 pub struct RxPath {
+    /// When the NIC processor actually started on this PDU (the arrival
+    /// time, or later if the processor was busy with earlier work).
+    pub rx_start: SimTime,
+    /// When AAL5 reassembly (SAR residual) finished, before any
+    /// PATHFINDER classification work.
+    pub sar_done: SimTime,
     /// When the PDU is assembled and classified on the board.
     pub ready_at: SimTime,
     /// Routing verdict.
@@ -118,6 +124,7 @@ pub struct Nic {
     channels: Vec<ChannelQueues>,
     reassembler: Reassembler,
     nic_busy: SimTime,
+    busy_accum: SimTime,
     stats: NicStats,
     trace: TraceSink,
     node: u32,
@@ -140,6 +147,7 @@ impl Nic {
             channels: Vec::new(),
             reassembler: Reassembler::new(),
             nic_busy: SimTime::ZERO,
+            busy_accum: SimTime::ZERO,
             stats: NicStats::default(),
             trace: TraceSink::Disabled,
             node: 0,
@@ -239,7 +247,8 @@ impl Nic {
         };
 
         // --- NIC segment ---------------------------------------------------
-        let mut t = host_free.max(self.nic_busy) + self.cfg.nic(self.cfg.descriptor_cycles);
+        let work_start = host_free.max(self.nic_busy);
+        let mut t = work_start + self.cfg.nic(self.cfg.descriptor_cycles);
         let mut hit = false;
         if let Some(page) = req.page {
             self.stats.tx_page_lookups += 1;
@@ -279,6 +288,7 @@ impl Nic {
         let cell_gap = self.cfg.tx_cell_gap();
         let wire_start = t + cell_gap;
         let nic_done = t + SimTime::from_ps(cell_gap.as_ps() * req.cells as u64);
+        self.busy_accum += nic_done - work_start;
         self.nic_busy = nic_done;
 
         TxPath {
@@ -298,7 +308,9 @@ impl Nic {
         self.stats.rx_cells += cells as u64;
         // Per-cell reassembly overlaps arrival; the residual after the last
         // cell is one cell's worth of SAR work.
-        let mut t = arrival.max(self.nic_busy) + self.cfg.nic(self.cfg.sar_rx_cycles_per_cell);
+        let rx_start = arrival.max(self.nic_busy);
+        let sar_done = rx_start + self.cfg.nic(self.cfg.sar_rx_cycles_per_cell);
+        let mut t = sar_done;
         let disposition = match self.kind {
             NicKind::Standard => RxDisposition::HostBound,
             NicKind::Cni => match self
@@ -328,8 +340,11 @@ impl Nic {
                 }
             },
         };
+        self.busy_accum += t - rx_start;
         self.nic_busy = t;
         RxPath {
+            rx_start,
+            sar_done,
             ready_at: t,
             disposition,
         }
@@ -389,7 +404,8 @@ impl Nic {
         cacheable: bool,
         host_waiting: bool,
     ) -> Delivery {
-        let mut t = now.max(self.nic_busy);
+        let work_start = now.max(self.nic_busy);
+        let mut t = work_start;
         // Receive caching: bind the arriving page to a board buffer so a
         // future migration transmits without a host DMA. The bind costs a
         // board-to-board copy of the payload.
@@ -415,6 +431,7 @@ impl Nic {
             t = x.end;
             self.stats.dma_bytes_to_host += len as u64;
         }
+        self.busy_accum += t - work_start;
         self.nic_busy = t;
         let (host_cycles, via_interrupt) = match self.kind {
             NicKind::Standard => {
@@ -455,6 +472,7 @@ impl Nic {
     /// processor is serialised.
     pub fn run_handler(&mut self, now: SimTime, nic_cycles: u64) -> SimTime {
         let t = now.max(self.nic_busy) + self.cfg.nic(nic_cycles);
+        self.busy_accum += self.cfg.nic(nic_cycles);
         self.nic_busy = t;
         t
     }
@@ -507,6 +525,15 @@ impl Nic {
     /// When the NIC processor is next free.
     pub fn nic_busy_until(&self) -> SimTime {
         self.nic_busy
+    }
+
+    /// Cumulative NIC-processor busy time since construction (transmit
+    /// segmentation, SAR/classify, handler execution and host-delivery
+    /// work, including the bus time of DMAs the engine waits on). The
+    /// utilization profiler samples this as a virtual-time gauge; it is
+    /// deliberately not part of the serialized [`NicStats`].
+    pub fn busy_time(&self) -> SimTime {
+        self.busy_accum
     }
 }
 
@@ -750,5 +777,36 @@ mod tests {
         // for the NIC processor.
         let rx = nic.receive(SimTime::from_ns(1), 1, &[0]);
         assert!(rx.ready_at >= t1.nic_done);
+    }
+
+    #[test]
+    fn receive_stage_boundaries_are_monotone() {
+        let mut nic = Nic::new(NicKind::Cni, NicConfig::default());
+        nic.transmit(SimTime::ZERO, &page_req(1, 0));
+        let arrival = SimTime::from_ns(1);
+        let rx = nic.receive(arrival, 2, &[0xD5, 0, 0, 1]);
+        // arrival ≤ rx_start ≤ sar_done ≤ ready_at: the span-stage tiling
+        // the observability layer relies on.
+        assert!(rx.rx_start >= arrival);
+        assert!(rx.sar_done >= rx.rx_start);
+        assert!(rx.ready_at >= rx.sar_done);
+        // Busy with earlier transmit work: the wait shows up before SAR.
+        assert!(rx.rx_start > arrival);
+    }
+
+    #[test]
+    fn busy_time_accumulates_work_not_idle() {
+        let mut nic = Nic::new(NicKind::Cni, NicConfig::default());
+        assert_eq!(nic.busy_time(), SimTime::ZERO);
+        let t1 = nic.transmit(SimTime::ZERO, &page_req(1, 0));
+        let after_tx = nic.busy_time();
+        // The NIC worked from when the host handed it the request until
+        // nic_done — a nonzero span bounded by the whole transmit.
+        assert!(after_tx > SimTime::ZERO && after_tx <= t1.nic_done);
+        // A long idle gap then a receive: busy time grows by the work,
+        // not by the gap.
+        let arrival = t1.nic_done + SimTime::from_us(100);
+        let rx = nic.receive(arrival, 1, &[0]);
+        assert_eq!(nic.busy_time(), after_tx + (rx.ready_at - arrival));
     }
 }

@@ -50,7 +50,9 @@ pub fn job_trace_path(dir: &Path, index: usize, label: &str, ext: &str) -> PathB
 }
 
 /// Stable thread-track ids for the Chrome export (one lane per component).
-const TRACKS: [&str; 10] = [
+/// Append-only: existing positions are the `tid`s of already-exported
+/// traces.
+const TRACKS: [&str; 13] = [
     "event-queue",
     "cpu",
     "nic-dma",
@@ -61,6 +63,9 @@ const TRACKS: [&str; 10] = [
     "dsm",
     "wire",
     "metrics",
+    "faults",
+    "span",
+    "util",
 ];
 
 fn tid(track: &str) -> u64 {
@@ -159,6 +164,54 @@ fn chrome_events(rec: &TraceRecord) -> Vec<Value> {
                 })
             })
             .collect(),
+        // Utilization gauges render as Perfetto counter tracks: busy
+        // fractions in percent of the sampled interval, ring/queue depths
+        // as raw occupancy.
+        TraceEvent::UtilNode {
+            busy_ps,
+            ingress_ps,
+            egress_ps,
+            ring_hw,
+            interval_ps,
+        } => {
+            let pct = |v: u64| {
+                if *interval_ps == 0 {
+                    0.0
+                } else {
+                    v as f64 * 100.0 / *interval_ps as f64
+                }
+            };
+            vec![
+                json!({
+                    "name": "utilization %",
+                    "ph": "C",
+                    "ts": ts_us(rec.t_ps),
+                    "pid": p,
+                    "tid": t,
+                    "args": json!({
+                        "nic": pct(*busy_ps),
+                        "ingress": pct(*ingress_ps),
+                        "egress": pct(*egress_ps),
+                    }),
+                }),
+                json!({
+                    "name": "rx-ring high-water",
+                    "ph": "C",
+                    "ts": ts_us(rec.t_ps),
+                    "pid": p,
+                    "tid": t,
+                    "args": json!({"slots": *ring_hw}),
+                }),
+            ]
+        }
+        TraceEvent::UtilQueue { depth } => vec![json!({
+            "name": "event-queue depth",
+            "ph": "C",
+            "ts": ts_us(rec.t_ps),
+            "pid": p,
+            "tid": t,
+            "args": json!({"pending": *depth}),
+        })],
         _ => vec![json!({
             "name": name(&rec.event),
             "ph": "i",

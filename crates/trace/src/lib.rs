@@ -302,7 +302,91 @@ pub enum TraceEvent {
         /// The overflowing channel (or receiving node for wire frames).
         channel: u32,
     },
+    /// A causal span opened: one message, frame or ACK entering its
+    /// lifecycle at the record's timestamp. Span ids are allocated by the
+    /// engine in deterministic event order; id 0 is never allocated, so a
+    /// `parent` of 0 marks a root span (no recorded cause).
+    SpanOpen {
+        /// This span's id.
+        span: u64,
+        /// The span that caused this one, or 0 for a root.
+        parent: u64,
+        /// Span class: [`SPAN_MSG`], [`SPAN_FRAME`] or [`SPAN_ACK`].
+        class: u8,
+        /// Wire kind byte (`0xD0..=0xD8` protocol, `0xA0` application,
+        /// `0xF1` ACK).
+        kind: u8,
+        /// Sending node.
+        src: u32,
+        /// Receiving node.
+        dst: u32,
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// Transmit-side stage durations of a span, recorded once the last
+    /// cell has arrived at the destination NIC.
+    SpanTx {
+        /// The span these stages belong to.
+        span: u64,
+        /// Host-side send work (kernel/ADC cycles + cache flush) before
+        /// the NIC takes over.
+        host_dma_ps: u64,
+        /// NIC transmit-queue occupancy: descriptor fetch, Message-Cache
+        /// lookup, host→board DMA and first-cell segmentation.
+        tx_queue_ps: u64,
+        /// Wire time: first bit on the ingress link to last cell arrival.
+        wire_ps: u64,
+    },
+    /// Receive-side stage durations of a span, recorded when the PDU is
+    /// ready for dispatch on the receiving NIC.
+    SpanRx {
+        /// The span these stages belong to.
+        span: u64,
+        /// Wait for the receiving NIC processor (busy with earlier work).
+        rx_nic_ps: u64,
+        /// AAL5 reassembly (SAR) time.
+        sar_ps: u64,
+    },
+    /// A span closed: the message's effect was delivered (handler
+    /// finished, payload landed in host memory, or frame/ACK ingested).
+    /// The handler stage of a span is the close-to-open distance minus
+    /// its recorded tx/rx stage durations.
+    SpanClose {
+        /// The closing span.
+        span: u64,
+    },
+    /// Per-node utilization gauges for the interval ending at the
+    /// record's timestamp: virtual-time busy accumulator deltas for the
+    /// NIC processor and both access links, plus the receive-ring
+    /// high-water mark observed during the interval.
+    UtilNode {
+        /// NIC-processor busy time during the interval.
+        busy_ps: u64,
+        /// Ingress-link (node → switch) occupancy during the interval.
+        ingress_ps: u64,
+        /// Egress-link (switch → node) occupancy during the interval.
+        egress_ps: u64,
+        /// Receive-ring high-water mark (slots) during the interval.
+        ring_hw: u32,
+        /// Length of the sampled interval in picoseconds.
+        interval_ps: u64,
+    },
+    /// Engine-level event-queue depth gauge (sampled at the metrics tick,
+    /// attributed to [`NO_NODE`]).
+    UtilQueue {
+        /// Events pending in the simulation queue.
+        depth: u32,
+    },
 }
+
+/// [`TraceEvent::SpanOpen`] class: a message-level span (one `send_pdu`
+/// through delivery).
+pub const SPAN_MSG: u8 = 0;
+/// [`TraceEvent::SpanOpen`] class: one go-back-N frame transmission
+/// (retransmissions open fresh frame spans parented to the original).
+pub const SPAN_FRAME: u8 = 1;
+/// [`TraceEvent::SpanOpen`] class: a cumulative ACK frame.
+pub const SPAN_ACK: u8 = 2;
 
 impl TraceEvent {
     /// The component track this event renders on (stable name used by the
@@ -334,6 +418,8 @@ impl TraceEvent {
             | RetransmitScheduled { .. }
             | RetransmitFired { .. }
             | RingOverflow { .. } => "faults",
+            SpanOpen { .. } | SpanTx { .. } | SpanRx { .. } | SpanClose { .. } => "span",
+            UtilNode { .. } | UtilQueue { .. } => "util",
         }
     }
 
@@ -369,6 +455,12 @@ impl TraceEvent {
             RetransmitScheduled { .. } => "retransmit_scheduled",
             RetransmitFired { .. } => "retransmit_fired",
             RingOverflow { .. } => "ring_overflow",
+            SpanOpen { .. } => "span_open",
+            SpanTx { .. } => "span_tx",
+            SpanRx { .. } => "span_rx",
+            SpanClose { .. } => "span_close",
+            UtilNode { .. } => "util_node",
+            UtilQueue { .. } => "util_queue",
         }
     }
 }
@@ -460,6 +552,58 @@ impl Serialize for TraceEvent {
                 put("attempt", attempt.to_value());
             }
             RingOverflow { channel } => put("channel", channel.to_value()),
+            SpanOpen {
+                span,
+                parent,
+                class,
+                kind,
+                src,
+                dst,
+                bytes,
+            } => {
+                put("span", span.to_value());
+                put("parent", parent.to_value());
+                put("class", class.to_value());
+                put("kind", kind.to_value());
+                put("src", src.to_value());
+                put("dst", dst.to_value());
+                put("bytes", bytes.to_value());
+            }
+            SpanTx {
+                span,
+                host_dma_ps,
+                tx_queue_ps,
+                wire_ps,
+            } => {
+                put("span", span.to_value());
+                put("host_dma_ps", host_dma_ps.to_value());
+                put("tx_queue_ps", tx_queue_ps.to_value());
+                put("wire_ps", wire_ps.to_value());
+            }
+            SpanRx {
+                span,
+                rx_nic_ps,
+                sar_ps,
+            } => {
+                put("span", span.to_value());
+                put("rx_nic_ps", rx_nic_ps.to_value());
+                put("sar_ps", sar_ps.to_value());
+            }
+            SpanClose { span } => put("span", span.to_value()),
+            UtilNode {
+                busy_ps,
+                ingress_ps,
+                egress_ps,
+                ring_hw,
+                interval_ps,
+            } => {
+                put("busy_ps", busy_ps.to_value());
+                put("ingress_ps", ingress_ps.to_value());
+                put("egress_ps", egress_ps.to_value());
+                put("ring_hw", ring_hw.to_value());
+                put("interval_ps", interval_ps.to_value());
+            }
+            UtilQueue { depth } => put("depth", depth.to_value()),
         }
         Value::Object(m)
     }
@@ -574,6 +718,39 @@ impl Deserialize for TraceEvent {
             "ring_overflow" => RingOverflow {
                 channel: field(o, "channel")?,
             },
+            "span_open" => SpanOpen {
+                span: field(o, "span")?,
+                parent: field(o, "parent")?,
+                class: field(o, "class")?,
+                kind: field(o, "kind")?,
+                src: field(o, "src")?,
+                dst: field(o, "dst")?,
+                bytes: field(o, "bytes")?,
+            },
+            "span_tx" => SpanTx {
+                span: field(o, "span")?,
+                host_dma_ps: field(o, "host_dma_ps")?,
+                tx_queue_ps: field(o, "tx_queue_ps")?,
+                wire_ps: field(o, "wire_ps")?,
+            },
+            "span_rx" => SpanRx {
+                span: field(o, "span")?,
+                rx_nic_ps: field(o, "rx_nic_ps")?,
+                sar_ps: field(o, "sar_ps")?,
+            },
+            "span_close" => SpanClose {
+                span: field(o, "span")?,
+            },
+            "util_node" => UtilNode {
+                busy_ps: field(o, "busy_ps")?,
+                ingress_ps: field(o, "ingress_ps")?,
+                egress_ps: field(o, "egress_ps")?,
+                ring_hw: field(o, "ring_hw")?,
+                interval_ps: field(o, "interval_ps")?,
+            },
+            "util_queue" => UtilQueue {
+                depth: field(o, "depth")?,
+            },
             other => return Err(DeError::msg(format!("unknown trace event {other:?}"))),
         })
     }
@@ -626,6 +803,12 @@ impl Deserialize for TraceRecord {
 /// End-of-run accounting for a trace: how much was recorded and how much
 /// the bounded ring had to drop. Included in `RunReport` when tracing was
 /// enabled.
+///
+/// The span counters make truncated traces *detectable*: an analysis that
+/// sees `span_drops > 0` (span events evicted from the ring) or
+/// `spans_opened != spans_closed` (lifecycles cut off by end-of-run or
+/// loss) knows the span tree is incomplete instead of silently reporting
+/// on the fragment that survived.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceSummary {
     /// Events offered to the sink.
@@ -634,6 +817,13 @@ pub struct TraceSummary {
     pub dropped: u64,
     /// Ring capacity in events.
     pub capacity: u64,
+    /// Span-open events offered to the sink.
+    pub spans_opened: u64,
+    /// Span-close events offered to the sink.
+    pub spans_closed: u64,
+    /// Span events (open/tx/rx/close) evicted from the ring: the recorded
+    /// span tree is truncated when this is nonzero.
+    pub span_drops: u64,
 }
 
 struct Ring {
@@ -641,6 +831,9 @@ struct Ring {
     events: VecDeque<TraceRecord>,
     recorded: u64,
     dropped: u64,
+    spans_opened: u64,
+    spans_closed: u64,
+    span_drops: u64,
 }
 
 /// Shared state of an enabled sink: the engine-maintained "current virtual
@@ -679,6 +872,9 @@ impl TraceSink {
                 events: VecDeque::with_capacity(capacity.min(1 << 16)),
                 recorded: 0,
                 dropped: 0,
+                spans_opened: 0,
+                spans_closed: 0,
+                span_drops: 0,
             }),
         }))
     }
@@ -741,6 +937,9 @@ impl TraceSink {
                     recorded: ring.recorded,
                     dropped: ring.dropped,
                     capacity: ring.cap as u64,
+                    spans_opened: ring.spans_opened,
+                    spans_closed: ring.spans_closed,
+                    span_drops: ring.span_drops,
                 })
             }
         }
@@ -749,10 +948,28 @@ impl TraceSink {
 
 impl TraceShared {
     fn push(&self, rec: TraceRecord) {
+        let is_span = |e: &TraceEvent| {
+            matches!(
+                e,
+                TraceEvent::SpanOpen { .. }
+                    | TraceEvent::SpanTx { .. }
+                    | TraceEvent::SpanRx { .. }
+                    | TraceEvent::SpanClose { .. }
+            )
+        };
         let mut ring = self.ring.lock().expect("trace ring poisoned");
         if ring.events.len() == ring.cap {
-            ring.events.pop_front();
+            if let Some(evicted) = ring.events.pop_front() {
+                if is_span(&evicted.event) {
+                    ring.span_drops += 1;
+                }
+            }
             ring.dropped += 1;
+        }
+        match rec.event {
+            TraceEvent::SpanOpen { .. } => ring.spans_opened += 1,
+            TraceEvent::SpanClose { .. } => ring.spans_closed += 1,
+            _ => {}
         }
         ring.events.push_back(rec);
         ring.recorded += 1;
@@ -861,9 +1078,91 @@ mod tests {
             },
             TraceEvent::Metrics(MetricsSample::default()),
             TraceEvent::CellDropped { vci: 0, cell: 0 },
+            TraceEvent::SpanOpen {
+                span: 1,
+                parent: 0,
+                class: SPAN_MSG,
+                kind: 0xD0,
+                src: 0,
+                dst: 1,
+                bytes: 16,
+            },
+            TraceEvent::UtilQueue { depth: 0 },
         ];
         let tracks: std::collections::BTreeSet<_> = events.iter().map(|e| e.track()).collect();
-        assert_eq!(tracks.len(), 11);
+        assert_eq!(tracks.len(), 13);
+    }
+
+    #[test]
+    fn span_and_util_events_roundtrip_through_jsonl() {
+        let events = [
+            TraceEvent::SpanOpen {
+                span: 7,
+                parent: 3,
+                class: SPAN_FRAME,
+                kind: 0xD5,
+                src: 2,
+                dst: 5,
+                bytes: 2048,
+            },
+            TraceEvent::SpanTx {
+                span: 7,
+                host_dma_ps: 100,
+                tx_queue_ps: 200,
+                wire_ps: 300,
+            },
+            TraceEvent::SpanRx {
+                span: 7,
+                rx_nic_ps: 40,
+                sar_ps: 60,
+            },
+            TraceEvent::SpanClose { span: 7 },
+            TraceEvent::UtilNode {
+                busy_ps: 9,
+                ingress_ps: 8,
+                egress_ps: 7,
+                ring_hw: 2,
+                interval_ps: 1_000,
+            },
+            TraceEvent::UtilQueue { depth: 13 },
+        ];
+        for (i, ev) in events.iter().enumerate() {
+            let rec = TraceRecord {
+                t_ps: i as u64,
+                node: 4,
+                event: *ev,
+            };
+            let json = serde_json::to_string(&rec).unwrap();
+            let back: TraceRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn summary_counts_spans_and_span_drops() {
+        let sink = TraceSink::ring(2);
+        sink.emit_at(
+            0,
+            0,
+            TraceEvent::SpanOpen {
+                span: 1,
+                parent: 0,
+                class: SPAN_MSG,
+                kind: 0xD0,
+                src: 0,
+                dst: 1,
+                bytes: 16,
+            },
+        );
+        sink.emit_at(1, 0, TraceEvent::SpanClose { span: 1 });
+        // Overflows the 2-slot ring, evicting the span_open: the summary
+        // must flag the truncation.
+        sink.emit_at(2, 0, TraceEvent::Interrupt);
+        let s = sink.summary().unwrap();
+        assert_eq!(s.spans_opened, 1);
+        assert_eq!(s.spans_closed, 1);
+        assert_eq!(s.span_drops, 1);
+        assert_eq!(s.dropped, 1);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Observability contract tests: the `cni-obs` analysis pipeline pinned
+//! end-to-end against a golden fixture, plus the determinism and
+//! stage-accounting guarantees ISSUE acceptance demands.
+//!
+//! The golden fixture is the full `cni-analyze` rendering of the
+//! canonical Jacobi-8 run (the same workload `tests/golden/jacobi8_cni.json`
+//! pins as a report). Regenerate after intentional changes with:
+//!
+//! ```text
+//! CNI_BLESS=1 cargo test --test obs_analysis
+//! ```
+
+use cni::Config;
+use cni_apps::experiments::{run_app_obs, App};
+use cni_faults::FaultPlan;
+use cni_obs::{critical_path, render_analysis, SpanTree};
+use std::path::PathBuf;
+
+fn jacobi8() -> App {
+    App::Jacobi { n: 48, iters: 6 }
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/obs_jacobi8.txt")
+}
+
+#[test]
+fn obs_jacobi8_analysis_is_golden() {
+    let (_, records) = run_app_obs(Config::paper_default(), jacobi8());
+    let got = render_analysis(&records);
+    let path = golden_path();
+    if std::env::var_os("CNI_BLESS").is_some() {
+        std::fs::write(&path, &got).expect("write blessed fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run `CNI_BLESS=1 cargo test --test obs_analysis`",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "obs analysis drifted from {}.\nIf the change is intentional, regenerate with \
+         `CNI_BLESS=1 cargo test --test obs_analysis`.",
+        path.display()
+    );
+}
+
+#[test]
+fn analysis_is_byte_identical_across_reruns() {
+    let (r1, recs1) = run_app_obs(Config::paper_default(), jacobi8());
+    let (r2, recs2) = run_app_obs(Config::paper_default(), jacobi8());
+    assert_eq!(render_analysis(&recs1), render_analysis(&recs2));
+    assert_eq!(
+        serde_json::to_string(&r1).unwrap(),
+        serde_json::to_string(&r2).unwrap()
+    );
+}
+
+#[test]
+fn analysis_is_byte_identical_under_cell_loss() {
+    // 5% cell loss exercises the go-back-N path: retransmit frame spans,
+    // ACK spans and unclosed spans for dropped attempts — all of it must
+    // still be reproducible byte-for-byte at a fixed seed.
+    let plan = FaultPlan {
+        drop_prob: 0.05,
+        seed: 11,
+        ..FaultPlan::none()
+    };
+    let cfg = Config::paper_default().with_procs(4).with_faults(plan);
+    let (_, recs1) = run_app_obs(cfg, jacobi8());
+    let (_, recs2) = run_app_obs(cfg, jacobi8());
+    let a = render_analysis(&recs1);
+    assert_eq!(a, render_analysis(&recs2));
+    // Dropped attempts leave their frame spans unclosed — the loss
+    // diagnostic the span accounting exists for.
+    let tree = SpanTree::build(&recs1);
+    assert!(tree.unclosed() > 0, "{a}");
+}
+
+#[test]
+fn stage_sums_tile_end_to_end_exactly() {
+    let (report, records) = run_app_obs(Config::paper_default(), jacobi8());
+    let stages = report.stages.expect("obs run populates stages");
+    assert!(stages.messages > 0);
+    assert_eq!(stages.unclosed, 0, "lossless run closes every span");
+    // The handler stage is defined as the residual, so the tiling must be
+    // *exact*, not merely within rounding.
+    for k in &stages.kinds {
+        assert_eq!(
+            k.stages.sum_ps(),
+            k.e2e_ps,
+            "stage sums must tile e2e for kind {:#x}",
+            k.kind
+        );
+    }
+    let tree = SpanTree::build(&records);
+    assert_eq!(tree.opened, tree.closed);
+}
+
+#[test]
+fn barrier_critical_path_has_linked_spans() {
+    let (_, records) = run_app_obs(Config::paper_default(), jacobi8());
+    let tree = SpanTree::build(&records);
+    let cp = critical_path(&records, &tree).expect("barrier run has a critical path");
+    assert!(cp.epoch.is_some(), "anchor resolves to a barrier epoch");
+    assert!(
+        cp.links.len() >= 3,
+        "critical path must chain >= 3 causally linked spans, got {}",
+        cp.links.len()
+    );
+    // Root-first order: opens are monotonically non-decreasing.
+    for w in cp.links.windows(2) {
+        assert!(w[0].open_ps <= w[1].open_ps);
+    }
+    let last = cp.links.last().unwrap();
+    assert_eq!(last.kind, 0xD4, "anchor is a barrier release");
+}
+
+#[test]
+fn jsonl_export_reanalyzes_identically() {
+    // The `cni-analyze` offline path: exporting the trace to JSONL and
+    // reading it back must reproduce the live analysis byte-for-byte.
+    let (_, records) = run_app_obs(Config::paper_default().with_procs(2), jacobi8());
+    let mut buf = Vec::new();
+    cni_trace::export::write_jsonl(&mut buf, &records).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let back = cni_obs::read_jsonl(&text).unwrap();
+    assert_eq!(render_analysis(&records), render_analysis(&back));
+}
