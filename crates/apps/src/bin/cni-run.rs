@@ -22,14 +22,18 @@
 //! run-wide utilization profile. A JSONL trace written under `--obs`
 //! can be re-analysed offline with `cni-analyze`.
 
-use cni::{kind_name, Config, FaultPlan, RunReport, SimTime, TraceSink, REPORT_VERSION};
+use cni::{
+    kind_name, BrownoutWindow, Config, FaultPlan, NicKind, RunReport, SimTime, TraceSink,
+    REPORT_VERSION,
+};
+use cni_apps::checkpoint::{newest_snapshot, read_snapshot, run_app_checkpointed};
 use cni_apps::cholesky::CholeskyMatrix;
 use cni_apps::experiments::{run_app, run_app_obs, run_app_traced, App};
 use cni_batch::Pool;
 use cni_trace::export::{job_trace_path, write_chrome, write_jsonl};
 use std::collections::HashMap;
 use std::io::BufWriter;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -45,7 +49,25 @@ fn usage() -> ! {
            --out PATH          also write the batch report JSON to PATH\n\
            --trace-dir DIR     record each run's events to its own file\n\
                                DIR/<index>-<label>.<ext>\n\
+           --resume-dir DIR    persist per-job reports under DIR and skip\n\
+                               jobs a previous (interrupted) sweep already\n\
+                               completed; with --checkpoint-every, partial\n\
+                               jobs resume from their newest checkpoint\n\
            --json              print the batch report as JSON\n\
+         \n\
+         checkpoint / restore (single-run mode):\n\
+           --checkpoint-every N  write a crash-safe snapshot after every N\n\
+                               simulation events as DIR/ck-<events>.cnisnap\n\
+           --checkpoint-dir DIR  snapshot directory (default cni-checkpoints)\n\
+           --resume PATH       resume a run from a snapshot; the app and\n\
+                               topology come from the snapshot, not flags.\n\
+                               The finished report is byte-identical to the\n\
+                               uninterrupted run's\n\
+           --fork-at PATH      like --resume but a what-if branch: the\n\
+                               command line's fault flags replace the\n\
+                               snapshot's fault plan from this point on\n\
+           --brownout L:S:E    with --fork-at: total cell loss on link L\n\
+                               from S to E (virtual microseconds)\n\
          \n\
          common options:\n\
            --procs N           processors (default 8)\n\
@@ -192,6 +214,115 @@ fn print_report(label: &str, cfg: &Config, r: &RunReport, json: bool) {
     }
 }
 
+fn nic_label(cfg: &Config) -> &'static str {
+    match cfg.nic_kind {
+        NicKind::Cni => "cni",
+        NicKind::Standard => "standard",
+    }
+}
+
+/// Parse `--brownout LINK:START_US:END_US` (virtual microseconds).
+fn parse_brownout(s: &str) -> Result<BrownoutWindow, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let [link, start, end] = parts[..] else {
+        return Err(format!("--brownout wants LINK:START_US:END_US, got {s:?}"));
+    };
+    let link: u32 = link
+        .parse()
+        .map_err(|_| format!("--brownout link must be an integer, got {link:?}"))?;
+    let start_us: u64 = start
+        .parse()
+        .map_err(|_| format!("--brownout start must be an integer (us), got {start:?}"))?;
+    let end_us: u64 = end
+        .parse()
+        .map_err(|_| format!("--brownout end must be an integer (us), got {end:?}"))?;
+    Ok(BrownoutWindow {
+        link,
+        start_ps: start_us * 1_000_000,
+        end_ps: end_us * 1_000_000,
+    })
+}
+
+/// Execute `--resume PATH` / `--fork-at PATH`: rebuild the snapshot's
+/// world, replay its journal and run to completion. A fork swaps the
+/// stored fault plan for `fork_plan`; a plain resume keeps the stored
+/// configuration in full.
+fn run_resume(path: &str, fork_plan: Option<FaultPlan>, json: bool) -> ExitCode {
+    let snap = match read_snapshot(Path::new(path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprint!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match fork_plan {
+        None => snap.config,
+        Some(plan) => snap.config.with_faults(plan),
+    };
+    eprintln!(
+        "{} {} ({} procs, {}) from {} at {} events",
+        if fork_plan.is_some() {
+            "forking"
+        } else {
+            "resuming"
+        },
+        snap.app.name(),
+        cfg.procs,
+        nic_label(&cfg),
+        path,
+        snap.events,
+    );
+    match snap.resume_with(cfg) {
+        Ok(report) => {
+            print_report(nic_label(&cfg), &cfg, &report, json);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprint!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One sweep job under `--resume-dir`: resume from the newest usable
+/// checkpoint if one exists (and its snapshot still matches the spec),
+/// else run fresh, checkpointing when `every > 0`. Errors panic — the
+/// batch executor isolates them as that job's failure record.
+fn run_resumable_job(cfg: Config, app: App, every: u64, ck_dir: &Path, label: &str) -> RunReport {
+    use serde::Serialize;
+    if let Some(snap_path) = newest_snapshot(ck_dir) {
+        match read_snapshot(&snap_path) {
+            Ok(snap) if snap.config.to_value() == cfg.to_value() => match snap.resume() {
+                Ok(r) => {
+                    eprintln!(
+                        "[resume] {label}: resumed from {} ({} events)",
+                        snap_path.display(),
+                        snap.events
+                    );
+                    return r;
+                }
+                Err(e) => {
+                    eprint!("[resume] {label}: checkpoint unusable, rerunning from scratch\n{e}")
+                }
+            },
+            Ok(_) => eprintln!(
+                "[resume] {label}: checkpoint was taken under a different config, rerunning"
+            ),
+            Err(e) => {
+                eprint!("[resume] {label}: checkpoint unreadable, rerunning from scratch\n{e}")
+            }
+        }
+    }
+    if every > 0 {
+        match run_app_checkpointed(cfg, app, every, ck_dir) {
+            Ok(ck) => ck.report,
+            Err(e) => panic!("{e}"),
+        }
+    } else {
+        run_app(cfg, app)
+    }
+}
+
 /// Execute `--sweep`: parse the spec, run every job on a work-stealing
 /// pool, print/persist the batch report. Per-run reports are bit-identical
 /// to what the same spec produces under `--jobs 1` (or a plain single
@@ -211,6 +342,22 @@ fn run_sweep(args: &HashMap<String, String>, spec_path: &str) -> ExitCode {
     if let Some(dir) = &trace_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create trace dir {dir:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let resume_dir = args.get("resume-dir").cloned();
+    let ck_every: u64 = get(args, "checkpoint-every", 0);
+    if ck_every > 0 && resume_dir.is_none() {
+        eprintln!("--checkpoint-every in sweep mode requires --resume-dir");
+        return ExitCode::from(2);
+    }
+    if resume_dir.is_some() && trace_dir.is_some() {
+        eprintln!("--resume-dir cannot be combined with --trace-dir (resumed jobs are untraced)");
+        return ExitCode::from(2);
+    }
+    if let Some(dir) = &resume_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create resume dir {dir:?}: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -240,6 +387,30 @@ fn run_sweep(args: &HashMap<String, String>, spec_path: &str) -> ExitCode {
     };
     let report = Pool::new(jobs).run_batch(specs, |i, spec| {
         let cfg = spec.effective_config();
+        if let Some(dir) = &resume_dir {
+            let dir = Path::new(dir);
+            let report_path = job_trace_path(dir, i, &spec.label, "report.json");
+            if let Ok(text) = std::fs::read_to_string(&report_path) {
+                match serde_json::from_str::<RunReport>(&text) {
+                    Ok(r) => {
+                        eprintln!("[resume] {}: already complete, skipping", spec.label);
+                        return r;
+                    }
+                    Err(e) => eprintln!(
+                        "[resume] {}: ignoring unreadable {}: {e}",
+                        spec.label,
+                        report_path.display()
+                    ),
+                }
+            }
+            let ck_dir = job_trace_path(dir, i, &spec.label, "ck");
+            let r = run_resumable_job(cfg, spec.workload, ck_every, &ck_dir, &spec.label);
+            let text = serde_json::to_string(&r).expect("report serializes");
+            if let Err(e) = cni_snap::write_atomic(&report_path, text.as_bytes()) {
+                eprintln!("cannot persist {}: {e}", report_path.display());
+            }
+            return r;
+        }
         match &trace_dir {
             None => run_app(cfg, spec.workload),
             Some(dir) => {
@@ -357,7 +528,28 @@ fn main() -> ExitCode {
         eprintln!("--loss-prob and --corrupt-prob must be in [0, 1)");
         return ExitCode::from(2);
     }
+    if let Some(b) = args.get("brownout") {
+        match parse_brownout(b) {
+            Ok(w) => plan.brownouts[0] = Some(w),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     base = base.with_faults(plan);
+
+    match (args.get("resume"), args.get("fork-at")) {
+        (Some(_), Some(_)) => {
+            eprintln!("--resume and --fork-at are mutually exclusive");
+            return ExitCode::from(2);
+        }
+        // Plain resume: everything comes from the snapshot.
+        (Some(path), None) => return run_resume(path, None, json),
+        // Fork: the command line's fault plan replaces the snapshot's.
+        (None, Some(path)) => return run_resume(path, Some(plan), json),
+        (None, None) => {}
+    }
 
     let app_name = args
         .get("app")
@@ -434,6 +626,45 @@ fn main() -> ExitCode {
 
     let obs = args.contains_key("obs");
     let multi = kinds.len() > 1;
+
+    let ck_every: u64 = get(&args, "checkpoint-every", 0);
+    if ck_every > 0 {
+        if obs || trace_path.is_some() {
+            eprintln!(
+                "--checkpoint-every cannot be combined with --obs or --trace \
+                 (snapshots require an untraced run)"
+            );
+            return ExitCode::from(2);
+        }
+        let dir = PathBuf::from(
+            args.get("checkpoint-dir")
+                .cloned()
+                .unwrap_or_else(|| "cni-checkpoints".to_string()),
+        );
+        for (label, cfg) in kinds {
+            // A --compare run checkpoints each interface into its own
+            // subdirectory so the snapshots cannot collide.
+            let job_dir = if multi { dir.join(label) } else { dir.clone() };
+            match run_app_checkpointed(cfg, app, ck_every, &job_dir) {
+                Err(e) => {
+                    eprint!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(ck) => {
+                    print_report(label, &cfg, &ck.report, json);
+                    if !json {
+                        println!(
+                            "checkpoints written : {} under {}",
+                            ck.snapshots.len(),
+                            job_dir.display()
+                        );
+                    }
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     for (label, cfg) in kinds {
         let (report, records) = if obs {
             let (report, records) = run_app_obs(cfg, app);

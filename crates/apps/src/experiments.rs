@@ -79,6 +79,44 @@ pub fn run_app(cfg: Config, app: App) -> RunReport {
     run_app_traced(cfg, app, TraceSink::Disabled, None)
 }
 
+/// Build `app`'s per-processor programs against `world`, performing the
+/// application's `alloc()` calls as a side effect.
+///
+/// This is the **setup contract** of checkpoint/restore: resuming a
+/// snapshot requires reproducing the exact allocation sequence of the
+/// original run, so both the fresh-run path ([`run_app_traced`]) and the
+/// resume path ([`crate::checkpoint`]) must go through this one function.
+pub fn build_programs(world: &mut World, app: App) -> Vec<cni::Program> {
+    match app {
+        App::Jacobi { n, iters } => {
+            let (_, progs) = jacobi::programs(
+                world,
+                jacobi::JacobiParams {
+                    n,
+                    iters,
+                    verify: false,
+                },
+            );
+            progs
+        }
+        App::Water { molecules, steps } => {
+            let (_, progs) = water::programs(
+                world,
+                water::WaterParams {
+                    molecules,
+                    steps,
+                    verify: false,
+                },
+            );
+            progs
+        }
+        App::Cholesky { matrix } => {
+            let (_, _, progs) = cholesky::programs(world, matrix, SEED, false);
+            progs
+        }
+    }
+}
+
 /// Run `app` with `trace` attached to every instrumented component and,
 /// when `metrics_interval` is given, a periodic per-node metrics sampler.
 /// Drain the sink afterwards to export the recorded events.
@@ -93,34 +131,7 @@ pub fn run_app_traced(
     if let Some(iv) = metrics_interval {
         world.set_metrics_interval(iv);
     }
-    let progs = match app {
-        App::Jacobi { n, iters } => {
-            let (_, progs) = jacobi::programs(
-                &mut world,
-                jacobi::JacobiParams {
-                    n,
-                    iters,
-                    verify: false,
-                },
-            );
-            progs
-        }
-        App::Water { molecules, steps } => {
-            let (_, progs) = water::programs(
-                &mut world,
-                water::WaterParams {
-                    molecules,
-                    steps,
-                    verify: false,
-                },
-            );
-            progs
-        }
-        App::Cholesky { matrix } => {
-            let (_, _, progs) = cholesky::programs(&mut world, matrix, SEED, false);
-            progs
-        }
-    };
+    let progs = build_programs(&mut world, app);
     world.run(progs)
 }
 

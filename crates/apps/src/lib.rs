@@ -13,6 +13,7 @@
 
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod cholesky;
 pub mod experiments;
 pub mod jacobi;

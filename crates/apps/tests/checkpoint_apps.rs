@@ -1,0 +1,190 @@
+//! Application-level checkpoint/restore contract:
+//!
+//! * a Jacobi run on 8 processors resumed from **any** on-disk snapshot
+//!   finishes with a `RunReport` byte-identical to the uninterrupted
+//!   run's — lossless and under 5% cell loss;
+//! * torn snapshot files (truncated at every 64-byte boundary) are
+//!   rejected with a diagnostic, never a panic, both through the library
+//!   and through `cni-run --resume` (which must exit non-zero);
+//! * forking applies a new fault plan to the parent's saved prefix.
+
+use cni::{Config, FaultPlan, RunReport};
+use cni_apps::checkpoint::{newest_snapshot, read_snapshot, run_app_checkpointed};
+use cni_apps::experiments::{run_app, App};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const APP: App = App::Jacobi { n: 16, iters: 3 };
+
+fn jacobi8(plan: FaultPlan) -> Config {
+    Config::paper_default().with_procs(8).with_faults(plan)
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cni-ck-apps-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn json(r: &RunReport) -> String {
+    serde_json::to_string(r).expect("report serializes")
+}
+
+/// Golden identity: every snapshot the checkpointed run wrote resumes to
+/// the uninterrupted run's exact report bytes.
+fn identity_for(cfg: Config, dir: &Path) {
+    let baseline = json(&run_app(cfg, APP));
+    let ck = run_app_checkpointed(cfg, APP, 80, dir).expect("checkpointed run");
+    assert_eq!(
+        json(&ck.report),
+        baseline,
+        "checkpointing perturbed the run"
+    );
+    assert!(
+        ck.snapshots.len() >= 4,
+        "expected at least 4 snapshots, got {}",
+        ck.snapshots.len()
+    );
+    for path in &ck.snapshots {
+        let snap = read_snapshot(path).expect("snapshot reads back");
+        let resumed = snap
+            .resume()
+            .unwrap_or_else(|e| panic!("resume from {} failed:\n{e}", path.display()));
+        assert_eq!(
+            json(&resumed),
+            baseline,
+            "resume from {} diverged",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn jacobi8_lossless_identity() {
+    let dir = tmp_dir("lossless");
+    identity_for(jacobi8(FaultPlan::none()), &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn jacobi8_five_percent_loss_identity() {
+    let mut plan = FaultPlan::none();
+    plan.drop_prob = 0.05;
+    let dir = tmp_dir("lossy");
+    identity_for(jacobi8(plan), &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_writes_at_every_64_byte_boundary_are_rejected() {
+    let dir = tmp_dir("torn");
+    let ck =
+        run_app_checkpointed(jacobi8(FaultPlan::none()), APP, 80, &dir).expect("checkpointed run");
+    let victim = ck.snapshots.last().expect("at least one snapshot");
+    let whole = std::fs::read(victim).expect("snapshot readable");
+    let torn_path = dir.join("torn.cnisnap");
+    let mut cut = 0;
+    while cut < whole.len() {
+        std::fs::write(&torn_path, &whole[..cut]).unwrap();
+        let err = match read_snapshot(&torn_path) {
+            Err(e) => e,
+            Ok(_) => panic!("truncation to {cut} of {} bytes parsed", whole.len()),
+        };
+        assert!(err.starts_with("error:"), "not a diagnostic: {err}");
+        assert!(err.contains("torn.cnisnap"), "no path in: {err}");
+        cut += 64;
+    }
+    // The intact file still reads and resumes.
+    assert!(read_snapshot(victim).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fork_reuses_prefix_under_new_fault_plan() {
+    let dir = tmp_dir("fork");
+    let ck =
+        run_app_checkpointed(jacobi8(FaultPlan::none()), APP, 80, &dir).expect("checkpointed run");
+    let snap = read_snapshot(&ck.snapshots[0]).expect("snapshot reads back");
+    let mut plan = FaultPlan::none();
+    plan.drop_prob = 0.02;
+    let child = snap
+        .resume_with(snap.config.with_faults(plan))
+        .expect("lossless parent forks into a lossy child");
+    assert!(
+        child.faults.cells_dropped > 0,
+        "forked child never saw its injected losses"
+    );
+    // Unchanged-config fork is exactly resume.
+    let same = snap.resume().expect("identity fork");
+    assert_eq!(json(&same), json(&ck.report));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `cni-run --resume` on a valid snapshot reproduces the golden report on
+/// stdout; on a corrupt snapshot it exits non-zero with a rustc-style
+/// diagnostic on stderr.
+#[test]
+fn cli_resume_round_trip_and_corrupt_rejection() {
+    let exe = env!("CARGO_BIN_EXE_cni-run");
+    let dir = tmp_dir("cli");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let golden = Command::new(exe)
+        .args([
+            "--app", "jacobi", "--n", "16", "--iters", "3", "--procs", "8", "--json",
+        ])
+        .output()
+        .expect("golden run");
+    assert!(golden.status.success());
+
+    let ck_dir = dir.join("ck");
+    let ck = Command::new(exe)
+        .args([
+            "--app", "jacobi", "--n", "16", "--iters", "3", "--procs", "8", "--json",
+        ])
+        .args(["--checkpoint-every", "80", "--checkpoint-dir"])
+        .arg(&ck_dir)
+        .output()
+        .expect("checkpointed run");
+    assert!(ck.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&ck.stdout),
+        String::from_utf8_lossy(&golden.stdout),
+        "checkpointing changed the report"
+    );
+
+    let snap = newest_snapshot(&ck_dir).expect("snapshots were written");
+    let resumed = Command::new(exe)
+        .arg("--resume")
+        .arg(&snap)
+        .arg("--json")
+        .output()
+        .expect("resume run");
+    assert!(resumed.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(&golden.stdout),
+        "CLI resume diverged from the golden report"
+    );
+
+    // Corrupt the snapshot: flip one payload byte. CRC must catch it.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let n = bytes.len();
+    bytes[n / 2] ^= 0x20;
+    let bad = dir.join("bad.cnisnap");
+    std::fs::write(&bad, &bytes).unwrap();
+    let rejected = Command::new(exe)
+        .arg("--resume")
+        .arg(&bad)
+        .output()
+        .expect("resume of corrupt snapshot");
+    assert!(
+        !rejected.status.success(),
+        "corrupt snapshot must exit non-zero"
+    );
+    let stderr = String::from_utf8_lossy(&rejected.stderr);
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+    assert!(stderr.contains("help:"), "stderr: {stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -272,6 +272,41 @@ impl Fabric {
     pub fn contention_waits(&self) -> u64 {
         self.switch.contention_waits()
     }
+
+    /// The per-port ingress links (checkpoint surface).
+    pub fn ingress(&self) -> &[Link] {
+        &self.ingress
+    }
+
+    /// Mutable per-port ingress links (checkpoint restore).
+    pub fn ingress_mut(&mut self) -> &mut [Link] {
+        &mut self.ingress
+    }
+
+    /// The per-port egress links (checkpoint surface).
+    pub fn egress(&self) -> &[Link] {
+        &self.egress
+    }
+
+    /// Mutable per-port egress links (checkpoint restore).
+    pub fn egress_mut(&mut self) -> &mut [Link] {
+        &mut self.egress
+    }
+
+    /// The banyan switch (checkpoint surface).
+    pub fn switch(&self) -> &BanyanSwitch {
+        &self.switch
+    }
+
+    /// Mutable banyan switch (checkpoint restore).
+    pub fn switch_mut(&mut self) -> &mut BanyanSwitch {
+        &mut self.switch
+    }
+
+    /// Overwrite the PDU counter (checkpoint restore).
+    pub fn set_pdus_sent(&mut self, n: u64) {
+        self.pdus_sent = n;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,138 @@
+//! Plain-data snapshot records for the fabric's mutable timing state.
+//!
+//! These structs are the checkpoint surface of `cni-atm`: each mirrors
+//! exactly the fields a [`crate::Fabric`] mutates at run time (next-free
+//! registers, byte/occupancy accumulators, forwarding counters). Everything
+//! derivable from [`crate::AtmConfig`] — rates, latencies, the segmenter —
+//! is deliberately absent: it is rebuilt from the configuration on restore,
+//! which keeps the snapshot schema small and the restore path unable to
+//! smuggle in an inconsistent topology.
+
+use crate::link::Link;
+use crate::Fabric;
+use cni_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Mutable state of one [`Link`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkState {
+    /// Earliest time a new transmission could start.
+    pub next_free: SimTime,
+    /// Total bytes carried since construction.
+    pub bytes_carried: u64,
+    /// Cumulative wire-occupancy time.
+    pub busy: SimTime,
+}
+
+/// Mutable state of one [`crate::BanyanSwitch`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SwitchState {
+    /// `next_free[stage][link]` registers, stage-major.
+    pub next_free: Vec<Vec<SimTime>>,
+    /// Total cells forwarded.
+    pub cells_forwarded: u64,
+    /// Stage traversals that waited on a busy internal link.
+    pub contention_waits: u64,
+}
+
+/// Mutable state of a whole [`Fabric`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FabricState {
+    /// Per-port ingress link state.
+    pub ingress: Vec<LinkState>,
+    /// Per-port egress link state.
+    pub egress: Vec<LinkState>,
+    /// Switch state.
+    pub switch: SwitchState,
+    /// Total PDUs sent through the fabric.
+    pub pdus_sent: u64,
+}
+
+impl Link {
+    /// Capture the link's mutable state for a checkpoint.
+    pub fn snapshot_state(&self) -> LinkState {
+        LinkState {
+            next_free: self.next_free(),
+            bytes_carried: self.bytes_carried(),
+            busy: self.busy_time(),
+        }
+    }
+}
+
+impl Fabric {
+    /// Capture the fabric's complete mutable state for a checkpoint.
+    pub fn snapshot_state(&self) -> FabricState {
+        FabricState {
+            ingress: self.ingress().iter().map(Link::snapshot_state).collect(),
+            egress: self.egress().iter().map(Link::snapshot_state).collect(),
+            switch: self.switch().snapshot_state(),
+            pdus_sent: self.pdus_sent(),
+        }
+    }
+
+    /// Restore state captured with [`Fabric::snapshot_state`] into a fabric
+    /// freshly built from the same configuration. Returns `Err` (never
+    /// panics) when the snapshot's shape does not match this fabric's
+    /// topology.
+    pub fn restore_state(&mut self, s: &FabricState) -> Result<(), String> {
+        let ports = self.config().ports;
+        if s.ingress.len() != ports || s.egress.len() != ports {
+            return Err(format!(
+                "fabric snapshot has {}/{} links for a {ports}-port fabric",
+                s.ingress.len(),
+                s.egress.len()
+            ));
+        }
+        for (link, ls) in self.ingress_mut().iter_mut().zip(&s.ingress) {
+            link.restore_state(ls);
+        }
+        for (link, ls) in self.egress_mut().iter_mut().zip(&s.egress) {
+            link.restore_state(ls);
+        }
+        self.switch_mut().restore_state(&s.switch)?;
+        self.set_pdus_sent(s.pdus_sent);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AtmConfig;
+
+    #[test]
+    fn fabric_round_trip_reproduces_timing() {
+        let cfg = AtmConfig::default();
+        let mut a = Fabric::new(cfg);
+        // Warm the fabric up with contended traffic.
+        for i in 0..12u64 {
+            a.send_pdu(
+                SimTime::from_ns(i * 200),
+                (i % 4) as usize,
+                8 + (i % 3) as usize,
+                2048,
+                SimTime::from_ns(300),
+            );
+        }
+        let snap = a.snapshot_state();
+        let mut b = Fabric::new(cfg);
+        b.restore_state(&snap).unwrap();
+        assert_eq!(b.snapshot_state(), snap);
+        // Identical future: the next contended send times out of both
+        // fabrics must agree exactly.
+        let ta = a.send_pdu(SimTime::from_us(3), 1, 9, 4096, SimTime::from_ns(300));
+        let tb = b.send_pdu(SimTime::from_us(3), 1, 9, 4096, SimTime::from_ns(300));
+        assert_eq!(ta, tb);
+        assert_eq!(a.pdus_sent(), b.pdus_sent());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_topology() {
+        let mut small = Fabric::new(AtmConfig {
+            ports: 8,
+            ..AtmConfig::default()
+        });
+        let snap = Fabric::new(AtmConfig::default()).snapshot_state();
+        assert!(small.restore_state(&snap).is_err());
+    }
+}

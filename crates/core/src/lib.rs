@@ -33,6 +33,7 @@
 pub mod config;
 pub mod ctx;
 pub mod report;
+pub mod snapshot;
 pub mod world;
 
 pub use config::{Config, ProtoCosts};
@@ -41,6 +42,7 @@ pub use report::{
     kind_name, speedup, KindHistogram, KindLatency, ProcTimes, RunReport, OLDEST_PARSEABLE_VERSION,
     REPORT_VERSION,
 };
+pub use snapshot::SNAPSHOT_SCHEMA;
 pub use world::{Program, World};
 
 // Re-export the tracing surface so embedders need only this crate.

@@ -30,7 +30,7 @@ use crate::ctx::{AccessCosts, Op, ProcCtx, Reply, YieldMsg};
 use crate::report::{KindHistogram, KindLatency, ProcTimes, RunReport, REPORT_VERSION};
 use cni_atm::{Cell, Fabric};
 use cni_dsm::{
-    DsmConfig, DsmNode, HandleResult, Msg, NodeSpace, PageId, Payload, ProcId, VAddr, Work,
+    DsmConfig, DsmNode, HandleResult, LockId, Msg, NodeSpace, PageId, Payload, ProcId, VAddr, Work,
 };
 use cni_faults::{CellFate, FaultInjector, FaultStats};
 use cni_nic::device::TxOrigin;
@@ -46,9 +46,9 @@ use std::sync::Arc;
 pub type Program = Box<dyn FnOnce(&mut ProcCtx<'_>) + Send + 'static>;
 
 /// An inbox entry: (sender, length, optional payload words).
-type InboxMsg = (u32, u32, Option<Arc<Vec<u64>>>);
+pub(crate) type InboxMsg = (u32, u32, Option<Arc<Vec<u64>>>);
 
-enum Ev {
+pub(crate) enum Ev {
     /// Resume processor `p`'s co-thread.
     Resume(usize),
     /// Hand a protocol message to `src`'s NIC (the host-side work was
@@ -119,7 +119,7 @@ enum Ev {
 /// byte image of it (segmented, CRC-protected, corruptible); the event
 /// queue carries the structured form for dispatch once the image survives.
 #[derive(Clone)]
-enum WireMsg {
+pub(crate) enum WireMsg {
     Proto(Msg),
     App {
         src: usize,
@@ -132,7 +132,7 @@ enum WireMsg {
 }
 
 /// Wire length of a logical message in bytes.
-fn wire_len(wire: &WireMsg) -> usize {
+pub(crate) fn wire_len(wire: &WireMsg) -> usize {
     match wire {
         WireMsg::Proto(msg) => msg.payload.wire_bytes(),
         WireMsg::App { len, .. } => *len as usize,
@@ -147,48 +147,48 @@ fn wire_len(wire: &WireMsg) -> usize {
 /// message when the final fragment is accepted (go-back-N delivers in
 /// order, so earlier fragments are already in by then).
 #[derive(Clone)]
-struct Frag {
-    wire: Arc<WireMsg>,
+pub(crate) struct Frag {
+    pub(crate) wire: Arc<WireMsg>,
     /// Fragment index within the message, `0..nfrags`.
-    frag: u32,
+    pub(crate) frag: u32,
     /// Total fragments carrying this message.
-    nfrags: u32,
+    pub(crate) nfrags: u32,
     /// This fragment's wire length in bytes.
-    bytes: u32,
+    pub(crate) bytes: u32,
     /// The message span this fragment carries (the receiver closes it
     /// when the final fragment dispatches).
-    span: u64,
+    pub(crate) span: u64,
 }
 
 /// One unacknowledged frame in a sender window.
-struct InFlight {
-    seq: u64,
-    frag: Frag,
-    attempts: u32,
-    sent_at: SimTime,
+pub(crate) struct InFlight {
+    pub(crate) seq: u64,
+    pub(crate) frag: Frag,
+    pub(crate) attempts: u32,
+    pub(crate) sent_at: SimTime,
     /// Span of the frame's *first* transmission attempt: retransmission
     /// spans are recorded as its children, keeping every wire attempt
     /// causally linked to the originating send.
-    span: u64,
+    pub(crate) span: u64,
 }
 
 /// Go-back-N transmit state for one (src, dst) channel.
-struct ChanTx {
-    next_seq: u64,
+pub(crate) struct ChanTx {
+    pub(crate) next_seq: u64,
     /// Lowest unacknowledged sequence number.
-    base: u64,
-    window: VecDeque<InFlight>,
+    pub(crate) base: u64,
+    pub(crate) window: VecDeque<InFlight>,
     /// Frames waiting for window space.
-    pending: VecDeque<Frag>,
+    pub(crate) pending: VecDeque<Frag>,
     /// Current retransmission timeout (doubles per timeout up to the
     /// plan's cap; resets on forward progress).
-    rto: SimTime,
-    timer_gen: u64,
-    dup_acks: u32,
+    pub(crate) rto: SimTime,
+    pub(crate) timer_gen: u64,
+    pub(crate) dup_acks: u32,
 }
 
 impl ChanTx {
-    fn new(rto: SimTime) -> Self {
+    pub(crate) fn new(rto: SimTime) -> Self {
         ChanTx {
             next_seq: 0,
             base: 0,
@@ -204,32 +204,60 @@ impl ChanTx {
 /// Receive state for one (dst, src) channel: the next in-order sequence
 /// number. Anything below it is a duplicate; anything above is discarded
 /// (go-back-N keeps no out-of-order buffer) and re-acknowledged.
-struct ChanRx {
-    expected: u64,
+pub(crate) struct ChanRx {
+    pub(crate) expected: u64,
 }
 
-struct Cpu {
-    thread: Option<CoThread<YieldMsg, Reply>>,
-    started: bool,
-    clock: SimTime,
+pub(crate) struct Cpu {
+    pub(crate) thread: Option<CoThread<YieldMsg, Reply>>,
+    pub(crate) started: bool,
+    pub(crate) clock: SimTime,
     /// The host CPU handles one asynchronous event (interrupt + protocol)
     /// at a time; later arrivals queue behind this.
-    async_busy: SimTime,
-    compute: SimTime,
-    overhead: SimTime,
-    delay: SimTime,
-    blocked_at: Option<SimTime>,
-    stolen: SimTime,
-    done: bool,
-    inbox: VecDeque<InboxMsg>,
-    waiting_recv: bool,
-    pending_reply: Option<Reply>,
-    blocked_kind: usize,
-    blocked_detail: u64,
+    pub(crate) async_busy: SimTime,
+    pub(crate) compute: SimTime,
+    pub(crate) overhead: SimTime,
+    pub(crate) delay: SimTime,
+    pub(crate) blocked_at: Option<SimTime>,
+    pub(crate) stolen: SimTime,
+    pub(crate) done: bool,
+    pub(crate) inbox: VecDeque<InboxMsg>,
+    pub(crate) waiting_recv: bool,
+    pub(crate) pending_reply: Option<Reply>,
+    pub(crate) blocked_kind: usize,
+    pub(crate) blocked_detail: u64,
     /// The span whose delivery last woke this processor: program-order
     /// causality for the messages its next operations send (0 until the
     /// first wakeup, or always when tracing is disabled).
-    last_wake_span: u64,
+    pub(crate) last_wake_span: u64,
+}
+
+/// One recorded engine→node interaction, the serializable stand-in for a
+/// co-thread stack. While the journal is enabled (see
+/// [`World::enable_journal`]) every interaction with a node is appended in
+/// engine order: co-thread resumes with the reply they carried, and the
+/// node's DSM handler invocations. A restore re-runs the same programs on
+/// fresh co-threads and replays this journal verbatim — `Resume` entries
+/// drive each co-thread back to its exact yield point (its yields are
+/// discarded, because the engine's recorded reaction *is* the following
+/// entries), and the DSM entries re-execute the protocol handlers so node
+/// state and shared-memory contents converge to the checkpoint's.
+#[derive(Clone, Debug)]
+pub(crate) enum JEntry {
+    /// Start or resume the node's co-thread with this reply.
+    Resume(Reply),
+    /// [`DsmNode::on_read_fault`] on the page.
+    ReadFault(u32),
+    /// [`DsmNode::on_write_fault`] on the page.
+    WriteFault(u32),
+    /// [`DsmNode::on_acquire`] of the lock.
+    Acquire(u32),
+    /// [`DsmNode::on_release`] of the lock.
+    Release(u32),
+    /// [`DsmNode::on_barrier`].
+    Barrier,
+    /// [`DsmNode::on_message`] with this message.
+    Message(Msg),
 }
 
 impl Cpu {
@@ -257,60 +285,76 @@ impl Cpu {
 
 /// The simulated cluster.
 pub struct World {
-    cfg: Config,
-    q: EventQueue<Ev>,
-    fabric: Fabric,
-    nics: Vec<Nic>,
-    dsm: Vec<DsmNode>,
-    spaces: Vec<Arc<NodeSpace>>,
-    cpus: Vec<Cpu>,
-    next_page: u32,
-    live: usize,
-    proto_messages: u64,
-    msg_kinds: [u64; 9],
+    pub(crate) cfg: Config,
+    pub(crate) q: EventQueue<Ev>,
+    pub(crate) fabric: Fabric,
+    pub(crate) nics: Vec<Nic>,
+    pub(crate) dsm: Vec<DsmNode>,
+    pub(crate) spaces: Vec<Arc<NodeSpace>>,
+    pub(crate) cpus: Vec<Cpu>,
+    pub(crate) next_page: u32,
+    pub(crate) live: usize,
+    pub(crate) proto_messages: u64,
+    pub(crate) msg_kinds: [u64; 9],
     /// Wait-time diagnostics per blocking-op kind (lock, fault, barrier,
     /// recv): (total wait, count). Enabled by `CNI_WAIT_STATS`.
-    wait_stats: [(SimTime, u64); 4],
+    pub(crate) wait_stats: [(SimTime, u64); 4],
     /// Deterministic jitter source for protocol-handling costs. Identical
     /// critical-section durations phase-lock into pathological convoys that
     /// no real machine exhibits (cache and DRAM variance break them); a few
     /// percent of seeded jitter restores realistic desynchronisation while
     /// keeping runs bit-reproducible.
-    jitter: SplitMix64,
+    pub(crate) jitter: SplitMix64,
     /// The trace sink cloned into every instrumented component
     /// (disabled by default: figure runs pay a single enum branch).
-    trace: TraceSink,
+    pub(crate) trace: TraceSink,
     /// Virtual-time spacing of periodic [`TraceEvent::Metrics`] samples.
-    metrics_interval: Option<SimTime>,
+    pub(crate) metrics_interval: Option<SimTime>,
     /// Previous cumulative counter snapshot per node, for sample deltas.
-    metrics_prev: Vec<MetricsSample>,
+    pub(crate) metrics_prev: Vec<MetricsSample>,
     /// Last allocated span id (0 = none; span ids are 1-based and only
     /// advance while tracing is enabled, so disabled runs pay nothing and
     /// the engine's timing never depends on the counter).
-    next_span: u64,
+    pub(crate) next_span: u64,
     /// Previous cumulative busy-time snapshot per node for utilization
     /// deltas: (NIC processor, ingress link, egress link), picoseconds.
-    util_prev: Vec<(u64, u64, u64)>,
+    pub(crate) util_prev: Vec<(u64, u64, u64)>,
     /// Receive-ring high-water mark per node within the current metrics
     /// interval (reset to the live occupancy at each tick).
-    ring_hw: Vec<u32>,
+    pub(crate) ring_hw: Vec<u32>,
     /// One-way wire latency per message kind, in nanoseconds:
     /// indices 0..=8 are the protocol kinds `0xD0..=0xD8`, index 9 is the
     /// application kind `0xA0`.
-    latency: Vec<Histogram>,
+    pub(crate) latency: Vec<Histogram>,
     /// Fault injector, present only for a non-zero fault plan. When `None`
     /// every transmission takes the legacy lossless path and timing is
     /// bit-identical to a build without the faults layer.
-    injector: Option<FaultInjector>,
+    pub(crate) injector: Option<FaultInjector>,
     /// Go-back-N transmit channels, indexed `[src][dst]`.
-    rel_tx: Vec<Vec<ChanTx>>,
+    pub(crate) rel_tx: Vec<Vec<ChanTx>>,
     /// Receive channels, indexed `[dst][src]`.
-    rel_rx: Vec<Vec<ChanRx>>,
+    pub(crate) rel_rx: Vec<Vec<ChanRx>>,
     /// Reliability-protocol counters (retransmits, duplicates, overflows).
-    rel_stats: FaultStats,
+    pub(crate) rel_stats: FaultStats,
     /// Occupied frame slots in each node's virtual receive ring.
-    ring_used: Vec<u32>,
+    pub(crate) ring_used: Vec<u32>,
+    /// Per-node replay journal (see [`JEntry`]), recorded only when
+    /// checkpointing is enabled: `None` keeps figure runs free of the
+    /// recording cost.
+    pub(crate) journal: Option<Vec<Vec<JEntry>>>,
+    /// Events dispatched since t = 0: the checkpoint cadence counter
+    /// (serialized, so a resumed run keeps the original cadence phase).
+    pub(crate) events_dispatched: u64,
+    /// Snapshot cadence: when set, `checkpoint_sink` runs after every
+    /// `N`-th dispatched event.
+    checkpoint_every: Option<u64>,
+    /// Where checkpoints go. The engine stays IO-free: the embedder's
+    /// closure decides what a snapshot becomes (a file, a test buffer).
+    checkpoint_sink: Option<CheckpointSink>,
 }
+
+/// The embedder's checkpoint callback (see `World::set_checkpoint`).
+type CheckpointSink = Box<dyn FnMut(&World)>;
 
 /// The AIH handler id the DSM protocol is installed under.
 const DSM_HANDLER: u32 = 1;
@@ -386,6 +430,10 @@ impl World {
                 .collect(),
             rel_stats: FaultStats::default(),
             ring_used: vec![0; cfg.procs],
+            journal: None,
+            events_dispatched: 0,
+            checkpoint_every: None,
+            checkpoint_sink: None,
             cfg,
         }
     }
@@ -421,6 +469,45 @@ impl World {
             "metrics interval must be positive"
         );
         self.metrics_interval = Some(interval);
+    }
+
+    /// Record the replay journal from the start of the run, enabling
+    /// [`World::take_snapshot`]. Must be called before [`World::run`]
+    /// (checkpoint-restore needs every engine→program interaction from
+    /// t = 0; there is no way to start recording mid-run).
+    ///
+    /// # Panics
+    /// Panics if programs have already started.
+    pub fn enable_journal(&mut self) {
+        assert!(
+            self.cpus.iter().all(|c| !c.started),
+            "enable_journal must precede World::run"
+        );
+        self.journal = Some(vec![Vec::new(); self.cfg.procs]);
+    }
+
+    /// Run `sink` after every `every`-th dispatched event. The sink
+    /// typically calls [`World::take_snapshot`] and writes the result
+    /// somewhere durable; the engine itself performs no IO. Requires
+    /// [`World::enable_journal`]. Taking a snapshot never perturbs the
+    /// simulation — a checkpointed run stays byte-identical to a plain
+    /// one.
+    ///
+    /// # Panics
+    /// Panics if `every` is zero or the journal is not enabled.
+    pub fn set_checkpoint(&mut self, every: u64, sink: Box<dyn FnMut(&World)>) {
+        assert!(every > 0, "checkpoint interval must be positive");
+        assert!(
+            self.journal.is_some(),
+            "set_checkpoint requires enable_journal"
+        );
+        self.checkpoint_every = Some(every);
+        self.checkpoint_sink = Some(sink);
+    }
+
+    /// Events dispatched so far (the checkpoint cadence counter).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
     }
 
     /// The configuration.
@@ -485,6 +572,30 @@ impl World {
             self.cpus.iter().all(|c| !c.started),
             "World::run is single-shot; build a fresh World for another run"
         );
+        self.live = programs.len();
+        self.spawn_threads(programs);
+        // All processors wake at time zero: one bulk insert, tie-broken by
+        // sequence number exactly as the per-call path would be.
+        self.q
+            .schedule_batch_at(SimTime::ZERO, (0..self.cfg.procs).map(Ev::Resume));
+        if self.trace.is_enabled() {
+            if let Some(iv) = self.metrics_interval {
+                self.q.schedule_at(SimTime::ZERO + iv, Ev::MetricsTick);
+            }
+        }
+        self.event_loop();
+        assert_eq!(
+            self.live, 0,
+            "simulation ran out of events with {} programs unfinished (deadlock)",
+            self.live
+        );
+        self.report()
+    }
+
+    /// Spawn one co-thread per program. Shared by [`World::run`] and the
+    /// checkpoint-restore path, which re-runs the same programs on fresh
+    /// co-threads and replays the journal into them.
+    pub(crate) fn spawn_threads(&mut self, programs: Vec<Program>) {
         let costs = AccessCosts {
             read: self.cfg.costs.shared_read_cycles,
             write: self.cfg.costs.shared_write_cycles,
@@ -492,7 +603,6 @@ impl World {
         let page_bytes = self.cfg.page_bytes;
         let line_bytes = self.cfg.nic.cache_line_bytes;
         let procs = self.cfg.procs as u32;
-        self.live = programs.len();
         for (p, prog) in programs.into_iter().enumerate() {
             let space = self.spaces[p].clone();
             let me = p as u32;
@@ -504,72 +614,77 @@ impl World {
             thread.set_trace(self.trace.clone(), me);
             self.cpus[p].thread = Some(thread);
         }
-        // All processors wake at time zero: one bulk insert, tie-broken by
-        // sequence number exactly as the per-call path would be.
-        self.q
-            .schedule_batch_at(SimTime::ZERO, (0..self.cfg.procs).map(Ev::Resume));
-        if self.trace.is_enabled() {
-            if let Some(iv) = self.metrics_interval {
-                self.q.schedule_at(SimTime::ZERO + iv, Ev::MetricsTick);
-            }
-        }
+    }
 
+    /// Dispatch events until every program finishes (or the queue runs
+    /// dry), taking a checkpoint after every `checkpoint_every`-th event
+    /// when configured. Checkpoints run *between* dispatches, when every
+    /// co-thread is parked at a yield and the engine state is quiescent.
+    pub(crate) fn event_loop(&mut self) {
         while let Some((t, ev)) = self.q.pop() {
-            match ev {
-                Ev::Resume(p) => self.resume(p, Reply::Ok),
-                Ev::Xmit { src, msg, cause } => {
-                    self.transport(src, msg, TxOrigin::Board, t, cause);
-                }
-                Ev::XmitApp {
-                    src,
-                    dst,
-                    len,
-                    page,
-                    cacheable,
-                    data,
-                    cause,
-                } => self.xmit_app(t, src, dst, len, page, cacheable, data, cause),
-                Ev::Proto { msg, span } => self.arrive_proto(t, msg, span),
-                Ev::App {
-                    dst,
-                    src,
-                    len,
-                    page,
-                    cacheable,
-                    data,
-                    span,
-                } => self.arrive_app(t, dst, src, len, page, cacheable, data, span),
-                Ev::Wake { p, overhead } => self.wake(t, p, overhead),
-                Ev::MetricsTick => self.metrics_tick(t),
-                Ev::FrameRx {
-                    src,
-                    dst,
-                    seq,
-                    cells,
-                    span,
-                } => self.on_frame_rx(t, src, dst, seq, cells, span),
-                Ev::AckRx {
-                    to,
-                    from,
-                    ack,
-                    cells,
-                    span,
-                } => self.on_ack_rx(t, to, from, ack, cells, span),
-                Ev::RxmitTimer { src, dst, gen } => self.on_rxmit_timer(t, src, dst, gen),
-                Ev::RingRelease { dst } => {
-                    self.ring_used[dst] = self.ring_used[dst].saturating_sub(1);
+            self.dispatch(t, ev);
+            self.events_dispatched += 1;
+            if let Some(every) = self.checkpoint_every {
+                if self.events_dispatched.is_multiple_of(every) {
+                    // Take the sink out while it borrows the world.
+                    if let Some(mut sink) = self.checkpoint_sink.take() {
+                        sink(self);
+                        self.checkpoint_sink = Some(sink);
+                    }
                 }
             }
             if self.live == 0 && self.q.is_empty() {
                 break;
             }
         }
-        assert_eq!(
-            self.live, 0,
-            "simulation ran out of events with {} programs unfinished (deadlock)",
-            self.live
-        );
-        self.report()
+    }
+
+    fn dispatch(&mut self, t: SimTime, ev: Ev) {
+        match ev {
+            Ev::Resume(p) => self.resume(p, Reply::Ok),
+            Ev::Xmit { src, msg, cause } => {
+                self.transport(src, msg, TxOrigin::Board, t, cause);
+            }
+            Ev::XmitApp {
+                src,
+                dst,
+                len,
+                page,
+                cacheable,
+                data,
+                cause,
+            } => self.xmit_app(t, src, dst, len, page, cacheable, data, cause),
+            Ev::Proto { msg, span } => self.arrive_proto(t, msg, span),
+            Ev::App {
+                dst,
+                src,
+                len,
+                page,
+                cacheable,
+                data,
+                span,
+            } => self.arrive_app(t, dst, src, len, page, cacheable, data, span),
+            Ev::Wake { p, overhead } => self.wake(t, p, overhead),
+            Ev::MetricsTick => self.metrics_tick(t),
+            Ev::FrameRx {
+                src,
+                dst,
+                seq,
+                cells,
+                span,
+            } => self.on_frame_rx(t, src, dst, seq, cells, span),
+            Ev::AckRx {
+                to,
+                from,
+                ack,
+                cells,
+                span,
+            } => self.on_ack_rx(t, to, from, ack, cells, span),
+            Ev::RxmitTimer { src, dst, gen } => self.on_rxmit_timer(t, src, dst, gen),
+            Ev::RingRelease { dst } => {
+                self.ring_used[dst] = self.ring_used[dst].saturating_sub(1);
+            }
+        }
     }
 
     /// Cumulative counters for node `p`, in [`MetricsSample`] shape
@@ -704,7 +819,7 @@ impl World {
             .emit_at(at.as_ps(), node, TraceEvent::SpanClose { span });
     }
 
-    fn report(&self) -> RunReport {
+    pub(crate) fn report(&self) -> RunReport {
         let wall = self
             .cpus
             .iter()
@@ -813,7 +928,18 @@ impl World {
 
     // --- program-side event handling ----------------------------------------
 
+    /// Record a journal entry for processor `p` when journalling is on.
+    #[inline]
+    fn journal_push(&mut self, p: usize, e: JEntry) {
+        if let Some(j) = &mut self.journal {
+            j[p].push(e);
+        }
+    }
+
     fn resume(&mut self, p: usize, reply: Reply) {
+        if let Some(j) = &mut self.journal {
+            j[p].push(JEntry::Resume(reply.clone()));
+        }
         let y = {
             let cpu = &mut self.cpus[p];
             let thread = cpu.thread.as_mut().expect("resume of dead cpu");
@@ -843,12 +969,70 @@ impl World {
         }
     }
 
+    /// Re-drive processor `p`'s co-thread and DSM node through a recorded
+    /// journal, reconstructing their unserialisable state (thread stack,
+    /// page maps, directory, twins) without touching the event queue or
+    /// any timing counter.
+    ///
+    /// `Resume` entries feed the co-thread the exact replies the original
+    /// run produced; the yields that come back are *discarded* (the
+    /// original run already turned them into events, which live in the
+    /// snapshot's queue). `ReadFault`/`WriteFault`/`Acquire`/`Release`/
+    /// `Barrier`/`Message` entries re-execute the corresponding DSM
+    /// call, discarding its outputs for the same reason — only the side
+    /// effects on the node's protocol state matter. Per-node replay is
+    /// sufficient because `DsmNode` and `NodeSpace` are per-node: nodes
+    /// interact only through messages, which are themselves journaled.
+    pub(crate) fn replay_node(&mut self, p: usize, entries: &[JEntry]) -> Result<(), String> {
+        for (i, e) in entries.iter().enumerate() {
+            match e {
+                JEntry::Resume(reply) => {
+                    let y = {
+                        let cpu = &mut self.cpus[p];
+                        let thread = cpu.thread.as_mut().ok_or_else(|| {
+                            format!("journal entry {i} resumes processor {p} after its program finished")
+                        })?;
+                        if !cpu.started {
+                            cpu.started = true;
+                            thread.start()
+                        } else {
+                            thread.resume(reply.clone())
+                        }
+                    };
+                    if matches!(y, Yield::Finished) {
+                        self.cpus[p].thread = None;
+                    }
+                }
+                JEntry::ReadFault(pg) => {
+                    let _ = self.dsm[p].on_read_fault(PageId(*pg));
+                }
+                JEntry::WriteFault(pg) => {
+                    let _ = self.dsm[p].on_write_fault(PageId(*pg));
+                }
+                JEntry::Acquire(l) => {
+                    let _ = self.dsm[p].on_acquire(LockId(*l));
+                }
+                JEntry::Release(l) => {
+                    let _ = self.dsm[p].on_release(LockId(*l));
+                }
+                JEntry::Barrier => {
+                    let _ = self.dsm[p].on_barrier();
+                }
+                JEntry::Message(m) => {
+                    let _ = self.dsm[p].on_message(m.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn handle_op(&mut self, p: usize, op: Op) {
         match op {
             Op::ReadFault(page) => {
                 self.charge_ov(p, self.cfg.costs.fault_trap_cycles);
                 self.cpus[p].blocked_kind = 1;
                 self.cpus[p].blocked_detail = page.0 as u64;
+                self.journal_push(p, JEntry::ReadFault(page.0));
                 let res = self.dsm[p].on_read_fault(page);
                 self.apply_sync_result(p, res, true);
             }
@@ -856,6 +1040,7 @@ impl World {
                 self.charge_ov(p, self.cfg.costs.fault_trap_cycles);
                 self.cpus[p].blocked_kind = 1;
                 self.cpus[p].blocked_detail = 0x1_0000_0000 | page.0 as u64;
+                self.journal_push(p, JEntry::WriteFault(page.0));
                 let res = self.dsm[p].on_write_fault(page);
                 self.apply_sync_result(p, res, true);
             }
@@ -863,17 +1048,20 @@ impl World {
                 self.charge_ov(p, self.cfg.costs.lock_op_cycles);
                 self.cpus[p].blocked_kind = 0;
                 self.cpus[p].blocked_detail = l.0 as u64;
+                self.journal_push(p, JEntry::Acquire(l.0));
                 let res = self.dsm[p].on_acquire(l);
                 self.apply_sync_result(p, res, true);
             }
             Op::Release(l) => {
                 self.charge_ov(p, self.cfg.costs.lock_op_cycles);
+                self.journal_push(p, JEntry::Release(l.0));
                 let res = self.dsm[p].on_release(l);
                 self.apply_sync_result(p, res, false);
             }
             Op::Barrier => {
                 self.charge_ov(p, self.cfg.costs.barrier_op_cycles);
                 self.cpus[p].blocked_kind = 2;
+                self.journal_push(p, JEntry::Barrier);
                 let res = self.dsm[p].on_barrier();
                 self.apply_sync_result(p, res, true);
             }
@@ -1723,6 +1911,9 @@ impl World {
 
     fn arrive_proto(&mut self, t: SimTime, msg: Msg, span: u64) {
         let dst = msg.dst.0 as usize;
+        if let Some(j) = &mut self.journal {
+            j[dst].push(JEntry::Message(msg.clone()));
+        }
         let bytes = msg.payload.wire_bytes();
         let cells = self.fabric.segmenter().cell_count(bytes);
         let header = msg.payload.header_bytes(msg.src);

@@ -1,0 +1,274 @@
+//! The checkpoint-restore identity contract, at the engine level:
+//! run-to-T must equal run-to-checkpoint-then-resume-to-T **byte for
+//! byte** in the serialized `RunReport` — lossless and under cell loss —
+//! and taking checkpoints must not perturb the run at all.
+
+use cni::{BrownoutWindow, Config, FaultPlan, LockId, Program, RunReport, VAddr, World};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Barrier-phased neighbour exchange (Jacobi-shaped) on `n` procs.
+fn neighbour_exchange(n: u32, iters: u64) -> impl Fn(VAddr) -> Vec<Program> {
+    move |base| {
+        (0..n)
+            .map(|me| -> Program {
+                Box::new(move |ctx| {
+                    let page = ctx.page_bytes() as u64;
+                    let mine = base.add(me as u64 * page);
+                    for it in 0..iters {
+                        let mut acc = 0u64;
+                        if me > 0 {
+                            acc += ctx.read_u64(base.add((me as u64 - 1) * page));
+                        }
+                        if me + 1 < n {
+                            acc += ctx.read_u64(base.add((me as u64 + 1) * page));
+                        }
+                        ctx.barrier();
+                        for w in 0..(page / 8) {
+                            ctx.write_u64(mine.add(w * 8), acc + it + me as u64);
+                        }
+                        ctx.compute(50_000);
+                        ctx.barrier();
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+/// Lock ping-pong with message passing mixed in, to cover the
+/// send/recv/inbox paths too.
+fn mixed_workload(rounds: u64) -> impl Fn(VAddr) -> Vec<Program> {
+    move |base| {
+        (0..2u32)
+            .map(|me| -> Program {
+                Box::new(move |ctx| {
+                    let l = LockId(0);
+                    for r in 0..rounds {
+                        ctx.acquire(l);
+                        let v = ctx.read_u64(base);
+                        ctx.write_u64(base, v + 1);
+                        ctx.release(l);
+                        if me == 0 {
+                            ctx.send_data(1, vec![r, v], None, false, 0);
+                        } else {
+                            let (_src, _data) = ctx.recv_data();
+                        }
+                        ctx.compute(10_000);
+                    }
+                    ctx.barrier();
+                })
+            })
+            .collect()
+    }
+}
+
+const ALLOC: usize = 64 * 1024;
+
+fn report_json(r: &RunReport) -> String {
+    serde_json::to_string(r).expect("report serializes")
+}
+
+fn plain_run(cfg: Config, mk: &dyn Fn(VAddr) -> Vec<Program>) -> RunReport {
+    let mut w = World::new(cfg);
+    let base = w.alloc(ALLOC);
+    w.run(mk(base))
+}
+
+/// Run with checkpoints every `every` events, returning the report and
+/// every snapshot taken.
+fn checkpointed_run(
+    cfg: Config,
+    mk: &dyn Fn(VAddr) -> Vec<Program>,
+    every: u64,
+) -> (RunReport, Vec<serde::Value>) {
+    let mut w = World::new(cfg);
+    let base = w.alloc(ALLOC);
+    w.enable_journal();
+    let snaps: Rc<RefCell<Vec<serde::Value>>> = Rc::new(RefCell::new(Vec::new()));
+    let sink = snaps.clone();
+    w.set_checkpoint(
+        every,
+        Box::new(move |world: &World| {
+            sink.borrow_mut().push(world.take_snapshot());
+        }),
+    );
+    let report = w.run(mk(base));
+    drop(w); // releases the sink's clone of `snaps`
+    let snaps = Rc::try_unwrap(snaps)
+        .expect("sink dropped with world")
+        .into_inner();
+    (report, snaps)
+}
+
+fn resume_from(
+    cfg: Config,
+    mk: &dyn Fn(VAddr) -> Vec<Program>,
+    snap: &serde::Value,
+) -> Result<RunReport, String> {
+    let mut w = World::new(cfg);
+    let base = w.alloc(ALLOC);
+    w.resume_run(snap, mk(base))
+}
+
+fn identity_for(cfg: Config, mk: &dyn Fn(VAddr) -> Vec<Program>, every: u64) {
+    let baseline = report_json(&plain_run(cfg, mk));
+    let (chk_report, snaps) = checkpointed_run(cfg, mk, every);
+    // Checkpointing must not perturb the run.
+    assert_eq!(report_json(&chk_report), baseline);
+    assert!(
+        snaps.len() >= 2,
+        "expected several snapshots, got {} (lower `every`)",
+        snaps.len()
+    );
+    // Every snapshot — early, middle and last — resumes to the same bytes.
+    for (i, snap) in snaps.iter().enumerate() {
+        let resumed = resume_from(cfg, mk, snap)
+            .unwrap_or_else(|e| panic!("resume from snapshot {i} failed: {e}"));
+        assert_eq!(
+            report_json(&resumed),
+            baseline,
+            "snapshot {i}/{} diverged from the uninterrupted run",
+            snaps.len()
+        );
+    }
+}
+
+#[test]
+fn lossless_identity_neighbour_exchange() {
+    let cfg = Config::paper_default().with_procs(4);
+    identity_for(cfg, &neighbour_exchange(4, 3), 40);
+}
+
+#[test]
+fn lossless_identity_mixed_workload() {
+    let cfg = Config::paper_default().with_procs(2);
+    identity_for(cfg, &mixed_workload(6), 30);
+}
+
+#[test]
+fn lossy_identity_five_percent_cell_loss() {
+    let mut plan = FaultPlan::none();
+    plan.drop_prob = 0.05;
+    let cfg = Config::paper_default().with_procs(4).with_faults(plan);
+    identity_for(cfg, &neighbour_exchange(4, 2), 100);
+}
+
+#[test]
+fn fork_with_identical_config_reproduces_tail() {
+    // `--fork-at` with an unchanged config is exactly resume: the child
+    // must replay the parent's tail byte-for-byte. (Covered per-snapshot
+    // by identity_for; this pins the semantics under a *faulty* parent,
+    // where the injector stream restore is what carries the tail.)
+    let mut plan = FaultPlan::none();
+    plan.drop_prob = 0.03;
+    let cfg = Config::paper_default().with_procs(2).with_faults(plan);
+    let mk = mixed_workload(5);
+    let baseline = report_json(&plain_run(cfg, &mk));
+    let (_, snaps) = checkpointed_run(cfg, &mk, 60);
+    let snap = snaps.last().expect("at least one snapshot");
+    let forked = resume_from(cfg, &mk, snap).expect("fork resumes");
+    assert_eq!(report_json(&forked), baseline);
+}
+
+#[test]
+fn fork_into_brownout_diverges_only_in_future() {
+    // Parent: lossless. Child: same warmup, then a brownout window after
+    // the checkpoint. The child must run to completion; its fault
+    // counters must show brownout losses the parent never saw.
+    let cfg = Config::paper_default().with_procs(4);
+    let mk = neighbour_exchange(4, 3);
+    let parent = plain_run(cfg, &mk);
+    let (_, snaps) = checkpointed_run(cfg, &mk, 40);
+    let snap = &snaps[0];
+
+    let mut plan = FaultPlan::none();
+    // A brownout well past the first checkpoint but inside the run.
+    plan.brownouts[0] = Some(BrownoutWindow {
+        link: 1,
+        start_ps: 1_000_000,
+        end_ps: parent.wall.as_ps().max(2_000_000),
+    });
+    let child_cfg = Config::paper_default().with_procs(4).with_faults(plan);
+    let mut w = World::new(child_cfg);
+    let base = w.alloc(ALLOC);
+    let child = w
+        .resume_run(snap, mk(base))
+        .expect("lossless parent forks into a faulty child");
+    assert!(
+        child.faults.brownout_cells > 0,
+        "child should have suffered the injected brownout"
+    );
+    assert!(child.wall >= parent.wall, "retransmissions cost time");
+}
+
+#[test]
+fn faulty_snapshot_rejected_under_lossless_plan() {
+    let mut plan = FaultPlan::none();
+    plan.drop_prob = 0.05;
+    let cfg = Config::paper_default().with_procs(2).with_faults(plan);
+    let mk = mixed_workload(4);
+    let (_, snaps) = checkpointed_run(cfg, &mk, 50);
+    let lossless = Config::paper_default().with_procs(2);
+    let err = resume_from(lossless, &mk, snaps.last().unwrap()).unwrap_err();
+    assert!(err.contains("not supported"), "{err}");
+}
+
+#[test]
+fn mismatched_setup_is_rejected_not_panicking() {
+    let cfg = Config::paper_default().with_procs(4);
+    let mk = neighbour_exchange(4, 2);
+    let (_, snaps) = checkpointed_run(cfg, &mk, 60);
+    let snap = snaps.last().unwrap();
+
+    // Wrong processor count.
+    let err = {
+        let bad = Config::paper_default().with_procs(2);
+        let mut w = World::new(bad);
+        let base = w.alloc(ALLOC);
+        w.resume_run(snap, neighbour_exchange(2, 2)(base))
+            .unwrap_err()
+    };
+    assert!(err.contains("processors"), "{err}");
+
+    // Missing alloc() calls.
+    let err = {
+        let mut w = World::new(cfg);
+        w.resume_run(snap, mk(VAddr(0))).unwrap_err()
+    };
+    assert!(err.contains("alloc"), "{err}");
+
+    // Structurally mangled snapshot values never panic.
+    for junk in [
+        serde::Value::Null,
+        serde::Value::Bool(true),
+        serde::Value::Array(vec![]),
+        serde::Value::Object(serde::Map::new()),
+    ] {
+        let mut w = World::new(cfg);
+        let base = w.alloc(ALLOC);
+        assert!(w.resume_run(&junk, mk(base)).is_err());
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_event_counts() {
+    for (name, cfg, mk) in [
+        (
+            "ne4x3",
+            Config::paper_default().with_procs(4),
+            Box::new(neighbour_exchange(4, 3)) as Box<dyn Fn(VAddr) -> Vec<Program>>,
+        ),
+        (
+            "mix6",
+            Config::paper_default().with_procs(2),
+            Box::new(mixed_workload(6)),
+        ),
+    ] {
+        let mut w = World::new(cfg);
+        let base = w.alloc(ALLOC);
+        let _ = w.run(mk(base));
+        println!("{name}: {} events", w.events_dispatched());
+    }
+}

@@ -75,6 +75,18 @@ impl Pcg32 {
         debug_assert!(bound > 0, "next_below needs a nonzero bound");
         ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
+
+    /// Internal `(state, stream increment)` pair, for checkpointing.
+    pub fn state(&self) -> (u64, u64) {
+        (self.state, self.inc)
+    }
+
+    /// Rebuild a generator mid-stream from a pair captured with
+    /// [`Pcg32::state`]. The resumed draw sequence continues exactly where
+    /// the captured generator left off.
+    pub fn from_state(state: u64, inc: u64) -> Self {
+        Pcg32 { state, inc }
+    }
 }
 
 /// A scheduled window during which one source link drops every cell.
@@ -95,6 +107,13 @@ pub struct BrownoutWindow {
 impl BrownoutWindow {
     fn covers(&self, t_ps: u64, link: usize) -> bool {
         self.link as usize == link && t_ps >= self.start_ps && t_ps < self.end_ps
+    }
+
+    /// True when the window covers at least one instant. Zero-length (or
+    /// inverted) windows drop nothing and must not count as injected
+    /// faults anywhere.
+    pub fn is_active(&self) -> bool {
+        self.end_ps > self.start_ps
     }
 }
 
@@ -160,11 +179,19 @@ impl FaultPlan {
 
     /// True when the plan injects no faults at all. The simulator then
     /// takes the legacy lossless path, draw-for-draw and event-for-event.
+    ///
+    /// Zero-length brownout windows cover no instant and drop nothing, so
+    /// a plan whose only windows are empty is still a zero plan — it must
+    /// not activate the reliability layer and perturb timings.
     pub fn is_zero(&self) -> bool {
         self.drop_prob == 0.0
             && self.corrupt_prob == 0.0
             && self.jitter_ps == 0
-            && self.brownouts.iter().all(Option::is_none)
+            && !self
+                .brownouts
+                .iter()
+                .flatten()
+                .any(BrownoutWindow::is_active)
     }
 
     /// Panic if a probability is outside `[0, 1)` or a protocol knob is
@@ -306,6 +333,52 @@ impl FaultInjector {
             ..FaultStats::default()
         }
     }
+
+    /// Capture the injector's mid-run state for a checkpoint. The plan
+    /// itself is not included — it travels with the run configuration and
+    /// is re-validated on restore.
+    pub fn snapshot(&self) -> InjectorSnapshot {
+        let (rng_state, rng_inc) = self.rng.state();
+        InjectorSnapshot {
+            rng_state,
+            rng_inc,
+            cells_dropped: self.cells_dropped,
+            cells_corrupted: self.cells_corrupted,
+            brownout_cells: self.brownout_cells,
+        }
+    }
+
+    /// Rebuild an injector mid-run from `plan` plus a state captured with
+    /// [`FaultInjector::snapshot`]. The resumed fate sequence continues
+    /// draw-for-draw where the captured injector left off.
+    pub fn from_snapshot(plan: FaultPlan, s: InjectorSnapshot) -> Self {
+        plan.validate();
+        FaultInjector {
+            plan,
+            rng: Pcg32::from_state(s.rng_state, s.rng_inc),
+            cells_dropped: s.cells_dropped,
+            cells_corrupted: s.cells_corrupted,
+            brownout_cells: s.brownout_cells,
+        }
+    }
+}
+
+/// Serializable mid-run state of a [`FaultInjector`]: the PCG-32 stream
+/// position plus the cell-level counters. Pending brownout windows need no
+/// state of their own — they are pure functions of virtual time in the
+/// plan, so restoring the clock restores them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectorSnapshot {
+    /// PCG-32 internal state word.
+    pub rng_state: u64,
+    /// PCG-32 stream increment.
+    pub rng_inc: u64,
+    /// Cells discarded so far (random loss plus brownouts).
+    pub cells_dropped: u64,
+    /// Cells corrupted so far.
+    pub cells_corrupted: u64,
+    /// Subset of `cells_dropped` owed to brownout windows.
+    pub brownout_cells: u64,
 }
 
 /// Fault and recovery counters for one run, merged into the run report.
@@ -455,6 +528,100 @@ mod tests {
         let s = inj.stats();
         assert_eq!(s.brownout_cells, 1);
         assert_eq!(s.cells_dropped, 1);
+    }
+
+    #[test]
+    fn zero_length_brownout_window_drops_nothing() {
+        let plan = FaultPlan {
+            brownouts: [
+                Some(BrownoutWindow {
+                    link: 0,
+                    start_ps: 500,
+                    end_ps: 500, // empty: covers no instant
+                }),
+                Some(BrownoutWindow {
+                    link: 1,
+                    start_ps: 900,
+                    end_ps: 300, // inverted: also covers no instant
+                }),
+                None,
+                None,
+            ],
+            ..FaultPlan::none()
+        };
+        // A plan whose only windows are empty injects nothing, so it must
+        // read as the zero plan and leave the lossless fast path intact.
+        assert!(plan.is_zero());
+        let mut inj = FaultInjector::new(plan);
+        for t in [0, 299, 300, 499, 500, 501, 899, 900, 1000] {
+            for link in 0..2 {
+                assert_eq!(inj.cell_fate(t, link, 48), CellFate::Deliver);
+            }
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn overlapping_brownout_windows_count_each_cell_once() {
+        let plan = FaultPlan {
+            brownouts: [
+                Some(BrownoutWindow {
+                    link: 0,
+                    start_ps: 100,
+                    end_ps: 300,
+                }),
+                Some(BrownoutWindow {
+                    link: 0,
+                    start_ps: 200,
+                    end_ps: 400, // overlaps [200, 300) with the first
+                }),
+                Some(BrownoutWindow {
+                    link: 0,
+                    start_ps: 250,
+                    end_ps: 260, // nested inside both
+                }),
+                None,
+            ],
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan);
+        // One cell in the triple-covered region, one in each single-covered
+        // flank, one outside.
+        assert_eq!(inj.cell_fate(255, 0, 48), CellFate::Drop);
+        assert_eq!(inj.cell_fate(150, 0, 48), CellFate::Drop);
+        assert_eq!(inj.cell_fate(350, 0, 48), CellFate::Drop);
+        assert_eq!(inj.cell_fate(450, 0, 48), CellFate::Deliver);
+        let s = inj.stats();
+        assert_eq!(s.brownout_cells, 3, "each dropped cell counts once");
+        assert_eq!(s.cells_dropped, 3);
+    }
+
+    #[test]
+    fn injector_snapshot_resumes_the_fate_stream_exactly() {
+        let plan = FaultPlan {
+            drop_prob: 0.25,
+            corrupt_prob: 0.15,
+            jitter_ps: 700,
+            seed: 0xBEEF,
+            ..FaultPlan::none()
+        };
+        let mut whole = FaultInjector::new(plan);
+        let mut first_half = FaultInjector::new(plan);
+        for i in 0..250 {
+            whole.cell_fate(i, (i % 4) as usize, 48);
+            whole.jitter_ps();
+            first_half.cell_fate(i, (i % 4) as usize, 48);
+            first_half.jitter_ps();
+        }
+        let mut resumed = FaultInjector::from_snapshot(plan, first_half.snapshot());
+        for i in 250..500 {
+            assert_eq!(
+                whole.cell_fate(i, (i % 4) as usize, 48),
+                resumed.cell_fate(i, (i % 4) as usize, 48)
+            );
+            assert_eq!(whole.jitter_ps(), resumed.jitter_ps());
+        }
+        assert_eq!(whole.stats(), resumed.stats());
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub const SIM_CRATES: &[&str] = &[
 /// `RunReport`, and the wall-clock measurement harness in `cni-bench`).
 const HOST_TIME_EXEMPT: &[&str] = &["crates/batch/src/lib.rs", "crates/bench/"];
 
+/// Snapshot encode/decode paths (D4): a checkpoint written twice from
+/// the same state must be byte-identical, so these files must not
+/// iterate hashed collections or embed host timestamps in any form.
+const SNAPSHOT_PATHS: &[&str] = &["crates/snap/", "crates/core/src/snapshot.rs"];
+
 /// Protocol receive/reassembly regions: (file suffix, function names).
 /// Corrupt input is expected on these paths post-PR2, so panicking
 /// operators are banned inside them.
@@ -76,6 +81,9 @@ pub enum Rule {
     HostTime,
     /// D3: ambient (non-`Config`-seeded) randomness in sim crates.
     AmbientRng,
+    /// D4: hashed-order iteration or host timestamps on snapshot
+    /// encode/decode paths.
+    SnapNondet,
     /// P1: panicking operators on protocol receive/reassembly paths.
     PanicPath,
     /// U1: `unsafe` without a `// SAFETY:` comment.
@@ -94,6 +102,7 @@ impl Rule {
             Rule::NondetMap => "D1",
             Rule::HostTime => "D2",
             Rule::AmbientRng => "D3",
+            Rule::SnapNondet => "D4",
             Rule::PanicPath => "P1",
             Rule::UnsafeNoSafety => "U1",
             Rule::BadSuppression => "S1",
@@ -107,6 +116,7 @@ impl Rule {
             Rule::NondetMap => "nondet-map",
             Rule::HostTime => "host-time",
             Rule::AmbientRng => "ambient-rng",
+            Rule::SnapNondet => "snap-nondet",
             Rule::PanicPath => "panic-path",
             Rule::UnsafeNoSafety => "unsafe-no-safety",
             Rule::BadSuppression => "bad-suppression",
@@ -121,6 +131,7 @@ impl Rule {
             "nondet-map" => Some(Rule::NondetMap),
             "host-time" => Some(Rule::HostTime),
             "ambient-rng" => Some(Rule::AmbientRng),
+            "snap-nondet" => Some(Rule::SnapNondet),
             "panic-path" => Some(Rule::PanicPath),
             "unsafe-no-safety" => Some(Rule::UnsafeNoSafety),
             _ => None,
@@ -138,6 +149,10 @@ impl Rule {
                 "derive time from SimTime; host clocks live only in batch::JobTiming and cni-bench"
             }
             Rule::AmbientRng => "derive all randomness from Config seeds (SimRng/Pcg32)",
+            Rule::SnapNondet => {
+                "snapshot bytes must be reproducible: iterate BTree/sorted orders, never hashed \
+                 ones, and never embed Instant/SystemTime values in a checkpoint"
+            }
             Rule::PanicPath => {
                 "corrupt input is expected here: return an error or count-and-drop instead of \
                  panicking"
@@ -202,6 +217,12 @@ fn is_sim_crate(path: &str) -> bool {
 
 fn is_host_time_exempt(path: &str) -> bool {
     HOST_TIME_EXEMPT
+        .iter()
+        .any(|e| path.contains(e) || path.ends_with(e.trim_end_matches('/')))
+}
+
+fn is_snapshot_path(path: &str) -> bool {
+    SNAPSHOT_PATHS
         .iter()
         .any(|e| path.contains(e) || path.ends_with(e.trim_end_matches('/')))
 }
@@ -419,6 +440,7 @@ pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
     let p1_ranges = panic_path_ranges(path, &toks);
     let sim = is_sim_crate(path);
     let time_exempt = is_host_time_exempt(path);
+    let snap = is_snapshot_path(path);
 
     let mut candidates: Vec<Finding> = Vec::new();
     let push = |candidates: &mut Vec<Finding>, rule: Rule, line: u32, col: u32, msg: String| {
@@ -463,6 +485,17 @@ pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
             continue;
         };
         match id {
+            // D4 outranks D1 on snapshot paths: same hazard, stricter
+            // contract (the encode bytes themselves must be stable).
+            "HashMap" | "HashSet" if snap => {
+                push(
+                    &mut candidates,
+                    Rule::SnapNondet,
+                    t.line,
+                    t.col,
+                    format!("`{id}` on a snapshot encode/decode path (hashed iteration order)"),
+                );
+            }
             "HashMap" | "HashSet" if sim => {
                 push(
                     &mut candidates,
@@ -473,6 +506,17 @@ pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
                         "`{id}` in determinism-sensitive crate `{}`",
                         crate_name(path)
                     ),
+                );
+            }
+            // On snapshot paths any host-time type is banned outright —
+            // even stored or formatted, not just `::now()` reads.
+            "Instant" | "SystemTime" | "UNIX_EPOCH" if snap => {
+                push(
+                    &mut candidates,
+                    Rule::SnapNondet,
+                    t.line,
+                    t.col,
+                    format!("host timestamp `{id}` on a snapshot encode/decode path"),
                 );
             }
             "Instant" | "SystemTime" if !time_exempt && follows_path_call(&toks, i, "now") => {
@@ -673,6 +717,9 @@ mod tests {
         assert!(is_host_time_exempt("crates/batch/src/lib.rs"));
         assert!(is_host_time_exempt("crates/bench/src/lib.rs"));
         assert!(!is_host_time_exempt("crates/sim/src/time.rs"));
+        assert!(is_snapshot_path("crates/snap/src/lib.rs"));
+        assert!(is_snapshot_path("crates/core/src/snapshot.rs"));
+        assert!(!is_snapshot_path("crates/core/src/world.rs"));
         assert!(is_test_path("crates/nic/tests/msgcache_model.rs"));
         assert!(is_test_path("tests/byte_identity.rs"));
         assert!(!is_test_path("crates/nic/src/msgcache.rs"));

@@ -100,6 +100,54 @@ fn d3_quiet_on_config_seeded_rng() {
 }
 
 #[test]
+fn d4_fires_on_snapshot_encode_paths() {
+    let src = fixture("d4_bad.rs");
+    let expected = vec![
+        (Rule::SnapNondet, 1), // use ... HashMap
+        (Rule::SnapNondet, 2), // use ... SystemTime
+        (Rule::SnapNondet, 4), // arg: &HashMap<..>
+        (Rule::SnapNondet, 5), // stored SystemTime (even without ::now())
+    ];
+    assert_eq!(hits("crates/snap/src/fixture.rs", &src), expected);
+    assert_eq!(hits("crates/core/src/snapshot.rs", &src), expected);
+}
+
+#[test]
+fn d4_quiet_on_sorted_collections() {
+    let src = fixture("d4_clean.rs");
+    assert!(hits("crates/snap/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
+fn d4_quiet_off_snapshot_paths() {
+    // The same source outside the snapshot paths: cni-batch is neither a
+    // sim crate (no D1) nor reading a clock (no D2), so nothing fires.
+    let src = fixture("d4_bad.rs");
+    assert!(hits("crates/batch/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
+fn d4_outranks_d1_on_snapshot_paths() {
+    // `crates/core` is a sim crate, but inside its snapshot module the
+    // hashed-collection finding must carry the stricter D4 rule, not D1.
+    let src = fixture("d1_bad.rs");
+    let found = analyze_source("crates/core/src/snapshot.rs", &src);
+    assert!(!found.findings.is_empty());
+    assert!(found.findings.iter().all(|f| f.rule == Rule::SnapNondet));
+}
+
+#[test]
+fn d4_suppression_waives_and_is_reported_used() {
+    let src = fixture("d4_suppressed.rs");
+    let analysis = analyze_source("crates/snap/src/fixture.rs", &src);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    assert_eq!(analysis.suppressions.len(), 2);
+    for s in &analysis.suppressions {
+        assert!(s.used, "suppression at line {} unused", s.line);
+    }
+}
+
+#[test]
 fn p1_fires_inside_protocol_receive_fns_only() {
     let src = fixture("p1_bad.rs");
     // `push` is an AAL5 receive-path function; the helper below it is

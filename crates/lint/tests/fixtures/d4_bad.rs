@@ -1,0 +1,8 @@
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+pub fn encode(map: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    let written_at: Option<SystemTime> = None;
+    let _ = written_at;
+    map.iter().map(|(k, v)| (*k, *v)).collect()
+}

@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub fn encode(map: &BTreeMap<u64, u64>) -> Vec<(u64, u64)> {
+    map.iter().map(|(k, v)| (*k, *v)).collect()
+}

@@ -1,0 +1,7 @@
+// cni-lint: allow(snap-nondet) -- keyed lookups only; encode walks the sorted key list
+use std::collections::HashMap;
+
+pub struct Index {
+    // cni-lint: allow(snap-nondet) -- never iterated during encode
+    pub slots: HashMap<u64, u64>,
+}

@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Statistics of one Message Cache.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MsgCacheStats {
     /// Transmit-path lookups.
     pub tx_lookups: u64,
@@ -252,6 +252,76 @@ impl MessageCache {
     pub fn resident(&self) -> usize {
         self.map.len()
     }
+
+    /// Capture the cache's complete mutable state for a checkpoint. The
+    /// page→slot map is *not* captured: it is a pure index over the slot
+    /// array (whose order, with both CLOCK hands, is the real state) and is
+    /// rebuilt verbatim on restore — so no `HashMap` iteration order can
+    /// ever leak into snapshot bytes.
+    pub fn snapshot_state(&self) -> MsgCacheState {
+        MsgCacheState {
+            slots: self.slots.iter().map(|s| (s.page, s.referenced)).collect(),
+            hand: self.hand,
+            rtlb_entries: self.rtlb.entries.clone(),
+            rtlb_hand: self.rtlb.hand,
+            stats: self.stats,
+        }
+    }
+
+    /// Restore state captured with [`MessageCache::snapshot_state`] into a
+    /// cache freshly built with the same capacities. Returns `Err` (never
+    /// panics) when the snapshot's shape does not fit this cache.
+    pub fn restore_state(&mut self, s: &MsgCacheState) -> Result<(), String> {
+        if s.slots.len() != self.slots.len() {
+            return Err(format!(
+                "message-cache snapshot has {} slots, cache has {}",
+                s.slots.len(),
+                self.slots.len()
+            ));
+        }
+        if s.hand >= self.slots.len() {
+            return Err(format!("CLOCK hand {} out of range", s.hand));
+        }
+        if s.rtlb_entries.len() > self.rtlb.capacity || s.rtlb_hand >= self.rtlb.capacity {
+            return Err(format!(
+                "RTLB snapshot ({} entries, hand {}) exceeds capacity {}",
+                s.rtlb_entries.len(),
+                s.rtlb_hand,
+                self.rtlb.capacity
+            ));
+        }
+        self.map.clear();
+        for (i, &(page, referenced)) in s.slots.iter().enumerate() {
+            self.slots[i] = Slot { page, referenced };
+            if let Some(p) = page {
+                if self.map.insert(p, i).is_some() {
+                    return Err(format!("page {p} bound to two slots in snapshot"));
+                }
+            }
+        }
+        self.hand = s.hand;
+        self.rtlb.entries = s.rtlb_entries.clone();
+        self.rtlb.hand = s.rtlb_hand;
+        self.stats = s.stats;
+        Ok(())
+    }
+}
+
+/// Serializable mid-run state of a [`MessageCache`]: the slot array in
+/// CLOCK order (with reference bits), both CLOCK hands, the RTLB contents
+/// and the counters.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MsgCacheState {
+    /// `(resident page, referenced bit)` per slot, in slot order.
+    pub slots: Vec<(Option<u64>, bool)>,
+    /// The CLOCK eviction hand.
+    pub hand: usize,
+    /// RTLB-resident page translations, in insertion order.
+    pub rtlb_entries: Vec<u64>,
+    /// The RTLB replacement hand.
+    pub rtlb_hand: usize,
+    /// Counter snapshot.
+    pub stats: MsgCacheStats,
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Counters one NIC accumulates over a run.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NicStats {
     /// Messages transmitted.
     pub tx_messages: u64,
