@@ -76,7 +76,13 @@ fn usage() -> ! {
            --page-bytes N      shared page size (default 2048)\n\
            --msg-cache-bytes N Message Cache capacity (default 32768)\n\
            --jumbo             unrestricted ATM cell size\n\
+           --topology LxDxU    2-level fat-tree: L leaf switches, D host\n\
+                               ports and U uplinks each (e.g. 4x16x16 =\n\
+                               64 hosts); `single` = one 32-port banyan\n\
+                               (the default). See TOPOLOGY.md.\n\
            --tree-barrier      combining-tree barrier (extension)\n\
+           --collectives       NIC-resident barrier/release combining\n\
+                               (implies --tree-barrier; CNI only)\n\
            --seed N            timing-jitter seed (workloads are fixed)\n\
            --loss-prob P       per-cell drop probability in [0,1) (default 0)\n\
            --corrupt-prob P    per-cell bit-corruption probability (default 0)\n\
@@ -107,7 +113,7 @@ fn parse_args() -> HashMap<String, String> {
             usage();
         };
         match key {
-            "compare" | "jumbo" | "json" | "help" | "obs" | "tree-barrier" => {
+            "compare" | "jumbo" | "json" | "help" | "obs" | "tree-barrier" | "collectives" => {
                 out.insert(key.to_string(), "true".to_string());
             }
             _ => {
@@ -163,6 +169,8 @@ fn print_report(label: &str, cfg: &Config, r: &RunReport, json: bool) {
                     "delay": RunReport::gcycles(r.mean_breakdown().delay, cfg.nic.host_clock),
                 }),
                 "latency": serde_json::Value::Array(latency),
+                "coll_combines": r.nic.iter().map(|n| n.coll_combines).sum::<u64>(),
+                "coll_forwards": r.nic.iter().map(|n| n.coll_forwards).sum::<u64>(),
                 "faults": serde_json::to_value(r.faults).unwrap_or(serde_json::Value::Null),
                 "stages": r.stages.as_ref()
                     .and_then(|s| serde_json::to_value(s).ok())
@@ -181,6 +189,12 @@ fn print_report(label: &str, cfg: &Config, r: &RunReport, json: bool) {
     println!("net cache hit ratio : {:.1}%", r.hit_ratio() * 100.0);
     println!("host interrupts     : {}", r.interrupts());
     println!("host->board DMA     : {} bytes", r.dma_bytes_to_board());
+    let (combines, forwards) = r.nic.iter().fold((0u64, 0u64), |(c, f), n| {
+        (c + n.coll_combines, f + n.coll_forwards)
+    });
+    if combines + forwards > 0 {
+        println!("NIC collectives     : {combines} combines, {forwards} forwards");
+    }
     for l in &r.latency {
         println!(
             "latency {:<14}: n={:<7} mean {:.2} us, p50 {:.2} us, p99 {:.2} us",
@@ -503,12 +517,29 @@ fn main() -> ExitCode {
         return run_sweep(&args, &spec_path.clone());
     }
     let json = args.contains_key("json");
-    let procs: usize = get(&args, "procs", 8);
-    if !(1..=32).contains(&procs) {
-        eprintln!("--procs must be between 1 and 32 (the switch has 32 ports)");
+    let topology: cni_atm::Topology = match args.get("topology") {
+        None => cni_atm::Topology::Single,
+        Some(s) => match s.parse() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let mut base = Config::paper_default();
+    if let Err(e) = topology.validate(base.atm.ports) {
+        eprintln!("--topology: {e}");
         return ExitCode::from(2);
     }
-    let mut base = Config::paper_default()
+    base.atm.topology = topology;
+    let hosts = base.atm.hosts();
+    let procs: usize = get(&args, "procs", 8);
+    if !(1..=hosts).contains(&procs) {
+        eprintln!("--procs must be between 1 and {hosts} (the fabric serves {hosts} hosts)");
+        return ExitCode::from(2);
+    }
+    let mut base = base
         .with_procs(procs)
         .with_page_bytes(get(&args, "page-bytes", 2048))
         .with_msg_cache_bytes(get(&args, "msg-cache-bytes", 32 * 1024));
@@ -518,6 +549,9 @@ fn main() -> ExitCode {
     }
     if args.contains_key("tree-barrier") {
         base = base.with_tree_barrier();
+    }
+    if args.contains_key("collectives") {
+        base = base.with_collectives();
     }
     let mut plan = FaultPlan::none();
     plan.drop_prob = get(&args, "loss-prob", 0.0);

@@ -38,7 +38,9 @@ const KNOWN_KEYS: &[&str] = &[
     "page_bytes",
     "msg_cache_bytes",
     "jumbo",
+    "topology",
     "tree_barrier",
+    "collectives",
     "seed",
     "loss_prob",
     "corrupt_prob",
@@ -133,10 +135,19 @@ fn parse_entry(index: usize, v: &Value) -> Result<RunSpec<App>, String> {
         other => return Err(format!("unknown app {other:?} (jacobi|water|cholesky)")),
     };
 
+    let mut cfg = Config::paper_default();
+    let topology: cni_atm::Topology = match get_str(obj, "topology", "single")? {
+        "single" => cni_atm::Topology::Single,
+        s => s.parse()?,
+    };
+    topology.validate(cfg.atm.ports)?;
+    cfg.atm.topology = topology;
+    let hosts = cfg.atm.hosts();
+
     let procs = get_u64(obj, "procs", 8)? as usize;
-    if !(1..=32).contains(&procs) {
+    if !(1..=hosts).contains(&procs) {
         return Err(format!(
-            "procs must be between 1 and 32 (the switch has 32 ports), got {procs}"
+            "procs must be between 1 and {hosts} (the fabric serves {hosts} hosts), got {procs}"
         ));
     }
     let nic = get_str(obj, "nic", "cni")?;
@@ -144,7 +155,7 @@ fn parse_entry(index: usize, v: &Value) -> Result<RunSpec<App>, String> {
         return Err(format!("unknown nic {nic:?} (cni|standard)"));
     }
 
-    let mut cfg = Config::paper_default()
+    let mut cfg = cfg
         .with_procs(procs)
         .with_page_bytes(get_u64(obj, "page_bytes", 2048)? as usize)
         .with_msg_cache_bytes(get_u64(obj, "msg_cache_bytes", 32 * 1024)? as usize);
@@ -154,6 +165,9 @@ fn parse_entry(index: usize, v: &Value) -> Result<RunSpec<App>, String> {
     }
     if get_bool(obj, "tree_barrier")? {
         cfg = cfg.with_tree_barrier();
+    }
+    if get_bool(obj, "collectives")? {
+        cfg = cfg.with_collectives();
     }
 
     let mut plan = FaultPlan::none();
@@ -231,6 +245,27 @@ mod tests {
     }
 
     #[test]
+    fn topology_and_collectives_keys_parse() {
+        let specs = parse_sweep(
+            r#"[{"app": "jacobi", "topology": "4x16x16", "procs": 64,
+                 "collectives": true}]"#,
+        )
+        .unwrap();
+        let cfg = &specs[0].config;
+        assert_eq!(
+            cfg.atm.topology,
+            cni_atm::Topology::FatTree {
+                leaves: 4,
+                down: 16,
+                up: 16,
+            }
+        );
+        assert_eq!(cfg.procs, 64);
+        assert!(cfg.collectives);
+        assert!(cfg.tree_barrier, "collectives imply the tree barrier");
+    }
+
+    #[test]
     fn strict_errors_name_the_run() {
         for (spec, needle) in [
             (r#"{"app": "jacobi"}"#, "array"),
@@ -239,6 +274,18 @@ mod tests {
             (r#"[{"n": 64}]"#, "missing required string `app`"),
             (r#"[{"app": "doom"}]"#, "unknown app"),
             (r#"[{"app": "jacobi", "procs": 64}]"#, "between 1 and 32"),
+            (
+                r#"[{"app": "jacobi", "topology": "3x16x16"}]"#,
+                "power-of-two leaf count",
+            ),
+            (
+                r#"[{"app": "jacobi", "topology": "mesh"}]"#,
+                "`single` or `LxDxU`",
+            ),
+            (
+                r#"[{"app": "jacobi", "topology": "4x16x16", "procs": 65}]"#,
+                "between 1 and 64",
+            ),
             (r#"[{"app": "jacobi", "nic": "fast"}]"#, "unknown nic"),
             (r#"[{"app": "jacobi", "loss_prob": 1.5}]"#, "[0, 1)"),
             (r#"[{"app": "jacobi", "n": "big"}]"#, "non-negative integer"),

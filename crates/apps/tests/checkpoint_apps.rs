@@ -67,6 +67,20 @@ fn jacobi8_lossless_identity() {
 }
 
 #[test]
+fn jacobi64_fat_tree_identity() {
+    // The multi-switch fabric state (leaf/spine switches, trunk links)
+    // and NIC-resident collective counters must checkpoint and resume
+    // bit-identically too.
+    let dir = tmp_dir("fat-tree");
+    let cfg = Config::paper_default()
+        .with_fat_tree(4, 16, 16)
+        .with_procs(64)
+        .with_collectives();
+    identity_for(cfg, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn jacobi8_five_percent_loss_identity() {
     let mut plan = FaultPlan::none();
     plan.drop_prob = 0.05;

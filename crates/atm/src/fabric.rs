@@ -12,6 +12,7 @@
 use crate::aal5::Segmenter;
 use crate::link::Link;
 use crate::switch::BanyanSwitch;
+use crate::topology::Topology;
 use cni_faults::{CellFate, FaultInjector};
 use cni_sim::SimTime;
 use serde::{Deserialize, Serialize};
@@ -19,17 +20,24 @@ use serde::{Deserialize, Serialize};
 /// Interconnect parameters (the network rows of the paper's Table 1).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct AtmConfig {
-    /// Switch port count; must be a power of two. The paper models a
-    /// 32-port banyan switch.
+    /// Switch port count when [`AtmConfig::topology`] is
+    /// [`Topology::Single`]; must be a power of two. The paper models a
+    /// 32-port banyan switch. Ignored for fat-trees, whose host count
+    /// comes from their own shape.
     pub ports: usize,
-    /// Link rate in Mb/s (622 = STS-12).
+    /// Link rate in Mb/s (622 = STS-12); access and inter-switch trunk
+    /// links run at the same rate.
     pub link_mbps: u64,
-    /// End-to-end fall-through latency of the switch (500 ns).
+    /// End-to-end fall-through latency of each switch (500 ns).
     pub switch_latency: SimTime,
-    /// Propagation delay of each access link ("network latency", 150 ns).
+    /// Propagation delay of each access and trunk link ("network
+    /// latency", 150 ns).
     pub prop_delay: SimTime,
     /// Cell payload bytes; `None` = unrestricted cell size (Table 5 mode).
     pub cell_payload: Option<usize>,
+    /// Arrangement of switches between the hosts (single switch or
+    /// 2-level fat-tree); see [`crate::topology`].
+    pub topology: Topology,
 }
 
 impl Default for AtmConfig {
@@ -40,6 +48,7 @@ impl Default for AtmConfig {
             switch_latency: SimTime::from_ns(500),
             prop_delay: SimTime::from_ns(150),
             cell_payload: Some(crate::cell::ATM_PAYLOAD_BYTES),
+            topology: Topology::Single,
         }
     }
 }
@@ -51,6 +60,12 @@ impl AtmConfig {
             Some(p) => Segmenter::with_cell_payload(p),
             None => Segmenter::unrestricted(),
         }
+    }
+
+    /// Number of hosts this fabric serves: the switch port count for a
+    /// single switch, `leaves * down` for a fat-tree.
+    pub fn hosts(&self) -> usize {
+        self.topology.hosts(self.ports)
     }
 }
 
@@ -92,29 +107,154 @@ impl FaultyPduTiming {
     }
 }
 
-/// The interconnect: one ingress and one egress link per port plus the
-/// banyan switch between them.
+/// The switching core between the access links: the paper's lone banyan,
+/// or a fat-tree of leaf/spine banyans joined by trunk links.
+pub(crate) enum Interconnect {
+    /// Every host port on one banyan switch.
+    Single(BanyanSwitch),
+    /// 2-level folded Clos (see [`crate::topology`]). Trunk links are
+    /// indexed `[leaf * up + spine]` in both directions.
+    FatTree {
+        down: usize,
+        up: usize,
+        leaves: Vec<BanyanSwitch>,
+        spines: Vec<BanyanSwitch>,
+        up_links: Vec<Link>,
+        down_links: Vec<Link>,
+    },
+}
+
+impl Interconnect {
+    fn new(cfg: &AtmConfig) -> Self {
+        match cfg.topology {
+            Topology::Single => {
+                Interconnect::Single(BanyanSwitch::new(cfg.ports, cfg.switch_latency))
+            }
+            Topology::FatTree { leaves, down, up } => Interconnect::FatTree {
+                down,
+                up,
+                leaves: (0..leaves)
+                    .map(|_| BanyanSwitch::new(down + up, cfg.switch_latency))
+                    .collect(),
+                spines: (0..up)
+                    .map(|_| BanyanSwitch::new(leaves, cfg.switch_latency))
+                    .collect(),
+                up_links: (0..leaves * up)
+                    .map(|_| Link::new(cfg.link_mbps, cfg.prop_delay))
+                    .collect(),
+                down_links: (0..leaves * up)
+                    .map(|_| Link::new(cfg.link_mbps, cfg.prop_delay))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Walk one cell's head through the switching core. The head enters
+    /// at `head_at_switch`; each traversed switch stage and trunk link
+    /// stays occupied for `occupancy`/its serialisation time behind it.
+    /// Returns the time the head exits the last switch. The single-switch
+    /// arm is exactly the pre-topology recurrence, so existing timing is
+    /// bit-identical.
+    fn forward_head(
+        &mut self,
+        head_at_switch: SimTime,
+        src: usize,
+        dst: usize,
+        occupancy: SimTime,
+        per_cell_bytes: usize,
+    ) -> SimTime {
+        match self {
+            Interconnect::Single(sw) => sw.forward(head_at_switch, src, dst, occupancy),
+            Interconnect::FatTree {
+                down,
+                up,
+                leaves,
+                spines,
+                up_links,
+                down_links,
+            } => {
+                let (down, up) = (*down, *up);
+                let src_leaf = src / down;
+                let dst_leaf = dst / down;
+                if src_leaf == dst_leaf {
+                    // Same-leaf traffic never leaves the leaf banyan.
+                    return leaves[src_leaf].forward(
+                        head_at_switch,
+                        src % down,
+                        dst % down,
+                        occupancy,
+                    );
+                }
+                // D-mod-k: the spine is a pure function of the destination,
+                // so the route is unique and deterministic.
+                let spine = dst % up;
+                let t_leaf =
+                    leaves[src_leaf].forward(head_at_switch, src % down, down + spine, occupancy);
+                let ul = &mut up_links[src_leaf * up + spine];
+                let head_up = t_leaf.max(ul.next_free()) + ul.prop_delay();
+                ul.transmit(t_leaf, per_cell_bytes);
+                let t_spine = spines[spine].forward(head_up, src_leaf, dst_leaf, occupancy);
+                let dl = &mut down_links[dst_leaf * up + spine];
+                let head_down = t_spine.max(dl.next_free()) + dl.prop_delay();
+                dl.transmit(t_spine, per_cell_bytes);
+                leaves[dst_leaf].forward(head_down, down + spine, dst % down, occupancy)
+            }
+        }
+    }
+
+    fn cells_forwarded(&self) -> u64 {
+        match self {
+            Interconnect::Single(sw) => sw.cells_forwarded(),
+            Interconnect::FatTree { leaves, spines, .. } => leaves
+                .iter()
+                .chain(spines.iter())
+                .map(BanyanSwitch::cells_forwarded)
+                .sum(),
+        }
+    }
+
+    fn contention_waits(&self) -> u64 {
+        match self {
+            Interconnect::Single(sw) => sw.contention_waits(),
+            Interconnect::FatTree { leaves, spines, .. } => leaves
+                .iter()
+                .chain(spines.iter())
+                .map(BanyanSwitch::contention_waits)
+                .sum(),
+        }
+    }
+}
+
+/// The interconnect: one ingress and one egress access link per host plus
+/// the switching core — a single banyan switch or a fat-tree of them,
+/// per [`Topology`] — between them.
 pub struct Fabric {
     cfg: AtmConfig,
     segmenter: Segmenter,
     ingress: Vec<Link>,
     egress: Vec<Link>,
-    switch: BanyanSwitch,
+    interconnect: Interconnect,
     pdus_sent: u64,
 }
 
 impl Fabric {
-    /// Build a fabric from configuration.
+    /// Build a fabric from configuration. Panics when the topology shape
+    /// violates the banyan building block's constraints (construction
+    /// time only; see [`Topology::validate`]).
     pub fn new(cfg: AtmConfig) -> Self {
+        if let Err(e) = cfg.topology.validate(cfg.ports) {
+            panic!("invalid fabric topology: {e}");
+        }
+        let hosts = cfg.hosts();
         Fabric {
             segmenter: cfg.segmenter(),
-            ingress: (0..cfg.ports)
+            ingress: (0..hosts)
                 .map(|_| Link::new(cfg.link_mbps, cfg.prop_delay))
                 .collect(),
-            egress: (0..cfg.ports)
+            egress: (0..hosts)
                 .map(|_| Link::new(cfg.link_mbps, cfg.prop_delay))
                 .collect(),
-            switch: BanyanSwitch::new(cfg.ports, cfg.switch_latency),
+            interconnect: Interconnect::new(&cfg),
             pdus_sent: 0,
             cfg,
         }
@@ -142,8 +282,8 @@ impl Fabric {
         cell_gap: SimTime,
     ) -> PduTiming {
         assert!(
-            src < self.cfg.ports && dst < self.cfg.ports,
-            "port out of range"
+            src < self.cfg.hosts() && dst < self.cfg.hosts(),
+            "host out of range"
         );
         assert_ne!(src, dst, "PDU to self does not traverse the fabric");
         let cells = self.segmenter.cell_count(pdu_len);
@@ -171,7 +311,9 @@ impl Fabric {
             let head_start = ready.max(self.ingress[src].next_free());
             self.ingress[src].transmit(ready, per_cell_bytes);
             let head_at_switch = head_start + prop;
-            let head_exit = self.switch.forward(head_at_switch, src, dst, occupancy);
+            let head_exit =
+                self.interconnect
+                    .forward_head(head_at_switch, src, dst, occupancy, per_cell_bytes);
             let head_egress = head_exit.max(self.egress[dst].next_free());
             self.egress[dst].transmit(head_egress, per_cell_bytes);
             let arrival = head_egress + ser + prop;
@@ -205,8 +347,8 @@ impl Fabric {
         inj: &mut FaultInjector,
     ) -> FaultyPduTiming {
         assert!(
-            src < self.cfg.ports && dst < self.cfg.ports,
-            "port out of range"
+            src < self.cfg.hosts() && dst < self.cfg.hosts(),
+            "host out of range"
         );
         assert_ne!(src, dst, "PDU to self does not traverse the fabric");
         let cells = self.segmenter.cell_count(pdu_len);
@@ -230,7 +372,9 @@ impl Fabric {
                 continue;
             }
             let head_at_switch = head_start + prop;
-            let head_exit = self.switch.forward(head_at_switch, src, dst, occupancy);
+            let head_exit =
+                self.interconnect
+                    .forward_head(head_at_switch, src, dst, occupancy, per_cell_bytes);
             let head_egress = head_exit.max(self.egress[dst].next_free());
             self.egress[dst].transmit(head_egress, per_cell_bytes);
             let arrival = head_egress + ser + prop + SimTime::from_ps(inj.jitter_ps());
@@ -263,14 +407,17 @@ impl Fabric {
         )
     }
 
-    /// Total cells the switch has forwarded.
+    /// Total cell-forwarding operations across all switches. On a
+    /// fat-tree a cross-leaf cell is counted once per switch it falls
+    /// through (leaf, spine, leaf), so this measures switching work, not
+    /// delivered cells.
     pub fn cells_forwarded(&self) -> u64 {
-        self.switch.cells_forwarded()
+        self.interconnect.cells_forwarded()
     }
 
-    /// Stage-link contention events observed in the switch.
+    /// Stage-link contention events observed across all switches.
     pub fn contention_waits(&self) -> u64 {
-        self.switch.contention_waits()
+        self.interconnect.contention_waits()
     }
 
     /// The per-port ingress links (checkpoint surface).
@@ -293,14 +440,14 @@ impl Fabric {
         &mut self.egress
     }
 
-    /// The banyan switch (checkpoint surface).
-    pub fn switch(&self) -> &BanyanSwitch {
-        &self.switch
+    /// The switching core (checkpoint surface).
+    pub(crate) fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
     }
 
-    /// Mutable banyan switch (checkpoint restore).
-    pub fn switch_mut(&mut self) -> &mut BanyanSwitch {
-        &mut self.switch
+    /// Mutable switching core (checkpoint restore).
+    pub(crate) fn interconnect_mut(&mut self) -> &mut Interconnect {
+        &mut self.interconnect
     }
 
     /// Overwrite the PDU counter (checkpoint restore).
@@ -478,6 +625,115 @@ mod tests {
         let alive = f.send_pdu_faulty(SimTime::ZERO, 2, 1, 1024, SimTime::ZERO, &mut inj);
         assert!(alive.eop_delivered());
         assert_eq!(inj.stats().brownout_cells, dead.cells as u64);
+    }
+
+    fn ft_fabric() -> Fabric {
+        Fabric::new(AtmConfig {
+            topology: Topology::FatTree {
+                leaves: 4,
+                down: 16,
+                up: 16,
+            },
+            ..AtmConfig::default()
+        })
+    }
+
+    #[test]
+    fn fat_tree_serves_leaves_times_down_hosts() {
+        let f = ft_fabric();
+        assert_eq!(f.config().hosts(), 64);
+        let t = f.config().topology;
+        assert_eq!(t.oversubscription(), 1.0);
+        assert_eq!(t.leaf_of(17), 1);
+    }
+
+    #[test]
+    fn fat_tree_same_leaf_matches_single_switch_timing() {
+        // A 32-port leaf banyan (down=16 + up=16) has the same stage
+        // structure as the paper's 32-port switch, so same-leaf traffic
+        // must time out identically to the single-switch fabric.
+        let mut single = fabric();
+        let mut ft = ft_fabric();
+        for i in 0..8u64 {
+            let a = single.send_pdu(
+                SimTime::from_ns(i * 300),
+                (i % 4) as usize,
+                8 + (i % 4) as usize,
+                2048,
+                SimTime::from_ns(300),
+            );
+            let b = ft.send_pdu(
+                SimTime::from_ns(i * 300),
+                (i % 4) as usize,
+                8 + (i % 4) as usize,
+                2048,
+                SimTime::from_ns(300),
+            );
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn fat_tree_cross_leaf_adds_two_switches_and_two_trunks() {
+        let mut ft = ft_fabric();
+        // Single cell, idle fabric: cross-leaf latency exceeds same-leaf
+        // by exactly two extra switch fall-throughs + two trunk
+        // propagation delays (cut-through hides trunk serialisation).
+        let local = ft.send_pdu(SimTime::ZERO, 0, 1, 40, SimTime::ZERO);
+        let mut ft2 = ft_fabric();
+        let remote = ft2.send_pdu(SimTime::ZERO, 0, 33, 40, SimTime::ZERO);
+        let extra = SimTime::from_ps(2 * (SimTime::from_ns(500) + SimTime::from_ns(150)).as_ps());
+        assert_eq!(remote.last_cell_arrival, local.last_cell_arrival + extra);
+    }
+
+    #[test]
+    fn fat_tree_shared_uplink_contends() {
+        let mut ft = ft_fabric();
+        // dst 16 and dst 32 both hash to spine 0; both flows leave leaf 0,
+        // so they serialise on the same uplink.
+        let solo = {
+            let mut g = ft_fabric();
+            g.send_pdu(SimTime::ZERO, 0, 16, 4096, SimTime::ZERO)
+        };
+        ft.send_pdu(SimTime::ZERO, 1, 32, 4096, SimTime::ZERO);
+        let contended = ft.send_pdu(SimTime::ZERO, 0, 16, 4096, SimTime::ZERO);
+        assert!(
+            contended.last_cell_arrival > solo.last_cell_arrival,
+            "shared uplink must delay: {solo:?} vs {contended:?}"
+        );
+    }
+
+    #[test]
+    fn fat_tree_deterministic_across_runs() {
+        let run = || {
+            let mut f = ft_fabric();
+            let mut acc = Vec::new();
+            for i in 0..40 {
+                let t = f.send_pdu(
+                    SimTime::from_ns(i * 100),
+                    (i as usize) % 64,
+                    (i as usize + 23) % 64,
+                    1024,
+                    SimTime::from_ns(200),
+                );
+                acc.push((t.first_cell_arrival, t.last_cell_arrival));
+            }
+            acc
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fabric topology")]
+    fn bad_fat_tree_shape_rejected() {
+        let _ = Fabric::new(AtmConfig {
+            topology: Topology::FatTree {
+                leaves: 3,
+                down: 16,
+                up: 16,
+            },
+            ..AtmConfig::default()
+        });
     }
 
     #[test]

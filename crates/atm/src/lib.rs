@@ -3,7 +3,11 @@
 //! The paper connects its workstation cluster with an STS-12 (622 Mb/s) ATM
 //! fabric built around a 32-port banyan switch, and identifies the 53-byte
 //! ATM cell as the main limit on its latency gains (Table 5). This crate
-//! models that substrate:
+//! models that substrate — and scales it past the paper's single switch:
+//! the same banyan building block can be arranged into a 2-level fat-tree
+//! of leaf and spine switches ([`topology`]), serving hundreds to a
+//! thousand hosts with deterministic D-mod-k routing (see `TOPOLOGY.md`
+//! at the repository root for the full fabric model). The components:
 //!
 //! * [`cell`] — ATM cells: 5-byte header (VCI, payload type, CLP) plus a
 //!   48-byte payload, with an optional "jumbo" mode used for the paper's
@@ -16,9 +20,12 @@
 //!   delay) with next-free-time contention.
 //! * [`switch`] — a multistage banyan fabric of 2×2 crossbars with
 //!   per-stage internal-link contention and cut-through forwarding.
+//! * [`topology`] — fabric topologies: the paper's single switch, or a
+//!   2-level fat-tree of banyans with unique deterministic routes.
 //! * [`fabric`] — the whole network seen by a NIC: segments a PDU into
-//!   cells and pipelines them through source link → banyan stages → sink
-//!   link, returning cell-accurate first/last arrival times.
+//!   cells and pipelines them through source link → switch(es) → sink
+//!   link per the configured topology, returning cell-accurate
+//!   first/last arrival times.
 
 #![deny(missing_docs)]
 
@@ -31,6 +38,7 @@ pub mod link;
 pub mod pipe;
 pub mod state;
 pub mod switch;
+pub mod topology;
 
 pub use aal5::{Reassembler, ReassemblyError, Segmenter};
 pub use buf::{BufPool, PduBuf};
@@ -40,3 +48,4 @@ pub use link::Link;
 pub use pipe::{CellPipe, FaultModel, PipeOutcome};
 pub use state::{FabricState, LinkState, SwitchState};
 pub use switch::BanyanSwitch;
+pub use topology::{Route, Topology};

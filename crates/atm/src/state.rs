@@ -3,12 +3,14 @@
 //! These structs are the checkpoint surface of `cni-atm`: each mirrors
 //! exactly the fields a [`crate::Fabric`] mutates at run time (next-free
 //! registers, byte/occupancy accumulators, forwarding counters). Everything
-//! derivable from [`crate::AtmConfig`] — rates, latencies, the segmenter —
-//! is deliberately absent: it is rebuilt from the configuration on restore,
-//! which keeps the snapshot schema small and the restore path unable to
-//! smuggle in an inconsistent topology.
+//! derivable from [`crate::AtmConfig`] — rates, latencies, the segmenter,
+//! the topology shape — is deliberately absent: it is rebuilt from the
+//! configuration on restore, which keeps the snapshot schema small and the
+//! restore path unable to smuggle in an inconsistent topology.
 
+use crate::fabric::Interconnect;
 use crate::link::Link;
+use crate::switch::BanyanSwitch;
 use crate::Fabric;
 use cni_sim::SimTime;
 use serde::{Deserialize, Serialize};
@@ -36,16 +38,29 @@ pub struct SwitchState {
 }
 
 /// Mutable state of a whole [`Fabric`].
+///
+/// The single-switch topology populates `switch` and leaves the fat-tree
+/// vectors empty; a fat-tree does the reverse. Restore validates the
+/// shape against the fabric's configured topology either way.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct FabricState {
-    /// Per-port ingress link state.
+    /// Per-host ingress access-link state.
     pub ingress: Vec<LinkState>,
-    /// Per-port egress link state.
+    /// Per-host egress access-link state.
     pub egress: Vec<LinkState>,
-    /// Switch state.
+    /// Switch state ([`crate::topology::Topology::Single`] only).
     pub switch: SwitchState,
     /// Total PDUs sent through the fabric.
     pub pdus_sent: u64,
+    /// Per-leaf switch state (fat-tree only).
+    pub leaf_switches: Vec<SwitchState>,
+    /// Per-spine switch state (fat-tree only).
+    pub spine_switches: Vec<SwitchState>,
+    /// Leaf→spine trunk-link state, indexed `[leaf * up + spine]`
+    /// (fat-tree only).
+    pub up_links: Vec<LinkState>,
+    /// Spine→leaf trunk-link state, same indexing (fat-tree only).
+    pub down_links: Vec<LinkState>,
 }
 
 impl Link {
@@ -59,15 +74,67 @@ impl Link {
     }
 }
 
+fn restore_links(links: &mut [Link], states: &[LinkState], what: &str) -> Result<(), String> {
+    if links.len() != states.len() {
+        return Err(format!(
+            "fabric snapshot has {} {what} links, fabric has {}",
+            states.len(),
+            links.len()
+        ));
+    }
+    for (link, ls) in links.iter_mut().zip(states) {
+        link.restore_state(ls);
+    }
+    Ok(())
+}
+
+fn restore_switches(
+    switches: &mut [BanyanSwitch],
+    states: &[SwitchState],
+    what: &str,
+) -> Result<(), String> {
+    if switches.len() != states.len() {
+        return Err(format!(
+            "fabric snapshot has {} {what} switches, fabric has {}",
+            states.len(),
+            switches.len()
+        ));
+    }
+    for (sw, ss) in switches.iter_mut().zip(states) {
+        sw.restore_state(ss)?;
+    }
+    Ok(())
+}
+
 impl Fabric {
     /// Capture the fabric's complete mutable state for a checkpoint.
     pub fn snapshot_state(&self) -> FabricState {
-        FabricState {
+        let mut state = FabricState {
             ingress: self.ingress().iter().map(Link::snapshot_state).collect(),
             egress: self.egress().iter().map(Link::snapshot_state).collect(),
-            switch: self.switch().snapshot_state(),
+            switch: SwitchState::default(),
             pdus_sent: self.pdus_sent(),
+            leaf_switches: Vec::new(),
+            spine_switches: Vec::new(),
+            up_links: Vec::new(),
+            down_links: Vec::new(),
+        };
+        match self.interconnect() {
+            Interconnect::Single(sw) => state.switch = sw.snapshot_state(),
+            Interconnect::FatTree {
+                leaves,
+                spines,
+                up_links,
+                down_links,
+                ..
+            } => {
+                state.leaf_switches = leaves.iter().map(BanyanSwitch::snapshot_state).collect();
+                state.spine_switches = spines.iter().map(BanyanSwitch::snapshot_state).collect();
+                state.up_links = up_links.iter().map(Link::snapshot_state).collect();
+                state.down_links = down_links.iter().map(Link::snapshot_state).collect();
+            }
         }
+        state
     }
 
     /// Restore state captured with [`Fabric::snapshot_state`] into a fabric
@@ -75,21 +142,43 @@ impl Fabric {
     /// panics) when the snapshot's shape does not match this fabric's
     /// topology.
     pub fn restore_state(&mut self, s: &FabricState) -> Result<(), String> {
-        let ports = self.config().ports;
-        if s.ingress.len() != ports || s.egress.len() != ports {
+        let hosts = self.config().hosts();
+        if s.ingress.len() != hosts || s.egress.len() != hosts {
             return Err(format!(
-                "fabric snapshot has {}/{} links for a {ports}-port fabric",
+                "fabric snapshot has {}/{} access links for a {hosts}-host fabric",
                 s.ingress.len(),
                 s.egress.len()
             ));
         }
-        for (link, ls) in self.ingress_mut().iter_mut().zip(&s.ingress) {
-            link.restore_state(ls);
+        restore_links(self.ingress_mut(), &s.ingress, "ingress")?;
+        restore_links(self.egress_mut(), &s.egress, "egress")?;
+        match self.interconnect_mut() {
+            Interconnect::Single(sw) => {
+                if !s.leaf_switches.is_empty() || !s.spine_switches.is_empty() {
+                    return Err(
+                        "fabric snapshot is for a fat-tree, fabric is single-switch".to_string()
+                    );
+                }
+                sw.restore_state(&s.switch)?;
+            }
+            Interconnect::FatTree {
+                leaves,
+                spines,
+                up_links,
+                down_links,
+                ..
+            } => {
+                if s.switch != SwitchState::default() {
+                    return Err(
+                        "fabric snapshot is for a single switch, fabric is a fat-tree".to_string(),
+                    );
+                }
+                restore_switches(leaves, &s.leaf_switches, "leaf")?;
+                restore_switches(spines, &s.spine_switches, "spine")?;
+                restore_links(up_links, &s.up_links, "uplink trunk")?;
+                restore_links(down_links, &s.down_links, "downlink trunk")?;
+            }
         }
-        for (link, ls) in self.egress_mut().iter_mut().zip(&s.egress) {
-            link.restore_state(ls);
-        }
-        self.switch_mut().restore_state(&s.switch)?;
         self.set_pdus_sent(s.pdus_sent);
         Ok(())
     }
@@ -98,7 +187,7 @@ impl Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::AtmConfig;
+    use crate::{AtmConfig, Topology};
 
     #[test]
     fn fabric_round_trip_reproduces_timing() {
@@ -127,6 +216,39 @@ mod tests {
     }
 
     #[test]
+    fn fat_tree_round_trip_reproduces_timing() {
+        let cfg = AtmConfig {
+            topology: Topology::FatTree {
+                leaves: 4,
+                down: 16,
+                up: 16,
+            },
+            ..AtmConfig::default()
+        };
+        let mut a = Fabric::new(cfg);
+        // Cross-leaf traffic warms trunk links and all three switch tiers.
+        for i in 0..24u64 {
+            a.send_pdu(
+                SimTime::from_ns(i * 200),
+                (i % 16) as usize,
+                (16 + 3 * i % 48) as usize,
+                2048,
+                SimTime::from_ns(300),
+            );
+        }
+        let snap = a.snapshot_state();
+        assert_eq!(snap.leaf_switches.len(), 4);
+        assert_eq!(snap.spine_switches.len(), 16);
+        assert_eq!(snap.up_links.len(), 64);
+        let mut b = Fabric::new(cfg);
+        b.restore_state(&snap).unwrap();
+        assert_eq!(b.snapshot_state(), snap);
+        let ta = a.send_pdu(SimTime::from_us(3), 1, 49, 4096, SimTime::from_ns(300));
+        let tb = b.send_pdu(SimTime::from_us(3), 1, 49, 4096, SimTime::from_ns(300));
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
     fn restore_rejects_mismatched_topology() {
         let mut small = Fabric::new(AtmConfig {
             ports: 8,
@@ -134,5 +256,23 @@ mod tests {
         });
         let snap = Fabric::new(AtmConfig::default()).snapshot_state();
         assert!(small.restore_state(&snap).is_err());
+        // Single-switch snapshot into a fat-tree of the same host count.
+        let ft_cfg = AtmConfig {
+            topology: Topology::FatTree {
+                leaves: 2,
+                down: 16,
+                up: 16,
+            },
+            ..AtmConfig::default()
+        };
+        let mut warmed = Fabric::new(AtmConfig::default());
+        warmed.send_pdu(SimTime::ZERO, 0, 1, 2048, SimTime::ZERO);
+        let mut ft = Fabric::new(ft_cfg);
+        assert!(ft.restore_state(&warmed.snapshot_state()).is_err());
+        // And the reverse.
+        let mut ft_warm = Fabric::new(ft_cfg);
+        ft_warm.send_pdu(SimTime::ZERO, 0, 17, 2048, SimTime::ZERO);
+        let mut single = Fabric::new(AtmConfig::default());
+        assert!(single.restore_state(&ft_warm.snapshot_state()).is_err());
     }
 }

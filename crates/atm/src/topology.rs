@@ -1,0 +1,323 @@
+//! Fabric topologies: the arrangement of banyan switches between hosts.
+//!
+//! The paper evaluates a single 32-port banyan switch, which caps a
+//! cluster at 32 workstations. This module describes how the same banyan
+//! building block scales further: a [`Topology`] names either the paper's
+//! single-switch fabric or a 2-level folded-Clos ("fat-tree") of leaf and
+//! spine switches joined by inter-switch links, and defines the unique
+//! deterministic [`Route`] every cell takes through it. The timing model
+//! that walks cells along these routes lives in [`crate::fabric`]; the
+//! wiring, routing and latency accounting are documented end-to-end in
+//! `TOPOLOGY.md` at the repository root.
+//!
+//! # Fat-tree shape
+//!
+//! A `FatTree { leaves, down, up }` fabric has `leaves` leaf switches,
+//! each a banyan with `down + up` ports: `down` host-facing ports and
+//! `up` uplinks, one to each of the `up` spine switches. Each spine is a
+//! banyan with `leaves` ports, one per leaf. Host `h` attaches to leaf
+//! `h / down` at host port `h % down`, so the fabric serves
+//! `leaves * down` hosts with an oversubscription ratio of `down / up`.
+//!
+//! # Routing
+//!
+//! Routing is destination-deterministic (D-mod-k): a cell from `src` to
+//! `dst` in different leaves always climbs to spine `dst % up`. Combined
+//! with the banyan's destination-tag routing inside each switch, every
+//! `(src, dst)` pair has exactly one path — there is no adaptivity and
+//! therefore no routing-induced nondeterminism, which is what lets the
+//! simulator promise byte-identical reports for identical seeds on any
+//! topology (DESIGN.md §4.7).
+
+use serde::{Deserialize, Serialize};
+
+/// The arrangement of switches between the hosts of a fabric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// The paper's fabric: every host on one banyan switch
+    /// ([`crate::AtmConfig::ports`] ports).
+    #[default]
+    Single,
+    /// A 2-level folded Clos: `leaves` leaf banyans with `down` host
+    /// ports and `up` uplinks each, fully connected to `up` spine
+    /// banyans of `leaves` ports each. Serves `leaves * down` hosts.
+    FatTree {
+        /// Number of leaf switches; must be a power of two ≥ 2 (it is
+        /// the port count of each spine banyan).
+        leaves: usize,
+        /// Host-facing ports per leaf switch.
+        down: usize,
+        /// Uplink ports per leaf switch (= number of spine switches);
+        /// `down + up` must be a power of two ≥ 2.
+        up: usize,
+    },
+}
+
+/// The unique path a cell takes between two hosts, at switch granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Both hosts share one switch: the single switch, or leaf
+    /// `switch` of a fat-tree.
+    Leaf {
+        /// Index of the shared (leaf) switch; always 0 for
+        /// [`Topology::Single`].
+        switch: usize,
+    },
+    /// Leaf → spine → leaf across a fat-tree, traversing one uplink and
+    /// one downlink in addition to three switches.
+    Spine {
+        /// The source host's leaf switch.
+        src_leaf: usize,
+        /// The spine switch chosen by D-mod-k routing (`dst % up`).
+        spine: usize,
+        /// The destination host's leaf switch.
+        dst_leaf: usize,
+    },
+}
+
+impl Route {
+    /// Number of switches the cell's head falls through.
+    pub fn switch_hops(&self) -> usize {
+        match self {
+            Route::Leaf { .. } => 1,
+            Route::Spine { .. } => 3,
+        }
+    }
+
+    /// Number of inter-switch links traversed (0 within one switch,
+    /// 2 — one uplink, one downlink — via a spine). Host access links
+    /// are not counted; every route uses exactly one on each end.
+    pub fn trunk_hops(&self) -> usize {
+        match self {
+            Route::Leaf { .. } => 0,
+            Route::Spine { .. } => 2,
+        }
+    }
+}
+
+impl std::str::FromStr for Topology {
+    type Err = String;
+
+    /// Parse the CLI/sweep spelling of a topology: `single`, or
+    /// `LxDxU` for a fat-tree of `L` leaves with `D` host ports and `U`
+    /// uplinks each (e.g. `4x16x16` = 64 hosts). Shape validation is
+    /// separate — call [`Topology::validate`] on the result.
+    fn from_str(s: &str) -> Result<Self, String> {
+        if s == "single" {
+            return Ok(Topology::Single);
+        }
+        let mut parts = s.split('x');
+        let err = || format!("topology must be `single` or `LxDxU` (e.g. 4x16x16), got {s:?}");
+        let next = |parts: &mut std::str::Split<'_, char>| {
+            parts
+                .next()
+                .and_then(|p| p.parse::<usize>().ok())
+                .ok_or_else(err)
+        };
+        let leaves = next(&mut parts)?;
+        let down = next(&mut parts)?;
+        let up = next(&mut parts)?;
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(Topology::FatTree { leaves, down, up })
+    }
+}
+
+impl Topology {
+    /// Number of hosts the fabric serves. `single_ports` is the port
+    /// count of the lone switch when the topology is [`Topology::Single`]
+    /// (fat-trees derive their host count from their own shape).
+    pub fn hosts(&self, single_ports: usize) -> usize {
+        match *self {
+            Topology::Single => single_ports,
+            Topology::FatTree { leaves, down, .. } => leaves * down,
+        }
+    }
+
+    /// Validate the shape against the banyan building block's
+    /// constraints. Returns `Err` (never panics) describing the first
+    /// violated constraint.
+    pub fn validate(&self, single_ports: usize) -> Result<(), String> {
+        match *self {
+            Topology::Single => {
+                if !single_ports.is_power_of_two() || single_ports < 2 {
+                    return Err(format!(
+                        "single-switch fabric needs a power-of-two port count >= 2, got {single_ports}"
+                    ));
+                }
+                Ok(())
+            }
+            Topology::FatTree { leaves, down, up } => {
+                if !leaves.is_power_of_two() || leaves < 2 {
+                    return Err(format!(
+                        "fat-tree needs a power-of-two leaf count >= 2 (spine banyans have one port per leaf), got {leaves}"
+                    ));
+                }
+                if down == 0 || up == 0 {
+                    return Err(format!(
+                        "fat-tree needs down >= 1 and up >= 1, got down={down} up={up}"
+                    ));
+                }
+                let radix = down + up;
+                if !radix.is_power_of_two() || radix < 2 {
+                    return Err(format!(
+                        "fat-tree leaf radix down+up must be a power of two >= 2, got {down}+{up}={radix}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Oversubscription ratio of the fabric: host bandwidth into a leaf
+    /// divided by uplink bandwidth out of it (`down / up` as a float);
+    /// 1.0 for a single switch or a fully-provisioned fat-tree.
+    pub fn oversubscription(&self) -> f64 {
+        match *self {
+            Topology::Single => 1.0,
+            Topology::FatTree { down, up, .. } => down as f64 / up as f64,
+        }
+    }
+
+    /// The leaf switch a host attaches to (0 for [`Topology::Single`]).
+    pub fn leaf_of(&self, host: usize) -> usize {
+        match *self {
+            Topology::Single => 0,
+            Topology::FatTree { down, .. } => host / down,
+        }
+    }
+
+    /// The unique deterministic route from `src` to `dst`. Both hosts
+    /// must be in range (`< hosts(...)`); routing itself never panics on
+    /// in-range inputs and involves no state, so the same pair always
+    /// maps to the same path.
+    pub fn route(&self, src: usize, dst: usize) -> Route {
+        match *self {
+            Topology::Single => Route::Leaf { switch: 0 },
+            Topology::FatTree { down, up, .. } => {
+                let src_leaf = src / down;
+                let dst_leaf = dst / down;
+                if src_leaf == dst_leaf {
+                    Route::Leaf { switch: src_leaf }
+                } else {
+                    Route::Spine {
+                        src_leaf,
+                        spine: dst % up,
+                        dst_leaf,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FT: Topology = Topology::FatTree {
+        leaves: 4,
+        down: 16,
+        up: 16,
+    };
+
+    #[test]
+    fn hosts_and_validation() {
+        assert_eq!(Topology::Single.hosts(32), 32);
+        assert_eq!(FT.hosts(32), 64);
+        assert!(Topology::Single.validate(32).is_ok());
+        assert!(FT.validate(32).is_ok());
+        // 12-port banyans do not exist.
+        assert!(Topology::Single.validate(12).is_err());
+        let bad_radix = Topology::FatTree {
+            leaves: 4,
+            down: 10,
+            up: 2,
+        };
+        assert!(bad_radix.validate(32).is_err());
+        let bad_leaves = Topology::FatTree {
+            leaves: 3,
+            down: 8,
+            up: 8,
+        };
+        assert!(bad_leaves.validate(32).is_err());
+    }
+
+    #[test]
+    fn routes_are_unique_and_deterministic() {
+        let hosts = FT.hosts(32);
+        for src in 0..hosts {
+            for dst in 0..hosts {
+                assert_eq!(FT.route(src, dst), FT.route(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn same_leaf_stays_local() {
+        assert_eq!(FT.route(0, 15), Route::Leaf { switch: 0 });
+        assert_eq!(FT.route(17, 31), Route::Leaf { switch: 1 });
+        assert_eq!(FT.route(0, 15).switch_hops(), 1);
+        assert_eq!(FT.route(0, 15).trunk_hops(), 0);
+    }
+
+    #[test]
+    fn cross_leaf_goes_via_dmodk_spine() {
+        assert_eq!(
+            FT.route(3, 49),
+            Route::Spine {
+                src_leaf: 0,
+                spine: 1, // 49 % 16
+                dst_leaf: 3,
+            }
+        );
+        assert_eq!(FT.route(3, 49).switch_hops(), 3);
+        assert_eq!(FT.route(3, 49).trunk_hops(), 2);
+    }
+
+    #[test]
+    fn hop_counts_are_symmetric() {
+        let hosts = FT.hosts(32);
+        for src in 0..hosts {
+            for dst in 0..hosts {
+                assert_eq!(
+                    FT.route(src, dst).switch_hops(),
+                    FT.route(dst, src).switch_hops()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parses_cli_spellings() {
+        assert_eq!("single".parse::<Topology>().unwrap(), Topology::Single);
+        assert_eq!(
+            "4x16x16".parse::<Topology>().unwrap(),
+            Topology::FatTree {
+                leaves: 4,
+                down: 16,
+                up: 16,
+            }
+        );
+        for bad in ["", "4x16", "4x16x16x2", "ax16x16", "fat-tree"] {
+            assert!(bad.parse::<Topology>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for t in [
+            Topology::Single,
+            Topology::FatTree {
+                leaves: 16,
+                down: 16,
+                up: 16,
+            },
+        ] {
+            let j = serde_json::to_string(&t).unwrap();
+            let back: Topology = serde_json::from_str(&j).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+}

@@ -64,6 +64,13 @@ pub struct Config {
     /// Use a combining-tree barrier instead of the centralised manager
     /// (extension; the paper's protocol is centralised).
     pub tree_barrier: bool,
+    /// Execute barrier combining and release/lock-chain forwarding as
+    /// dedicated collective primitives on the NIC processor instead of
+    /// general AIH dispatches (extension; generalises the paper's AIH
+    /// along the lines of NIC-based collectives, arXiv cs/0402027).
+    /// Implies a tree-structured barrier; only meaningful with
+    /// [`NicKind::Cni`].
+    pub collectives: bool,
     /// Seed for workload generation.
     pub seed: u64,
     /// Fault-injection plan for the interconnect. [`FaultPlan::none`]
@@ -83,6 +90,7 @@ impl Config {
             page_bytes: 2048,
             costs: ProtoCosts::default(),
             tree_barrier: false,
+            collectives: false,
             seed: 0x5EED,
             faults: FaultPlan::none(),
         }
@@ -100,13 +108,41 @@ impl Config {
         self
     }
 
-    /// Set the processor count.
+    /// Set the processor count (one workstation per fabric host port).
     pub fn with_procs(mut self, procs: usize) -> Self {
         assert!(
-            procs >= 1 && procs <= self.atm.ports,
-            "1..=ports processors"
+            procs >= 1 && procs <= self.atm.hosts(),
+            "1..=hosts processors"
         );
         self.procs = procs;
+        self
+    }
+
+    /// Set the fabric topology. Panics when the shape violates the
+    /// banyan constraints or strands already-configured processors.
+    pub fn with_topology(mut self, topology: cni_atm::Topology) -> Self {
+        if let Err(e) = topology.validate(self.atm.ports) {
+            panic!("invalid topology: {e}");
+        }
+        self.atm.topology = topology;
+        assert!(
+            self.procs <= self.atm.hosts(),
+            "topology serves fewer hosts than configured processors"
+        );
+        self
+    }
+
+    /// Shorthand for a 2-level fat-tree of `leaves` leaf switches with
+    /// `down` host ports and `up` uplinks each.
+    pub fn with_fat_tree(self, leaves: usize, down: usize, up: usize) -> Self {
+        self.with_topology(cni_atm::Topology::FatTree { leaves, down, up })
+    }
+
+    /// Run barrier/release combining on the NIC processor (NIC-resident
+    /// collectives; implies the tree-structured barrier).
+    pub fn with_collectives(mut self) -> Self {
+        self.collectives = true;
+        self.tree_barrier = true;
         self
     }
 
@@ -238,5 +274,31 @@ mod tests {
     #[should_panic(expected = "processors")]
     fn too_many_procs_rejected() {
         let _ = Config::paper_default().with_procs(33);
+    }
+
+    #[test]
+    fn fat_tree_raises_the_host_ceiling() {
+        let c = Config::paper_default()
+            .with_fat_tree(16, 16, 16)
+            .with_procs(256)
+            .with_collectives();
+        assert_eq!(c.atm.hosts(), 256);
+        assert_eq!(c.procs, 256);
+        assert!(c.tree_barrier, "collectives imply the tree barrier");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid topology")]
+    fn bad_topology_shape_rejected() {
+        let _ = Config::paper_default().with_fat_tree(3, 16, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer hosts")]
+    fn shrinking_topology_under_procs_rejected() {
+        let _ = Config::paper_default()
+            .with_fat_tree(16, 16, 16)
+            .with_procs(256)
+            .with_topology(cni_atm::Topology::Single);
     }
 }

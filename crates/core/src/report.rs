@@ -23,10 +23,13 @@ use serde::{Deserialize, Serialize};
 /// * **5** — added `stages`, the span-derived per-message stage
 ///   decomposition (`--obs` runs), and the span accounting counters
 ///   inside `trace` (`spans_opened` / `spans_closed` / `span_drops`).
+/// * **6** — widened the per-NIC stats with the collective offload
+///   counters (`coll_combines` / `coll_forwards`), added when barrier
+///   combining moved onto the NIC processor.
 ///
 /// Reports from any version in [`OLDEST_PARSEABLE_VERSION`]`..=`
 /// [`REPORT_VERSION`] still parse — see [`RunReport::parse_json`].
-pub const REPORT_VERSION: u32 = 5;
+pub const REPORT_VERSION: u32 = 6;
 
 /// The oldest archived report schema [`RunReport::parse_json`] accepts.
 pub const OLDEST_PARSEABLE_VERSION: u32 = 2;
@@ -196,6 +199,24 @@ impl RunReport {
                 obj.insert("trace".to_string(), t);
             }
         }
+        if version < 6 {
+            // v6 widened the per-NIC stats with the collective offload
+            // counters; older archives never offloaded, so zero is exact.
+            if let Some(mut nic) = obj.remove("nic") {
+                if let Some(entries) = nic.as_array_mut() {
+                    for entry in entries.iter_mut() {
+                        if let Some(em) = entry.as_object_mut() {
+                            for key in ["coll_combines", "coll_forwards"] {
+                                if !em.contains_key(key) {
+                                    em.insert(key.to_string(), 0u64.to_value());
+                                }
+                            }
+                        }
+                    }
+                }
+                obj.insert("nic".to_string(), nic);
+            }
+        }
         RunReport::from_value(&v).map_err(|e| format!("invalid v{version} report: {e}"))
     }
     /// The paper's *network cache hit ratio*, aggregated across nodes:
@@ -331,12 +352,19 @@ mod tests {
     /// A hand-written archive at `version`, shaped like the fields that
     /// schema actually had: v2 predates `faults`, v3 predates
     /// `latency_hist`, v4 predates `stages` and the span counters inside
-    /// `trace`.
+    /// `trace`, v5 predates the per-NIC collective counters.
     fn archived_json(version: u32) -> String {
         let mut r = report(&[(3, 4)]);
         r.version = version;
         let mut v = serde_json::to_value(&r).unwrap();
         let obj = v.as_object_mut().unwrap();
+        if version < 6 {
+            for entry in obj.get_mut("nic").unwrap().as_array_mut().unwrap() {
+                let em = entry.as_object_mut().unwrap();
+                em.remove("coll_combines");
+                em.remove("coll_forwards");
+            }
+        }
         if version < 5 {
             obj.remove("stages");
         }
@@ -388,7 +416,16 @@ mod tests {
     }
 
     #[test]
-    fn parse_json_round_trips_v5() {
+    fn parse_json_reads_v5_archives_without_collective_counters() {
+        let r = RunReport::parse_json(&archived_json(5)).unwrap();
+        assert_eq!(r.version, 5);
+        assert_eq!(r.nic[0].coll_combines, 0);
+        assert_eq!(r.nic[0].coll_forwards, 0);
+        assert_eq!(r.nic[0].tx_cache_hits, 3);
+    }
+
+    #[test]
+    fn parse_json_round_trips_current() {
         let mut orig = report(&[(1, 2)]);
         let mut h = Histogram::new();
         h.record(7);

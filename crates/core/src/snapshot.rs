@@ -71,13 +71,17 @@ use cni_sim::stats::Histogram;
 use cni_sim::{EventQueue, SimTime, SplitMix64};
 use cni_trace::MetricsSample;
 use serde::{Deserialize, Map, Serialize, Value};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Schema version of the snapshot value tree produced by
 /// [`World::take_snapshot`]. Bump on any change to the layout below;
 /// readers reject mismatches rather than guessing.
-pub const SNAPSHOT_SCHEMA: u64 = 1;
+///
+/// History: 2 switched the reliable channels from a dense N×N matrix to
+/// sparse `(src, dst, state)` triples and added the multi-switch fabric
+/// fields, when hierarchical topologies raised N to 1024.
+pub const SNAPSHOT_SCHEMA: u64 = 2;
 
 // --- encode helpers ---------------------------------------------------------
 
@@ -1103,13 +1107,20 @@ impl World {
                 Some(inj) => inj.snapshot().to_value(),
             },
         );
+        // Sparse triples in BTreeMap (key) order: only channels a faulty
+        // run actually materialised are recorded, so lossless snapshots
+        // carry none and 1024-node snapshots stay small.
         m.insert(
             "rel_tx".into(),
             Value::Array(
                 self.rel_tx
                     .iter()
-                    .map(|row| {
-                        Value::Array(row.iter().map(|ch| chan_tx_to_value(ch, &mut b)).collect())
+                    .map(|(&(src, dst), ch)| {
+                        Value::Array(vec![
+                            Value::from(src as u64),
+                            Value::from(dst as u64),
+                            chan_tx_to_value(ch, &mut b),
+                        ])
                     })
                     .collect(),
             ),
@@ -1119,8 +1130,12 @@ impl World {
             Value::Array(
                 self.rel_rx
                     .iter()
-                    .map(|row| {
-                        Value::Array(row.iter().map(|ch| Value::from(ch.expected)).collect())
+                    .map(|(&(dst, src), ch)| {
+                        Value::Array(vec![
+                            Value::from(dst as u64),
+                            Value::from(src as u64),
+                            Value::from(ch.expected),
+                        ])
                     })
                     .collect(),
             ),
@@ -1304,30 +1319,34 @@ impl World {
                     .into(),
             );
         }
-        let rel_tx: Vec<Vec<ChanTx>> = arr(field(m, "rel_tx")?, "rel_tx")?
-            .iter()
-            .map(|row| {
-                arr(row, "rel_tx row")?
-                    .iter()
-                    .map(|ch| chan_tx_from_value(ch, &blobs, "rel_tx"))
-                    .collect::<Result<Vec<_>, _>>()
-            })
-            .collect::<Result<_, _>>()?;
-        let rel_rx: Vec<Vec<ChanRx>> = arr(field(m, "rel_rx")?, "rel_rx")?
-            .iter()
-            .map(|row| {
-                arr(row, "rel_rx row")?
-                    .iter()
-                    .map(|e| {
-                        Ok(ChanRx {
-                            expected: u64_of(e, "rel_rx expected")?,
-                        })
-                    })
-                    .collect::<Result<Vec<_>, String>>()
-            })
-            .collect::<Result<_, _>>()?;
-        if rel_tx.len() != procs || rel_rx.len() != procs {
-            return Err("snapshot reliable-channel matrix does not match processor count".into());
+        let mut rel_tx: BTreeMap<(u32, u32), ChanTx> = BTreeMap::new();
+        for e in arr(field(m, "rel_tx")?, "rel_tx")? {
+            let t = arr(e, "rel_tx entry")?;
+            let src = u64_of(at(t, 0, "rel_tx")?, "rel_tx src")?;
+            let dst = u64_of(at(t, 1, "rel_tx")?, "rel_tx dst")?;
+            if src >= procs as u64 || dst >= procs as u64 {
+                return Err("snapshot reliable-channel endpoint out of range".into());
+            }
+            let ch = chan_tx_from_value(at(t, 2, "rel_tx")?, &blobs, "rel_tx")?;
+            if rel_tx.insert((src as u32, dst as u32), ch).is_some() {
+                return Err("snapshot repeats a reliable-channel (src, dst) pair".into());
+            }
+        }
+        let mut rel_rx: BTreeMap<(u32, u32), ChanRx> = BTreeMap::new();
+        for e in arr(field(m, "rel_rx")?, "rel_rx")? {
+            let t = arr(e, "rel_rx entry")?;
+            let dst = u64_of(at(t, 0, "rel_rx")?, "rel_rx dst")?;
+            let src = u64_of(at(t, 1, "rel_rx")?, "rel_rx src")?;
+            if src >= procs as u64 || dst >= procs as u64 {
+                return Err("snapshot reliable-channel endpoint out of range".into());
+            }
+            let expected = u64_of(at(t, 2, "rel_rx")?, "rel_rx expected")?;
+            if rel_rx
+                .insert((dst as u32, src as u32), ChanRx { expected })
+                .is_some()
+            {
+                return Err("snapshot repeats a reliable-channel (dst, src) pair".into());
+            }
         }
         let rel_stats: FaultStats = de(field(m, "rel_stats")?, "rel_stats")?;
         let ring_used: Vec<u32> = de(field(m, "ring_used")?, "ring_used")?;
@@ -1405,17 +1424,17 @@ impl World {
         self.rel_tx = rel_tx;
         self.rel_rx = rel_rx;
         self.rel_stats = rel_stats;
-        self.ring_used = ring_used;
-        self.ring_hw = ring_hw;
-        self.util_prev = util_prev;
-        self.metrics_prev = metrics_prev;
+        self.ring_used = ring_used.into_boxed_slice();
+        self.ring_hw = ring_hw.into_boxed_slice();
+        self.util_prev = util_prev.into_boxed_slice();
+        self.metrics_prev = metrics_prev.into_boxed_slice();
         self.live = live;
         self.proto_messages = proto_messages;
         self.msg_kinds = msg_kinds;
         self.wait_stats = wait_stats;
         self.jitter = SplitMix64::from_state(jitter);
         self.next_span = next_span;
-        self.latency = latency;
+        self.latency = latency.into_boxed_slice();
         self.events_dispatched = events_dispatched;
 
         // --- run the tail -------------------------------------------------

@@ -39,7 +39,7 @@ use cni_pathfinder::{FieldTest, Pattern};
 use cni_sim::stats::Histogram;
 use cni_sim::{CoThread, EventQueue, SimTime, SplitMix64, Yield};
 use cni_trace::{MetricsSample, TraceEvent, TraceSink};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// A program to run on one simulated processor.
@@ -311,33 +311,41 @@ pub struct World {
     /// Virtual-time spacing of periodic [`TraceEvent::Metrics`] samples.
     pub(crate) metrics_interval: Option<SimTime>,
     /// Previous cumulative counter snapshot per node, for sample deltas.
-    pub(crate) metrics_prev: Vec<MetricsSample>,
+    /// Boxed slice: per-node state is sized once at construction so a
+    /// 1024-node world carries no spare capacity.
+    pub(crate) metrics_prev: Box<[MetricsSample]>,
     /// Last allocated span id (0 = none; span ids are 1-based and only
     /// advance while tracing is enabled, so disabled runs pay nothing and
     /// the engine's timing never depends on the counter).
     pub(crate) next_span: u64,
     /// Previous cumulative busy-time snapshot per node for utilization
     /// deltas: (NIC processor, ingress link, egress link), picoseconds.
-    pub(crate) util_prev: Vec<(u64, u64, u64)>,
+    pub(crate) util_prev: Box<[(u64, u64, u64)]>,
     /// Receive-ring high-water mark per node within the current metrics
     /// interval (reset to the live occupancy at each tick).
-    pub(crate) ring_hw: Vec<u32>,
+    pub(crate) ring_hw: Box<[u32]>,
     /// One-way wire latency per message kind, in nanoseconds:
     /// indices 0..=8 are the protocol kinds `0xD0..=0xD8`, index 9 is the
     /// application kind `0xA0`.
-    pub(crate) latency: Vec<Histogram>,
+    pub(crate) latency: Box<[Histogram]>,
     /// Fault injector, present only for a non-zero fault plan. When `None`
     /// every transmission takes the legacy lossless path and timing is
     /// bit-identical to a build without the faults layer.
     pub(crate) injector: Option<FaultInjector>,
-    /// Go-back-N transmit channels, indexed `[src][dst]`.
-    pub(crate) rel_tx: Vec<Vec<ChanTx>>,
-    /// Receive channels, indexed `[dst][src]`.
-    pub(crate) rel_rx: Vec<Vec<ChanRx>>,
+    /// Go-back-N transmit channels, keyed `(src, dst)` and materialised
+    /// on first use. Keyed lookups only — never iterated on the timing
+    /// path — so the map's order cannot perturb the simulation, and a
+    /// lossless run (no fault plan) allocates no channels at all instead
+    /// of the former dense N² matrix (the 1024-node memory fix).
+    pub(crate) rel_tx: BTreeMap<(u32, u32), ChanTx>,
+    /// Receive channels, keyed `(dst, src)`, materialised on first use.
+    pub(crate) rel_rx: BTreeMap<(u32, u32), ChanRx>,
+    /// Base retransmission timeout for newly materialised channels.
+    pub(crate) rel_rto0: SimTime,
     /// Reliability-protocol counters (retransmits, duplicates, overflows).
     pub(crate) rel_stats: FaultStats,
     /// Occupied frame slots in each node's virtual receive ring.
-    pub(crate) ring_used: Vec<u32>,
+    pub(crate) ring_used: Box<[u32]>,
     /// Per-node replay journal (see [`JEntry`]), recorded only when
     /// checkpointing is enabled: `None` keeps figure runs free of the
     /// recording cost.
@@ -362,7 +370,7 @@ const DSM_HANDLER: u32 = 1;
 impl World {
     /// Build a cluster per `cfg`.
     pub fn new(cfg: Config) -> Self {
-        assert!(cfg.procs >= 1 && cfg.procs <= cfg.atm.ports);
+        assert!(cfg.procs >= 1 && cfg.procs <= cfg.atm.hosts());
         cfg.faults.validate();
         let injector = if cfg.faults.is_zero() {
             None
@@ -372,11 +380,20 @@ impl World {
         let rto0 = SimTime::from_ps(cfg.faults.rto_base_ps);
         let mut nic_cfg = cfg.nic;
         nic_cfg.page_bytes = cfg.page_bytes;
+        // NIC collectives imply the tree barrier (the NIC combines along
+        // a tree); the tree's fan-out follows the fabric — on a fat-tree,
+        // leaf-wide subtrees keep combining traffic off the spine.
+        let tree_barrier = cfg.tree_barrier || cfg.collectives;
+        let barrier_arity = match cfg.atm.topology {
+            cni_atm::Topology::FatTree { down, .. } if cfg.collectives => down.max(2),
+            _ => 2,
+        };
         let dsm_cfg = DsmConfig {
             procs: cfg.procs,
             page_bytes: cfg.page_bytes,
             line_bytes: cfg.nic.cache_line_bytes,
-            tree_barrier: cfg.tree_barrier,
+            tree_barrier,
+            barrier_arity,
         };
         let spaces: Vec<Arc<NodeSpace>> = (0..cfg.procs)
             .map(|_| Arc::new(NodeSpace::new(cfg.page_bytes, cfg.nic.cache_line_bytes)))
@@ -416,20 +433,17 @@ impl World {
             jitter: SplitMix64::new(cfg.seed ^ 0xC31_0C31),
             trace: TraceSink::Disabled,
             metrics_interval: None,
-            metrics_prev: vec![MetricsSample::default(); cfg.procs],
+            metrics_prev: vec![MetricsSample::default(); cfg.procs].into_boxed_slice(),
             next_span: 0,
-            util_prev: vec![(0, 0, 0); cfg.procs],
-            ring_hw: vec![0; cfg.procs],
-            latency: vec![Histogram::new(); 10],
+            util_prev: vec![(0, 0, 0); cfg.procs].into_boxed_slice(),
+            ring_hw: vec![0; cfg.procs].into_boxed_slice(),
+            latency: vec![Histogram::new(); 10].into_boxed_slice(),
             injector,
-            rel_tx: (0..cfg.procs)
-                .map(|_| (0..cfg.procs).map(|_| ChanTx::new(rto0)).collect())
-                .collect(),
-            rel_rx: (0..cfg.procs)
-                .map(|_| (0..cfg.procs).map(|_| ChanRx { expected: 0 }).collect())
-                .collect(),
+            rel_tx: BTreeMap::new(),
+            rel_rx: BTreeMap::new(),
+            rel_rto0: rto0,
             rel_stats: FaultStats::default(),
-            ring_used: vec![0; cfg.procs],
+            ring_used: vec![0; cfg.procs].into_boxed_slice(),
             journal: None,
             events_dispatched: 0,
             checkpoint_every: None,
@@ -1354,6 +1368,24 @@ impl World {
 
     // --- reliable-delivery layer (active only under a fault plan) ------------
 
+    /// The `src -> dst` go-back-N transmit channel, materialised on first
+    /// use. Access is always by key — channel state never depends on what
+    /// other channels exist — so lazy creation is timing-neutral and a
+    /// lossless run allocates nothing here.
+    fn chan_tx(&mut self, src: usize, dst: usize) -> &mut ChanTx {
+        let rto0 = self.rel_rto0;
+        self.rel_tx
+            .entry((src as u32, dst as u32))
+            .or_insert_with(|| ChanTx::new(rto0))
+    }
+
+    /// The `dst <- src` receive channel, materialised on first use.
+    fn chan_rx(&mut self, dst: usize, src: usize) -> &mut ChanRx {
+        self.rel_rx
+            .entry((dst as u32, src as u32))
+            .or_insert(ChanRx { expected: 0 })
+    }
+
     /// Hand a logical message to the `src -> dst` go-back-N channel: send
     /// it immediately if the window has room, park it otherwise. `span`
     /// is the message span every fragment carries; each wire attempt
@@ -1383,7 +1415,7 @@ impl World {
                 bytes,
                 span,
             };
-            let ch = &mut self.rel_tx[src][dst];
+            let ch = self.chan_tx(src, dst);
             if ch.window.len() >= cap {
                 ch.pending.push_back(frag);
                 continue;
@@ -1392,7 +1424,7 @@ impl World {
             ch.next_seq += 1;
             let was_empty = ch.window.is_empty();
             let fspan = self.send_frame(now, src, dst, seq, &frag, span);
-            let ch = &mut self.rel_tx[src][dst];
+            let ch = self.chan_tx(src, dst);
             ch.window.push_back(InFlight {
                 seq,
                 frag: frag.clone(),
@@ -1597,7 +1629,7 @@ impl World {
     /// Restart the `src -> dst` retransmission timer (invalidating any
     /// previously armed one via the generation counter).
     fn arm_timer(&mut self, now: SimTime, src: usize, dst: usize) {
-        let ch = &mut self.rel_tx[src][dst];
+        let ch = self.chan_tx(src, dst);
         ch.timer_gen += 1;
         let (gen, rto, seq) = (ch.timer_gen, ch.rto, ch.base);
         self.q
@@ -1614,7 +1646,7 @@ impl World {
 
     /// Invalidate the pending `src -> dst` timer (window fully acked).
     fn cancel_timer(&mut self, src: usize, dst: usize) {
-        self.rel_tx[src][dst].timer_gen += 1;
+        self.chan_tx(src, dst).timer_gen += 1;
     }
 
     /// Send a cumulative acknowledgement frame from `from` back to `to`:
@@ -1671,7 +1703,7 @@ impl World {
                 // frame span closes here: its lifecycle ended in
                 // rejection, and the NAK it provokes is its child.
                 self.close_span(t, dst as u32, span);
-                let ack = self.rel_rx[dst][src].expected;
+                let ack = self.chan_rx(dst, src).expected;
                 self.send_ack(t, dst, src, ack, span);
                 return;
             }
@@ -1680,7 +1712,7 @@ impl World {
             None => return,
         }
         self.close_span(t, dst as u32, span);
-        let expected = self.rel_rx[dst][src].expected;
+        let expected = self.chan_rx(dst, src).expected;
         if seq != expected {
             if seq < expected {
                 self.rel_stats.duplicates += 1;
@@ -1689,7 +1721,8 @@ impl World {
             return;
         }
         let (frag, sent_at) = {
-            let inflight = self.rel_tx[src][dst]
+            let inflight = self
+                .chan_tx(src, dst)
                 .window
                 .iter()
                 .find(|f| f.seq == seq)
@@ -1700,7 +1733,7 @@ impl World {
         if frag.frag + 1 < frag.nfrags {
             // An interior fragment: accept and acknowledge it, but the
             // message dispatches only with its final fragment.
-            self.rel_rx[dst][src].expected = seq + 1;
+            self.chan_rx(dst, src).expected = seq + 1;
             self.send_ack(t, dst, src, seq + 1, span);
             return;
         }
@@ -1720,7 +1753,7 @@ impl World {
         }
         self.ring_used[dst] += 1;
         self.ring_hw[dst] = self.ring_hw[dst].max(self.ring_used[dst]);
-        self.rel_rx[dst][src].expected = seq + 1;
+        self.chan_rx(dst, src).expected = seq + 1;
         // One-way latency measured from the final fragment's *first*
         // transmission.
         let kind = match &*frag.wire {
@@ -1772,7 +1805,7 @@ impl World {
         self.close_span(t, to as u32, span);
         let cap = self.cfg.faults.window as usize;
         let rto0 = SimTime::from_ps(self.cfg.faults.rto_base_ps);
-        let ch = &mut self.rel_tx[to][from];
+        let ch = self.chan_tx(to, from);
         if ack > ch.base {
             while ch.base < ack {
                 let acked = ch.window.pop_front();
@@ -1801,7 +1834,8 @@ impl World {
             let empty = ch.window.is_empty();
             for (seq, frag) in &admitted {
                 let fspan = self.send_frame(t, to, from, *seq, frag, frag.span);
-                if let Some(f) = self.rel_tx[to][from]
+                if let Some(f) = self
+                    .chan_tx(to, from)
                     .window
                     .iter_mut()
                     .find(|f| f.seq == *seq)
@@ -1832,7 +1866,10 @@ impl World {
     /// Fast-retransmit the oldest unacknowledged frame on `src -> dst`
     /// (the one the duplicate acks say is missing) and restart the timer.
     fn resend_front(&mut self, t: SimTime, src: usize, dst: usize) {
-        let ch = &mut self.rel_tx[src][dst];
+        let rx_expected = self.chan_rx(dst, src).expected;
+        let ring_used = self.ring_used[dst];
+        let ring_cap = self.cfg.faults.rx_ring_frames;
+        let ch = self.chan_tx(src, dst);
         let Some(f) = ch.window.front_mut() else {
             return;
         };
@@ -1846,9 +1883,9 @@ impl World {
                 ch.next_seq,
                 ch.window.len(),
                 ch.pending.len(),
-                self.rel_rx[dst][src].expected,
-                self.ring_used[dst],
-                self.cfg.faults.rx_ring_frames,
+                rx_expected,
+                ring_used,
+                ring_cap,
             );
         }
         self.rel_stats.retransmits += 1;
@@ -1866,7 +1903,8 @@ impl World {
     /// Resend every unacknowledged frame on the `src -> dst` channel
     /// (go-back-N recovers the whole window) and restart the timer.
     fn resend_window(&mut self, t: SimTime, src: usize, dst: usize) {
-        let frames: Vec<(u64, Frag, u32, u64)> = self.rel_tx[src][dst]
+        let frames: Vec<(u64, Frag, u32, u64)> = self
+            .chan_tx(src, dst)
             .window
             .iter_mut()
             .map(|f| {
@@ -1900,12 +1938,12 @@ impl World {
     /// resend the window.
     fn on_rxmit_timer(&mut self, t: SimTime, src: usize, dst: usize, gen: u64) {
         let cap_ps = self.cfg.faults.rto_cap_ps;
-        let ch = &mut self.rel_tx[src][dst];
+        let ch = self.chan_tx(src, dst);
         if gen != ch.timer_gen || ch.window.is_empty() {
             return;
         }
-        self.rel_stats.timeouts += 1;
         ch.rto = SimTime::from_ps((ch.rto.as_ps() * 2).min(cap_ps));
+        self.rel_stats.timeouts += 1;
         self.resend_window(t, src, dst);
     }
 
@@ -1923,8 +1961,35 @@ impl World {
             (NicKind::Cni, RxDisposition::Handler(h)) => {
                 debug_assert_eq!(h, DSM_HANDLER);
                 let info = delivery_info(&msg.payload);
+                let kind = msg.payload.kind();
                 let res = self.dsm[dst].on_message(msg);
-                let cycles = self.work_cycles_nic(&res.work);
+                // NIC-resident collectives (generalised AIH, after the
+                // Quadrics/Myrinet NIC-collective protocol of
+                // cs/0402027): barrier combining and release / lock-chain
+                // forwarding execute as dedicated NIC-processor steps
+                // instead of a full protocol dispatch. Notice folding
+                // still costs per notice — the combine carries the write
+                // notices with it.
+                let cycles = if self.cfg.collectives {
+                    match kind {
+                        // BarrierArrive: fold a child into the combine.
+                        0xD3 => {
+                            self.nics[dst].record_collective(1, 0);
+                            self.cfg.nic.coll_combine_cycles
+                                + self.cfg.costs.per_notice_cycles * res.work.notices
+                        }
+                        // AcquireFwd / BarrierRelease: forward down the
+                        // chain or tree.
+                        0xD1 | 0xD4 => {
+                            self.nics[dst].record_collective(0, 1);
+                            self.cfg.nic.coll_forward_cycles
+                                + self.cfg.costs.per_notice_cycles * res.work.notices
+                        }
+                        _ => self.work_cycles_nic(&res.work),
+                    }
+                } else {
+                    self.work_cycles_nic(&res.work)
+                };
                 let cycles = self.jittered(cycles);
                 let t_done = self.nics[dst].run_handler(rx.ready_at, cycles);
                 // AIH replies leave straight from the board, as children
@@ -2062,6 +2127,7 @@ impl World {
                 }
             }
             (kind, disp) => {
+                // cni-lint: allow(panic-path) -- the (NicKind, dispatch) pairing is decided by this engine when the message was sent, not parsed off the wire; a mismatch is an engine bug
                 panic!("protocol message mis-dispatched: {kind:?} / {disp:?}")
             }
         }

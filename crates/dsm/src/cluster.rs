@@ -24,6 +24,7 @@ use std::sync::Arc;
 ///     page_bytes: 2048,
 ///     line_bytes: 32,
 ///     tree_barrier: false,
+///     barrier_arity: 2,
 /// });
 /// let base = c.alloc(2048);
 /// c.acquire(ProcId(0), LockId(0));

@@ -42,6 +42,12 @@ pub struct DsmConfig {
     /// is the scalability bottleneck at 32 processors; the tree spreads
     /// them over log N levels).
     pub tree_barrier: bool,
+    /// Fan-out of the combining tree (k-ary heap layout: the children of
+    /// processor `i` are `k*i+1 ..= k*i+k`). 2 is the classic binary
+    /// tree; a fabric-aware embedder raises it so each subtree matches a
+    /// fat-tree leaf and combining traffic stays off the spine. Must be
+    /// ≥ 2; ignored when `tree_barrier` is false.
+    pub barrier_arity: usize,
 }
 
 /// Data-movement labour performed while handling one event; the cluster
@@ -787,14 +793,22 @@ impl DsmNode {
         res
     }
 
-    /// Combining-tree children of this processor (binary heap layout).
+    /// Combining-tree children of this processor (k-ary heap layout:
+    /// children of `i` are `k*i+1 ..= k*i+k`).
     fn tree_children(&self) -> impl Iterator<Item = ProcId> {
         let n = self.cfg.procs as u32;
+        let k = self.cfg.barrier_arity.max(2) as u32;
         let me = self.me.0;
-        [2 * me + 1, 2 * me + 2]
-            .into_iter()
+        (k * me + 1..=k * me + k)
             .filter(move |&c| c < n)
             .map(ProcId)
+    }
+
+    /// Combining-tree parent of this processor (`(i-1)/k`; only
+    /// meaningful for `me != 0`).
+    fn tree_parent(&self) -> ProcId {
+        let k = self.cfg.barrier_arity.max(2) as u32;
+        ProcId((self.me.0 - 1) / k)
     }
 
     /// How many arrivals this processor combines before passing up: its
@@ -837,7 +851,7 @@ impl DsmNode {
             // the release will come back down the tree.
             res.out.push(Msg {
                 src: self.me,
-                dst: ProcId((self.me.0 - 1) / 2),
+                dst: self.tree_parent(),
                 payload: Payload::BarrierArrive {
                     epoch,
                     proc: self.me,

@@ -20,6 +20,7 @@ impl Net {
             page_bytes: 1024,
             line_bytes: 32,
             tree_barrier: false,
+            barrier_arity: 2,
         };
         Net {
             nodes: (0..n)

@@ -13,6 +13,7 @@ fn cluster(procs: usize) -> DsmCluster {
         page_bytes: 2048,
         line_bytes: 32,
         tree_barrier: false,
+        barrier_arity: 2,
     })
 }
 
@@ -368,6 +369,7 @@ fn tree_barrier_publishes_all_writers() {
         page_bytes: 2048,
         line_bytes: 32,
         tree_barrier: true,
+        barrier_arity: 2,
     });
     let base = c.alloc(7 * 2048);
     for round in 1..=3u64 {
@@ -397,6 +399,7 @@ fn tree_barrier_matches_central_message_pattern() {
             page_bytes: 2048,
             line_bytes: 32,
             tree_barrier: tree,
+            barrier_arity: 2,
         });
         let base = c.alloc(8 * 2048);
         for p in 0..8u64 {

@@ -41,6 +41,7 @@ proptest! {
             page_bytes: 2048,
             line_bytes: 32,
             tree_barrier: false,
+            barrier_arity: 2,
         });
         // 32 slots spread over 2 pages to force real sharing.
         let base = cluster.alloc(32 * 64);
@@ -82,6 +83,7 @@ proptest! {
             page_bytes: 1024,
             line_bytes: 32,
             tree_barrier: false,
+            barrier_arity: 2,
         });
         let base = cluster.alloc(n * 1024);
         for round in 0..rounds {

@@ -52,11 +52,27 @@ const PANIC_PATH_REGIONS: &[(&str, &[&str])] = &[
         "crates/atm/src/buf.rs",
         &["as_slice", "view", "chunks", "xor_bit"],
     ),
+    // Topology routing decides the path of every cell; it runs under the
+    // fabric's per-cell forwarding, so a panicking index would be
+    // reachable from any send.
+    (
+        "crates/atm/src/topology.rs",
+        &["route", "leaf_of", "hosts", "validate"],
+    ),
+    // Multi-switch forwarding walks the routed path per cell head.
+    ("crates/atm/src/fabric.rs", &["forward_head"]),
     // Span-recording helpers run inside the frame/ack receive paths, so
-    // they inherit the same corrupt-input exposure.
+    // they inherit the same corrupt-input exposure; arrive_proto hosts
+    // the NIC-collective dispatch on the message receive path.
     (
         "crates/core/src/world.rs",
-        &["on_frame_rx", "on_ack_rx", "record_rx_span", "close_span"],
+        &[
+            "on_frame_rx",
+            "on_ack_rx",
+            "record_rx_span",
+            "close_span",
+            "arrive_proto",
+        ],
     ),
     (
         "crates/pathfinder/src/classifier.rs",

@@ -206,6 +206,51 @@ fn p1_quiet_on_panic_free_span_helpers() {
 }
 
 #[test]
+fn p1_covers_topology_routing() {
+    // Topology routing runs under the fabric's per-cell forwarding:
+    // panicking operators inside `route`/`leaf_of` are P1 findings,
+    // while shape arithmetic helpers in the same file stay out of scope.
+    let src = fixture("p1_routing_bad.rs");
+    assert_eq!(
+        hits("crates/atm/src/topology.rs", &src),
+        vec![
+            (Rule::PanicPath, 2), // &spines[src..dst]
+            (Rule::PanicPath, 3), // .unwrap()
+            (Rule::PanicPath, 7), // .expect(...)
+        ]
+    );
+}
+
+#[test]
+fn p1_quiet_on_panic_free_routing() {
+    let src = fixture("p1_routing_clean.rs");
+    assert!(hits("crates/atm/src/topology.rs", &src).is_empty());
+}
+
+#[test]
+fn p1_routing_suppression_waives() {
+    let src = fixture("p1_routing_suppressed.rs");
+    let analysis = analyze_source("crates/atm/src/topology.rs", &src);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    assert_eq!(analysis.suppressions.len(), 1);
+    assert!(analysis.suppressions[0].used);
+}
+
+#[test]
+fn p1_covers_the_collective_dispatch_path() {
+    // `arrive_proto` hosts the NIC-collective dispatch on the message
+    // receive path; panics there are P1 findings.
+    let src = fixture("p1_collective_bad.rs");
+    assert_eq!(
+        hits("crates/core/src/world.rs", &src),
+        vec![
+            (Rule::PanicPath, 3), // .unwrap()
+            (Rule::PanicPath, 4), // notices[0..1]
+        ]
+    );
+}
+
+#[test]
 fn d1_covers_the_obs_crate() {
     // cni-obs folds traces into user-visible reports: its iteration
     // order is part of the determinism contract like any sim crate.

@@ -1,0 +1,11 @@
+fn arrive_proto(notices: &[u64], kind: u8) -> u64 {
+    let work = match kind {
+        0xD3 => notices.iter().copied().max().unwrap(),
+        _ => notices[0..1].iter().sum(),
+    };
+    work
+}
+
+fn setup_helper(notices: &[u64]) -> usize {
+    notices.len()
+}

@@ -1,0 +1,12 @@
+fn route(spines: &[u32], src: usize, dst: usize) -> u32 {
+    let pair = &spines[src..dst];
+    pair.first().copied().unwrap()
+}
+
+fn leaf_of(leaves: &[u32], host: usize) -> u32 {
+    leaves.get(host).copied().expect("host is attached to a leaf")
+}
+
+fn shape_helper(leaves: usize, down: usize) -> usize {
+    leaves * down
+}

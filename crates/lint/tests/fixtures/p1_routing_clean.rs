@@ -1,0 +1,11 @@
+fn route(spines: &[u32], src: usize, dst: usize) -> u32 {
+    spines
+        .get(src..dst)
+        .and_then(|pair| pair.first())
+        .copied()
+        .unwrap_or(0)
+}
+
+fn leaf_of(leaves: &[u32], host: usize) -> u32 {
+    leaves.get(host).copied().unwrap_or(0)
+}

@@ -105,6 +105,17 @@ pub struct NicConfig {
     /// NIC-processor cycles for an RTLB refill after a snoop miss.
     pub rtlb_miss_cycles: u64,
 
+    /// NIC-processor cycles for one collective combine step: folding a
+    /// child's barrier-arrival (vector clock + notice set) into the
+    /// NIC-resident combining state. Dedicated microcode, far cheaper
+    /// than a general AIH protocol dispatch (cs/0402027-style NIC
+    /// collectives). Used only when the cluster enables NIC collectives.
+    pub coll_combine_cycles: u64,
+    /// NIC-processor cycles to forward one collective message down the
+    /// tree (release broadcast, lock-chain forward): a descriptor
+    /// rewrite and retransmit without host involvement.
+    pub coll_forward_cycles: u64,
+
     /// CNI mechanism toggles (ablations); ignored by the standard
     /// personality, which never has any of them.
     pub cni_features: CniFeatures,
@@ -145,6 +156,10 @@ impl Default for NicConfig {
             buffer_map_cycles: 4,
             board_copy_cycles_per_word: 2,
             rtlb_miss_cycles: 20,
+            // ~1.8 µs / ~1.2 µs at 33 MHz: the NIC executes collectives
+            // as dedicated combine/forward steps, not a general handler.
+            coll_combine_cycles: 60,
+            coll_forward_cycles: 40,
             cni_features: CniFeatures::default(),
             msg_cache_bytes: 32 * 1024,
             rtlb_entries: 256,

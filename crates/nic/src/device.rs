@@ -514,6 +514,14 @@ impl Nic {
         self.stats
     }
 
+    /// Count NIC-resident collective steps: `combines` barrier arrivals
+    /// folded into combining state, `forwards` collective messages sent
+    /// down a tree or lock chain by the NIC processor.
+    pub fn record_collective(&mut self, combines: u64, forwards: u64) {
+        self.stats.coll_combines += combines;
+        self.stats.coll_forwards += forwards;
+    }
+
     /// Message Cache counters (zeroes for a standard NIC).
     pub fn msg_cache_stats(&self) -> MsgCacheStats {
         self.msg_cache

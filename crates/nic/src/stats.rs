@@ -35,6 +35,12 @@ pub struct NicStats {
     /// Received PDUs discarded for any reassembly failure (CRC, length
     /// mismatch, truncation). Superset of `rx_crc_failures`.
     pub rx_frames_discarded: u64,
+    /// Collective combine steps executed on the NIC processor (barrier
+    /// arrivals folded into NIC-resident combining state).
+    pub coll_combines: u64,
+    /// Collective messages forwarded down a tree by the NIC processor
+    /// (release broadcasts, lock-chain forwards).
+    pub coll_forwards: u64,
 }
 
 impl NicStats {
@@ -63,6 +69,8 @@ impl NicStats {
         self.classify_cells += o.classify_cells;
         self.rx_crc_failures += o.rx_crc_failures;
         self.rx_frames_discarded += o.rx_frames_discarded;
+        self.coll_combines += o.coll_combines;
+        self.coll_forwards += o.coll_forwards;
     }
 }
 

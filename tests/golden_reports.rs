@@ -12,8 +12,9 @@
 //! CNI_BLESS=1 cargo test --test golden_reports
 //! ```
 //!
-//! The four configs cover the matrix that matters: both NIC kinds, the
-//! lossless fast path and the go-back-N fault path, and two process counts.
+//! The five configs cover the matrix that matters: both NIC kinds, the
+//! lossless fast path and the go-back-N fault path, single-switch and
+//! fat-tree fabrics, and three process counts.
 
 use cni::Config;
 use cni_apps::cholesky::CholeskyMatrix;
@@ -113,6 +114,21 @@ fn water8_lossy_report_is_golden() {
             molecules: 27,
             steps: 2,
         },
+    );
+}
+
+#[test]
+fn jacobi64_fat_tree_report_is_golden() {
+    // 64 processors across a 4-leaf fat-tree with NIC-resident
+    // collectives: pins the multi-switch routing (trunk-link timing,
+    // spine contention) and the NIC barrier-combining counters.
+    check_golden(
+        "jacobi64_ft",
+        Config::paper_default()
+            .with_fat_tree(4, 16, 16)
+            .with_procs(64)
+            .with_collectives(),
+        App::Jacobi { n: 96, iters: 4 },
     );
 }
 

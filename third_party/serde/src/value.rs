@@ -101,6 +101,14 @@ impl Map {
         self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
+    /// Look up a key mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
     /// Remove a key, returning its value.
     pub fn remove(&mut self, key: &str) -> Option<Value> {
         let i = self.entries.iter().position(|(k, _)| k == key)?;
@@ -191,6 +199,14 @@ impl Value {
 
     /// As an array if this is one.
     pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As a mutable array if this is one.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
         match self {
             Value::Array(a) => Some(a),
             _ => None,
