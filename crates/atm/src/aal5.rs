@@ -96,7 +96,7 @@ impl Segmenter {
     /// models a frame whose tail is zero fill — the engine's protocol
     /// frames — without the caller materialising those zeros first.
     fn segment_image(&self, vci: u16, data: &[u8], len: usize) -> Vec<Cell> {
-        assert!(len <= AAL5_MAX_PDU, "PDU too large for AAL5: {len} bytes");
+        debug_assert!(len <= AAL5_MAX_PDU, "PDU too large for AAL5: {len} bytes");
         debug_assert!(data.len() <= len);
         let cap = self.cell_payload.unwrap_or(len + AAL5_TRAILER_BYTES);
         let total = (len + AAL5_TRAILER_BYTES).div_ceil(cap).max(1) * cap;

@@ -281,11 +281,11 @@ impl Fabric {
         pdu_len: usize,
         cell_gap: SimTime,
     ) -> PduTiming {
-        assert!(
+        debug_assert!(
             src < self.cfg.hosts() && dst < self.cfg.hosts(),
             "host out of range"
         );
-        assert_ne!(src, dst, "PDU to self does not traverse the fabric");
+        debug_assert_ne!(src, dst, "PDU to self does not traverse the fabric");
         let cells = self.segmenter.cell_count(pdu_len);
         let wire_bytes = self.segmenter.wire_bytes(pdu_len);
         // Cell size on the wire: equal split of the PDU across cells.
@@ -346,11 +346,11 @@ impl Fabric {
         cell_gap: SimTime,
         inj: &mut FaultInjector,
     ) -> FaultyPduTiming {
-        assert!(
+        debug_assert!(
             src < self.cfg.hosts() && dst < self.cfg.hosts(),
             "host out of range"
         );
-        assert_ne!(src, dst, "PDU to self does not traverse the fabric");
+        debug_assert_ne!(src, dst, "PDU to self does not traverse the fabric");
         let cells = self.segmenter.cell_count(pdu_len);
         let wire_bytes = self.segmenter.wire_bytes(pdu_len);
         let per_cell_bytes = wire_bytes / cells;

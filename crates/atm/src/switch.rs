@@ -77,7 +77,7 @@ impl BanyanSwitch {
         dst: usize,
         occupancy: SimTime,
     ) -> SimTime {
-        assert!(src < self.ports && dst < self.ports, "port out of range");
+        debug_assert!(src < self.ports && dst < self.ports, "port out of range");
         let mut t = arrival;
         for stage in 0..self.stages {
             let link = self.stage_link(stage, src, dst);

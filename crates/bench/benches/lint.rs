@@ -1,0 +1,133 @@
+//! Wall-time microbenchmark for the `cni-lint` v2 analysis engine.
+//!
+//! The lint runs on every CI push and (ideally) on every save in an
+//! editor hook, so its whole-workspace wall time is a first-class
+//! budget: parse + call graph + all rules over the full first-party
+//! source set must finish in <= 3 s. Measures the end-to-end workspace
+//! scan (I/O included, like CI pays it) and the in-memory analysis
+//! alone (what an editor with a warm file cache pays), and writes
+//! `BENCH_lint.json` at the repo root. `-- --quick` shrinks the
+//! repetition counts for CI smoke runs.
+
+use cni_lint::rules::analyze_sources;
+use cni_lint::walk::analyze_workspace;
+use serde::Serialize;
+use std::hint::black_box;
+use std::io::Write;
+use std::path::Path;
+
+/// Milliseconds per whole-workspace pass for each probe.
+#[derive(Clone, Copy, Debug, Serialize)]
+struct Timings {
+    /// Full scan: directory walk + file reads + analysis (the CI path).
+    workspace_scan_ms: f64,
+    /// Analysis only, sources pre-loaded (the warm editor-hook path).
+    analyze_ms: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    current: Timings,
+    /// How many first-party files the timed scan covered.
+    files_scanned: usize,
+    /// The acceptance ceiling for the full scan, in milliseconds.
+    budget_ms: f64,
+}
+
+/// Median-of-runs timer: `reps` timed samples of one call each.
+fn measure<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        #[allow(clippy::disallowed_methods)]
+        let t = std::time::Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as f64 / 1e6);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Collect the same `(rel path, source)` inputs the walker analyzes.
+fn load_inputs(root: &Path) -> Vec<(String, String)> {
+    fn collect(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        paths.sort();
+        for p in paths {
+            if p.is_dir() {
+                collect(&p, root, out);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                out.push((rel, std::fs::read_to_string(&p).expect("read source")));
+            }
+        }
+    }
+    let mut inputs = Vec::new();
+    for e in std::fs::read_dir(root.join("crates"))
+        .expect("crates dir")
+        .flatten()
+    {
+        let src = e.path().join("src");
+        if src.is_dir() {
+            collect(&src, root, &mut inputs);
+        }
+    }
+    inputs.sort();
+    inputs
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "quick");
+    let reps = if quick { 3 } else { 9 };
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+
+    let report0 = analyze_workspace(root).expect("workspace scan");
+    assert!(
+        report0.is_clean(),
+        "benchmarking a dirty workspace: fix or waive the findings first"
+    );
+    let files_scanned = report0.files_scanned;
+
+    let workspace_scan_ms = measure(reps, || {
+        black_box(analyze_workspace(root).expect("workspace scan"));
+    });
+
+    let inputs = load_inputs(root);
+    let analyze_ms = measure(reps, || {
+        black_box(analyze_sources(black_box(&inputs)));
+    });
+
+    let budget_ms = 3000.0;
+    println!(
+        "{:<22} {:>12}\n{:<22} {:>12.1}\n{:<22} {:>12.1}",
+        "lint probe", "ms/pass", "workspace scan", workspace_scan_ms, "analyze (warm)", analyze_ms,
+    );
+    println!("lint wall time        : {workspace_scan_ms:.1} ms over {files_scanned} files (budget {budget_ms:.0} ms)");
+    assert!(
+        workspace_scan_ms <= budget_ms,
+        "lint wall time {workspace_scan_ms:.1} ms exceeds the {budget_ms:.0} ms budget"
+    );
+
+    let report = BenchReport {
+        current: Timings {
+            workspace_scan_ms,
+            analyze_ms,
+        },
+        files_scanned,
+        budget_ms,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    // Cargo runs bench binaries with CWD = the package dir; anchor the
+    // report at the workspace root so CI can pick it up from one place.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_lint.json");
+    writeln!(f, "{json}").expect("write BENCH_lint.json");
+    println!("wrote BENCH_lint.json");
+}

@@ -12,7 +12,6 @@
 use cni_dsm::NodeSpace;
 use cni_dsm::{access, LockId, PageHandle, PageId, VAddr};
 use cni_sim::Port;
-// cni-lint: allow(nondet-map) -- page-handle memo, keyed get/insert only; never iterated
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -100,7 +99,6 @@ pub struct ProcCtx<'a> {
     costs: AccessCosts,
     space: Arc<NodeSpace>,
     mru: Option<(u32, PageHandle)>,
-    // cni-lint: allow(nondet-map) -- hot-path handle memo; keyed lookups only, order never observed
     cache: HashMap<u32, PageHandle>,
     pending: u64,
     port: &'a mut Port<YieldMsg, Reply>,
@@ -125,7 +123,6 @@ impl<'a> ProcCtx<'a> {
             costs,
             space,
             mru: None,
-            // cni-lint: allow(nondet-map) -- see field declaration: keyed lookups only
             cache: HashMap::new(),
             pending: 0,
             port,

@@ -1231,7 +1231,7 @@ impl World {
         cause: u64,
     ) -> SimTime {
         let dst = msg.dst.0 as usize;
-        assert_ne!(src, dst, "protocol self-sends are handled locally");
+        debug_assert_ne!(src, dst, "protocol self-sends are handled locally");
         let bytes = msg.payload.wire_bytes();
         let kind = msg.payload.kind();
         let span = self.open_span(now, cause, cni_trace::SPAN_MSG, kind, src, dst, bytes);
@@ -1577,6 +1577,7 @@ impl World {
         let inj = self
             .injector
             .as_mut()
+            // cni-lint: allow(panic-path) -- fault_transmit is only entered behind an injector.is_some() check; this Option is engine state, not wire data
             .expect("fault transmit needs an injector");
         let fpt = self
             .fabric
@@ -1876,6 +1877,7 @@ impl World {
         f.attempts += 1;
         let (seq, frag, attempt, first_span) = (f.seq, f.frag.clone(), f.attempts, f.span);
         if attempt >= 10_000 {
+            // cni-lint: allow(panic-path) -- deliberate livelock detector: 10k resends of one seq means the retransmit logic is broken and the run must die loudly, not spin forever
             panic!(
                 "reliable delivery cannot make progress: {src}->{dst} seq {seq} resent {attempt} times \
                  (base {}, next {}, window {}, pending {}, rx expected {}, ring {}/{})",
@@ -2157,6 +2159,7 @@ impl World {
         self.cpus[dst].inbox.push_back((src as u32, len, data));
         if waiting {
             self.cpus[dst].waiting_recv = false;
+            // cni-lint: allow(panic-path) -- the inbox was pushed two lines up; pop_front on it cannot fail and the value is local engine state
             let (s, l, data) = self.cpus[dst].inbox.pop_front().expect("just pushed");
             self.cpus[dst].pending_reply = Some(Reply::Received {
                 src: s,

@@ -20,7 +20,7 @@ pub struct Diff {
 impl Diff {
     /// Compare `frame` against its `twin`; record every changed word.
     pub fn create(twin: &[u64], frame: &Frame) -> Diff {
-        assert_eq!(twin.len(), frame.len(), "twin/frame size mismatch");
+        debug_assert_eq!(twin.len(), frame.len(), "twin/frame size mismatch");
         let mut entries = Vec::new();
         for (i, &old) in twin.iter().enumerate() {
             let cur = frame.load(i);

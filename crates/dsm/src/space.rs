@@ -14,7 +14,6 @@
 
 use crate::types::PageId;
 use parking_lot::RwLock;
-// cni-lint: allow(nondet-map) -- page table under RwLock, keyed get/insert only; never iterated
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -74,7 +73,7 @@ impl Frame {
 
     /// Overwrite the whole frame (page replies).
     pub fn fill_from(&self, data: &[u64]) {
-        assert_eq!(data.len(), self.words.len(), "frame size mismatch");
+        debug_assert_eq!(data.len(), self.words.len(), "frame size mismatch");
         for (w, &v) in self.words.iter().zip(data) {
             w.store(v, Ordering::Relaxed);
         }
@@ -146,7 +145,6 @@ pub struct PageHandle {
 pub struct NodeSpace {
     page_bytes: usize,
     line_bytes: usize,
-    // cni-lint: allow(nondet-map) -- keyed page lookups only; iteration order never observed
     pages: RwLock<HashMap<PageId, PageHandle>>,
 }
 
@@ -158,7 +156,6 @@ impl NodeSpace {
         NodeSpace {
             page_bytes,
             line_bytes,
-            // cni-lint: allow(nondet-map) -- see field declaration: keyed lookups only
             pages: RwLock::new(HashMap::new()),
         }
     }

@@ -1,0 +1,327 @@
+//! Findings baseline: CI fails only on *new* findings.
+//!
+//! A baseline is the committed set of accepted findings, keyed by
+//! `(rule slug, path, message)` — deliberately **not** by line, so pure
+//! code motion (imports added above, functions reordered) never
+//! invalidates it. `--write-baseline` snapshots the current findings;
+//! `--baseline <file>` filters them out of `--check`. On a clean
+//! workspace the committed baseline is the empty set, and stays that
+//! way: the file exists so the CI diff step has a fixed anchor, not as
+//! a parking lot for violations.
+//!
+//! The format is JSON (an object with a `schema` field and an
+//! `entries` array) written and parsed by hand — the lint keeps its
+//! zero-dependency rule even for its own state files.
+
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+
+/// A parsed baseline: the set of accepted finding keys.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    keys: BTreeSet<(String, String, String)>,
+}
+
+impl Baseline {
+    /// Does the baseline accept this finding?
+    pub fn accepts(&self, f: &Finding) -> bool {
+        self.keys
+            .contains(&(f.rule.slug().to_string(), f.path.clone(), f.message.clone()))
+    }
+
+    /// The findings in `all` that the baseline does not accept.
+    pub fn new_findings<'a>(&self, all: &'a [Finding]) -> Vec<&'a Finding> {
+        all.iter().filter(|f| !self.accepts(f)).collect()
+    }
+
+    /// Number of accepted keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the baseline accepts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Serialize the given findings as a baseline file.
+pub fn render(findings: &[Finding]) -> String {
+    let mut keys: BTreeSet<(String, String, String)> = BTreeSet::new();
+    for f in findings {
+        keys.insert((f.rule.slug().to_string(), f.path.clone(), f.message.clone()));
+    }
+    let mut out =
+        String::from("{\n  \"schema\": 1,\n  \"tool\": \"cni-lint\",\n  \"entries\": [\n");
+    let n = keys.len();
+    for (i, (slug, path, message)) in keys.into_iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"message\": \"{}\"}}{comma}\n",
+            esc(&slug),
+            esc(&path),
+            esc(&message)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a baseline file. Tolerant of whitespace; rejects files whose
+/// `schema` is missing or unknown.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.expect(b'{')?;
+    let mut schema_ok = false;
+    let mut baseline = Baseline::default();
+    loop {
+        p.ws();
+        if p.eat(b'}') {
+            break;
+        }
+        let key = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        match key.as_str() {
+            "schema" => {
+                let v = p.number()?;
+                if v != 1 {
+                    return Err(format!("unsupported baseline schema {v}"));
+                }
+                schema_ok = true;
+            }
+            "tool" => {
+                let _ = p.string()?;
+            }
+            "entries" => {
+                p.expect(b'[')?;
+                loop {
+                    p.ws();
+                    if p.eat(b']') {
+                        break;
+                    }
+                    let (mut rule, mut path, mut message) =
+                        (String::new(), String::new(), String::new());
+                    p.expect(b'{')?;
+                    loop {
+                        p.ws();
+                        if p.eat(b'}') {
+                            break;
+                        }
+                        let k = p.string()?;
+                        p.ws();
+                        p.expect(b':')?;
+                        p.ws();
+                        let v = p.string()?;
+                        match k.as_str() {
+                            "rule" => rule = v,
+                            "path" => path = v,
+                            "message" => message = v,
+                            other => return Err(format!("unknown entry key `{other}`")),
+                        }
+                        p.ws();
+                        p.eat(b',');
+                    }
+                    if rule.is_empty() || path.is_empty() {
+                        return Err("baseline entry missing rule or path".to_string());
+                    }
+                    baseline.keys.insert((rule, path, message));
+                    p.ws();
+                    p.eat(b',');
+                }
+            }
+            other => return Err(format!("unknown baseline key `{other}`")),
+        }
+        p.ws();
+        p.eat(b',');
+    }
+    if !schema_ok {
+        return Err("baseline file has no schema field".to_string());
+    }
+    Ok(baseline)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {} of baseline file",
+                c as char, self.i
+            ))
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "bad number in baseline".to_string())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string in baseline".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err("bad escape in baseline string".to_string()),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 passes through unmodified.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .b
+                        .get(self.i..self.i + len)
+                        .ok_or("truncated UTF-8 in baseline")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "bad UTF-8")?);
+                    self.i += len;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding(slug_rule: Rule, path: &str, msg: &str) -> Finding {
+        Finding {
+            rule: slug_rule,
+            path: path.to_string(),
+            line: 10,
+            col: 3,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip_ignores_lines() {
+        let f = finding(
+            Rule::NondetMap,
+            "crates/dsm/src/space.rs",
+            "iter on `pages`",
+        );
+        let text = render(std::slice::from_ref(&f));
+        let b = parse(&text).unwrap();
+        let mut moved = f.clone();
+        moved.line = 999;
+        assert!(b.accepts(&moved));
+        let other = finding(Rule::NondetMap, "crates/dsm/src/space.rs", "other message");
+        assert_eq!(b.new_findings(&[f, other.clone()]).len(), 1);
+        assert_eq!(b.new_findings(&[other])[0].message, "other message");
+    }
+
+    #[test]
+    fn empty_baseline_accepts_nothing() {
+        let text = render(&[]);
+        let b = parse(&text).unwrap();
+        assert!(b.is_empty());
+        assert!(!b.accepts(&finding(Rule::HostTime, "src/lib.rs", "m")));
+    }
+
+    #[test]
+    fn bad_schema_is_rejected() {
+        assert!(parse("{\"schema\": 9, \"entries\": []}").is_err());
+        assert!(parse("{\"entries\": []}").is_err());
+        assert!(parse("not json").is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let f = finding(
+            Rule::NondetMap,
+            "src/a.rs",
+            "msg with \"quotes\" and\nnewline",
+        );
+        let b = parse(&render(std::slice::from_ref(&f))).unwrap();
+        assert!(b.accepts(&f));
+        assert_eq!(b.len(), 1);
+    }
+}

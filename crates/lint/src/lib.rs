@@ -1,42 +1,66 @@
-//! `cni-lint`: the workspace static-analysis pass that enforces the
-//! determinism contract (DESIGN.md §4.7).
+//! `cni-lint`: the workspace static-analysis engine that enforces the
+//! determinism contract (DESIGN.md §4.7, LINT.md).
 //!
 //! The whole evaluation methodology — execution-driven simulation with
 //! byte-identical `RunReport`s for a given seed, at any worker count —
 //! is only as strong as the absence of hidden nondeterminism sources.
-//! This crate walks every first-party source file with a lightweight
-//! Rust tokenizer (no network, no syn: consistent with the vendored
-//! `third_party/` policy) and enforces five rules:
+//! v2 of the engine analyzes every first-party source file in three
+//! layers (still no network, no syn: consistent with the vendored
+//! `third_party/` policy):
 //!
-//! | ID | slug             | rule |
-//! |----|------------------|------|
-//! | D1 | `nondet-map`     | no `HashMap`/`HashSet` in determinism-sensitive crates |
-//! | D2 | `host-time`      | no `Instant::now`/`SystemTime::now` outside host-timing modules |
-//! | D3 | `ambient-rng`    | no `thread_rng`/`from_entropy`/`RandomState` in sim crates |
-//! | P1 | `panic-path`     | no `unwrap`/`expect`/panic macros/range-slicing on protocol receive paths |
+//! 1. [`lex`]/[`parse`] — a lightweight tokenizer and item-level parser
+//!    producing per-file function, field, and comment models;
+//! 2. [`taint`] — per-function fact sets: panic sites, host-time and
+//!    randomness sources, flow-tracked hash-collection uses, call
+//!    sites, and per-node index expressions;
+//! 3. [`callgraph`] — a workspace call graph over which the rules run
+//!    interprocedurally, with full call chains in the diagnostics.
+//!
+//! | ID | slug               | rule |
+//! |----|--------------------|------|
+//! | D1 | `nondet-map`       | no *observed* hash iteration order in determinism-sensitive crates, directly or through helpers |
+//! | D2 | `host-time`        | no `Instant::now`/`SystemTime::now` outside host-timing modules, including transitively |
+//! | D3 | `ambient-rng`      | no `thread_rng`/`from_entropy`/`RandomState` in sim crates, including transitively |
+//! | D4 | `snap-nondet`      | no hashed iteration or host timestamps on snapshot encode/decode paths |
+//! | P1 | `panic-path`       | no panicking operators reachable from protocol receive roots (BFS over the call graph) |
+//! | C1 | `shard-isolation`  | per-node state is reached through exactly one owning node index; cross-shard work rides the event queue or a designated mediator |
 //! | U1 | `unsafe-no-safety` | every `unsafe` carries a `// SAFETY:` comment |
+//! | S1 | `bad-suppression`  | malformed waiver comments |
+//! | S2 | `unused-suppression` | stale waiver comments |
 //!
 //! A finding is waived with a suppression comment on the same line or
 //! the line directly above:
 //!
 //! ```text
-//! // cni-lint: allow(nondet-map) -- keyed lookups only; never iterated
+//! // cni-lint: allow(panic-path) -- engine invariant, not wire data
 //! ```
 //!
 //! The justification is mandatory; suppressions without one, and
 //! suppressions that no longer match a finding, are themselves findings
 //! (`bad-suppression`, `unused-suppression`) so waivers cannot rot
-//! silently. Test code (`#[cfg(test)]` modules, `tests/`, `benches/`,
-//! `examples/`) is exempt: determinism of the simulation, not of test
-//! scaffolding, is the contract.
+//! silently — flow-sensitivity in v2 retired every standing `nondet-map`
+//! waiver this way. Test code (`#[cfg(test)]` modules, `tests/`,
+//! `benches/`, `examples/`) is exempt: determinism of the simulation,
+//! not of test scaffolding, is the contract.
+//!
+//! The binary adds CI plumbing: `--json` (schema-versioned envelope),
+//! `--sarif` (SARIF 2.1.0), `--baseline`/`--write-baseline` (committed
+//! findings baseline; CI fails only on *new* findings), and
+//! `--explain <rule>`.
 
 #![deny(missing_docs)]
 
+pub mod baseline;
+pub mod callgraph;
 pub mod lex;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod taint;
 pub mod walk;
 
-pub use report::{render_json, render_text};
-pub use rules::{analyze_source, FileAnalysis, Finding, Rule, Suppression};
+pub use report::{render_explain, render_json, render_sarif, render_text};
+pub use rules::{
+    analyze_source, analyze_sources, FileAnalysis, Finding, Rule, Suppression, WorkspaceAnalysis,
+};
 pub use walk::{analyze_workspace, WorkspaceReport};

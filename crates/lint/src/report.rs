@@ -65,18 +65,9 @@ pub fn render_text(r: &WorkspaceReport) -> String {
 }
 
 fn count_by_rule(r: &WorkspaceReport) -> String {
-    let rules = [
-        Rule::NondetMap,
-        Rule::HostTime,
-        Rule::AmbientRng,
-        Rule::PanicPath,
-        Rule::UnsafeNoSafety,
-        Rule::BadSuppression,
-        Rule::UnusedSuppression,
-    ];
     let mut parts = Vec::new();
-    for rule in rules {
-        let n = r.findings.iter().filter(|f| f.rule == rule).count();
+    for rule in Rule::all() {
+        let n = r.findings.iter().filter(|f| f.rule == *rule).count();
         if n > 0 {
             parts.push(format!("{}: {n}", rule.id()));
         }
@@ -103,9 +94,15 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Render the machine-readable `--json` report.
+/// Render the machine-readable `--json` report: a schema-versioned
+/// envelope (like `RunReport`) so CI tooling can detect format drift.
 pub fn render_json(r: &WorkspaceReport) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n");
+    let mut out = String::from("{\n  \"schema\": 2,\n");
+    let _ = writeln!(
+        out,
+        "  \"tool\": {{\"name\": \"cni-lint\", \"version\": \"{}\"}},",
+        env!("CARGO_PKG_VERSION")
+    );
     let _ = writeln!(out, "  \"files_scanned\": {},", r.files_scanned);
     let _ = writeln!(out, "  \"clean\": {},", r.is_clean());
     out.push_str("  \"findings\": [\n");
@@ -144,4 +141,67 @@ pub fn render_json(r: &WorkspaceReport) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Render the report as minimal SARIF 2.1.0 — enough for code-scanning
+/// UIs and diff tooling: one run, one driver, a rule table, and one
+/// result per finding with a physical location.
+pub fn render_sarif(r: &WorkspaceReport) -> String {
+    let mut out = String::from(
+        "{\n  \"version\": \"2.1.0\",\n  \"$schema\": \
+         \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n      \
+         \"tool\": {\n        \"driver\": {\n          \"name\": \"cni-lint\",\n",
+    );
+    let _ = writeln!(
+        out,
+        "          \"version\": \"{}\",",
+        env!("CARGO_PKG_VERSION")
+    );
+    out.push_str("          \"rules\": [\n");
+    let rules = Rule::all();
+    for (i, rule) in rules.iter().enumerate() {
+        let comma = if i + 1 < rules.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "            {{\"id\": \"{}\", \"name\": \"{}\", \"shortDescription\": \
+             {{\"text\": \"{}\"}}}}{comma}",
+            rule.id(),
+            rule.slug(),
+            json_escape(rule.help())
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, f) in r.findings.iter().enumerate() {
+        let comma = if i + 1 < r.findings.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \
+             \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": \
+             {}}}}}}}]}}{comma}",
+            f.rule.id(),
+            json_escape(&f.message),
+            json_escape(&f.path),
+            f.line,
+            f.col
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Render the `--explain <rule>` text for a rule named by id (`P1`) or
+/// slug (`panic-path`). `None` when the name matches no rule.
+pub fn render_explain(name: &str) -> Option<String> {
+    let want = name.to_ascii_lowercase();
+    let rule = Rule::all()
+        .iter()
+        .find(|r| r.id().to_ascii_lowercase() == want || r.slug() == want)?;
+    Some(format!(
+        "{} ({})\n\n{}\n\nhelp: {}\n",
+        rule.id(),
+        rule.slug(),
+        rule.explain(),
+        rule.help()
+    ))
 }

@@ -1,21 +1,31 @@
-//! Rule definitions and the per-file analysis pass.
+//! Rule definitions and the workspace analysis pass.
 //!
-//! Rules operate on the token stream from [`crate::lex`], with three
-//! layers of context derived first:
+//! v2 of the engine evaluates rules over three layers of context
+//! instead of raw tokens:
 //!
-//! 1. **Crate classification** from the file's workspace-relative path:
-//!    which rules apply at all (D1/D3 only bite in the
-//!    determinism-sensitive simulation crates; D2 exempts the designated
-//!    host-timing modules).
-//! 2. **Test-region exclusion**: `#[cfg(test)]`/`#[test]`-gated items
-//!    and test-only file trees are skipped — the contract covers the
-//!    simulation, not its test scaffolding.
-//! 3. **P1 regions**: the protocol receive/reassembly functions (AAL5
-//!    reassembly, go-back-N frame/ack receive, PATHFINDER dispatch)
-//!    where corrupt input is expected and panicking operators are
-//!    banned.
+//! 1. **Crate classification** from each file's workspace-relative
+//!    path: which rules apply at all (D1/D3 only bite in the
+//!    determinism-sensitive simulation crates; D2 exempts the
+//!    designated host-timing modules; D4 covers snapshot paths; C1
+//!    covers the shardable per-node crates).
+//! 2. **Per-function fact sets** from [`crate::taint`]: panic sites,
+//!    host-time and randomness sources, hash-ordered collection uses
+//!    tracked through locals/fields/params, call sites, and per-node
+//!    index expressions.
+//! 3. **The workspace call graph** from [`crate::callgraph`]: P1
+//!    panic-reachability is a BFS from the protocol receive roots; the
+//!    D-family rules propagate source facts along call edges so a
+//!    helper cannot launder a clock read or a hash iteration; C1 walks
+//!    everything reachable from the event dispatcher.
+//!
+//! Findings carry the full call chain in their message when the
+//! violation is interprocedural, so the diagnostic explains *why* the
+//! flagged line is on a hot path two files away from the root.
 
-use crate::lex::{tokenize, Token};
+use crate::callgraph::{Reach, Workspace, STD_METHODS};
+use crate::parse::{parse_file, FileModel};
+use crate::taint::{KEYED_SAFE, ORDER_OBSERVING, PASSTHROUGH};
+use std::collections::BTreeSet;
 
 /// The crates whose iteration order, randomness, and clocks can reach
 /// `RunReport`, trace output, or protocol decisions.
@@ -41,10 +51,11 @@ const HOST_TIME_EXEMPT: &[&str] = &["crates/batch/src/lib.rs", "crates/bench/"];
 /// iterate hashed collections or embed host timestamps in any form.
 const SNAPSHOT_PATHS: &[&str] = &["crates/snap/", "crates/core/src/snapshot.rs"];
 
-/// Protocol receive/reassembly regions: (file suffix, function names).
-/// Corrupt input is expected on these paths post-PR2, so panicking
-/// operators are banned inside them.
-const PANIC_PATH_REGIONS: &[(&str, &[&str])] = &[
+/// Protocol receive/reassembly roots: (file suffix, function names).
+/// Corrupt input is expected on these paths post-PR2; P1 bans
+/// panicking operators in them **and in everything they transitively
+/// call** inside the sim crates.
+pub const PANIC_PATH_REGIONS: &[(&str, &[&str])] = &[
     ("crates/atm/src/aal5.rs", &["push", "finish"]),
     // PduBuf view/split methods: every received cell's payload flows
     // through these, so a panicking index here is reachable from the wire.
@@ -88,20 +99,62 @@ const PANIC_PATH_REGIONS: &[(&str, &[&str])] = &[
     ("crates/nic/src/device.rs", &["ingest_frame"]),
 ];
 
+/// Functions the P1 reachability walk does not descend through:
+/// co-thread resumption is a scheduling boundary — a panic inside
+/// resumed application code is an application bug, not a protocol
+/// receive-path hazard. Documented in LINT.md.
+const P1_BOUNDARY_FNS: &[&str] = &["resume", "wake"];
+
+/// The crates C1 guards: everything that will live inside a shard when
+/// the event queue is partitioned per node/switch (ROADMAP item 2).
+pub const C1_CRATES: &[&str] = &["core", "nic", "dsm"];
+
+/// Per-node state containers on `World` (and mirrors reached through
+/// free functions taking the world): C1 verifies each function
+/// reachable from `dispatch` indexes these through exactly one node
+/// root, with no literals and no index arithmetic.
+pub const PER_NODE_FIELDS: &[&str] = &[
+    "nics",
+    "dsm",
+    "spaces",
+    "cpus",
+    "metrics_prev",
+    "util_prev",
+    "ring_hw",
+    "ring_used",
+];
+
+/// Designated mediators: (file suffix, function name) pairs allowed to
+/// touch more than one node's state. Every entry must carry a
+/// justification in LINT.md §C1 — the allowlist *is* the sharding
+/// design's list of cross-shard synchronization points.
+///
+/// Currently empty: every function reachable from `World::dispatch`
+/// resolves the owning node's index exactly once (`dst`, `src`, or the
+/// resumed proc `p`) and never reaches across. Cross-node effects all
+/// ride the event queue. Keep it that way; add entries here only
+/// together with a LINT.md justification.
+pub const C1_MEDIATORS: &[(&str, &str)] = &[];
+
 /// A lint rule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
-    /// D1: unordered hash collections in determinism-sensitive crates.
+    /// D1: observed iteration order of unordered hash collections in
+    /// determinism-sensitive crates (flow-sensitive).
     NondetMap,
-    /// D2: host clock reads outside designated host-timing modules.
+    /// D2: host clock reads outside designated host-timing modules,
+    /// directly or through calls out of the sim crates.
     HostTime,
-    /// D3: ambient (non-`Config`-seeded) randomness in sim crates.
+    /// D3: ambient (non-`Config`-seeded) randomness in sim crates,
+    /// directly or through calls out of the sim crates.
     AmbientRng,
     /// D4: hashed-order iteration or host timestamps on snapshot
     /// encode/decode paths.
     SnapNondet,
-    /// P1: panicking operators on protocol receive/reassembly paths.
+    /// P1: panicking operators reachable from protocol receive roots.
     PanicPath,
+    /// C1: per-node state reached outside the owning node's index.
+    ShardIsolation,
     /// U1: `unsafe` without a `// SAFETY:` comment.
     UnsafeNoSafety,
     /// A malformed suppression comment (unknown rule, missing `--`
@@ -120,6 +173,7 @@ impl Rule {
             Rule::AmbientRng => "D3",
             Rule::SnapNondet => "D4",
             Rule::PanicPath => "P1",
+            Rule::ShardIsolation => "C1",
             Rule::UnsafeNoSafety => "U1",
             Rule::BadSuppression => "S1",
             Rule::UnusedSuppression => "S2",
@@ -134,10 +188,26 @@ impl Rule {
             Rule::AmbientRng => "ambient-rng",
             Rule::SnapNondet => "snap-nondet",
             Rule::PanicPath => "panic-path",
+            Rule::ShardIsolation => "shard-isolation",
             Rule::UnsafeNoSafety => "unsafe-no-safety",
             Rule::BadSuppression => "bad-suppression",
             Rule::UnusedSuppression => "unused-suppression",
         }
+    }
+
+    /// Every rule, in diagnostic-id order (for `--explain` listings).
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::NondetMap,
+            Rule::HostTime,
+            Rule::AmbientRng,
+            Rule::SnapNondet,
+            Rule::PanicPath,
+            Rule::ShardIsolation,
+            Rule::UnsafeNoSafety,
+            Rule::BadSuppression,
+            Rule::UnusedSuppression,
+        ]
     }
 
     /// The slugs a suppression comment may name (meta rules S1/S2 are
@@ -149,6 +219,7 @@ impl Rule {
             "ambient-rng" => Some(Rule::AmbientRng),
             "snap-nondet" => Some(Rule::SnapNondet),
             "panic-path" => Some(Rule::PanicPath),
+            "shard-isolation" => Some(Rule::ShardIsolation),
             "unsafe-no-safety" => Some(Rule::UnsafeNoSafety),
             _ => None,
         }
@@ -158,7 +229,7 @@ impl Rule {
     pub fn help(self) -> &'static str {
         match self {
             Rule::NondetMap => {
-                "use BTreeMap/BTreeSet (or a seeded hasher), or add \
+                "use BTreeMap/BTreeSet (or keyed-only access), or add \
                  `// cni-lint: allow(nondet-map) -- <why iteration order cannot leak>`"
             }
             Rule::HostTime => {
@@ -173,11 +244,131 @@ impl Rule {
                 "corrupt input is expected here: return an error or count-and-drop instead of \
                  panicking"
             }
+            Rule::ShardIsolation => {
+                "reach per-node state only through the owning node's index or EventQueue \
+                 scheduling; designated mediators are listed in LINT.md"
+            }
             Rule::UnsafeNoSafety => "add a `// SAFETY:` comment on or directly above the block",
             Rule::BadSuppression => {
                 "grammar: `// cni-lint: allow(<rule-slug>) -- <non-empty justification>`"
             }
             Rule::UnusedSuppression => "the waiver matches no finding; delete it",
+        }
+    }
+
+    /// Long-form explanation for `cni-lint --explain <rule>`, mirroring
+    /// the DESIGN.md §4.7 invariant table and LINT.md rule catalog.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::NondetMap => {
+                "D1 nondet-map — hash-order observation in sim crates.\n\
+                 \n\
+                 `HashMap`/`HashSet` iteration order depends on the hasher and on\n\
+                 insertion/capacity history, so any observed iteration order is a\n\
+                 nondeterminism source that can leak into RunReport, traces, or\n\
+                 protocol decisions. The v2 rule is flow-sensitive: declaring or\n\
+                 storing a hash collection is fine; the finding fires where its\n\
+                 order is *observed*. Tracked through locals (`let w = self.pages\n\
+                 .write()`), struct fields, parameters, and returns. Flagged\n\
+                 operations: `iter`, `keys`, `values`, `into_iter`, `drain`,\n\
+                 `retain`, `for .. in`, plus any operation not on the keyed-safe\n\
+                 list (conservative), plus passing the collection to a function\n\
+                 that transitively observes its parameter's order. Keyed-only\n\
+                 access (`get`/`insert`/`remove`/`contains_key`/`len`/..) never\n\
+                 fires. Fix: iterate a BTree collection or a sorted key vector,\n\
+                 or keep access keyed."
+            }
+            Rule::HostTime => {
+                "D2 host-time — wall-clock reads outside the designated modules.\n\
+                 \n\
+                 Simulation time is SimTime, advanced by the event queue. A host\n\
+                 clock read (`Instant::now`, `SystemTime::now`) anywhere else can\n\
+                 leak scheduling jitter into results. Direct reads are flagged in\n\
+                 every first-party file except the designated host-timing modules\n\
+                 (batch::JobTiming, cni-bench). The v2 rule is also\n\
+                 interprocedural: a sim-crate function that calls out of the sim\n\
+                 crates into something that transitively reads the host clock is\n\
+                 flagged at the call site, with the laundering chain in the\n\
+                 message."
+            }
+            Rule::AmbientRng => {
+                "D3 ambient-rng — randomness not derived from Config seeds.\n\
+                 \n\
+                 All randomness must flow from the run's seeds (SimRng/Pcg32) so\n\
+                 a seed fully determines the run. Ambient sources (`thread_rng`,\n\
+                 `from_entropy`, `RandomState`, `OsRng`) are flagged directly in\n\
+                 sim crates, and interprocedurally when a sim-crate function\n\
+                 calls out to a function that transitively draws ambient\n\
+                 randomness."
+            }
+            Rule::SnapNondet => {
+                "D4 snap-nondet — nondeterministic bytes on snapshot paths.\n\
+                 \n\
+                 A checkpoint written twice from the same state must be\n\
+                 byte-identical (deterministic restore, CI torn-write checks).\n\
+                 On snapshot encode/decode paths the rule therefore bans\n\
+                 *presence* of host-time types (`Instant`, `SystemTime`,\n\
+                 `UNIX_EPOCH` — even stored or formatted), flags hash-order\n\
+                 observation with the same flow-sensitive engine as D1, and\n\
+                 flags calls into functions that transitively reach host time."
+            }
+            Rule::PanicPath => {
+                "P1 panic-path — panics reachable from protocol receive roots.\n\
+                 \n\
+                 Corrupt or truncated input is *expected* on receive paths\n\
+                 (AAL5 reassembly, go-back-N frame/ack receive, PATHFINDER\n\
+                 classification, topology routing, NIC ingest, collective\n\
+                 dispatch). The v2 rule computes panic-reachability as a BFS\n\
+                 over the workspace call graph from the receive roots: `.unwrap()`,\n\
+                 `.expect()`, and panic-family macros are flagged in every\n\
+                 sim-crate function reachable from a root, with the full call\n\
+                 chain in the diagnostic. Range-slice indexing (`buf[a..b]`) is\n\
+                 flagged in the roots themselves. The walk does not descend\n\
+                 through co-thread resumption (`resume`, `wake`): panics in\n\
+                 resumed application code are application bugs, not\n\
+                 receive-path hazards. Fix: validate lengths, return\n\
+                 Result/Option, count-and-drop."
+            }
+            Rule::ShardIsolation => {
+                "C1 shard-isolation — the static precondition for the parallel DES.\n\
+                 \n\
+                 ROADMAP item 2 shards the event queue per node/switch; after\n\
+                 that, any access to another node's state outside the event\n\
+                 queue is a cross-shard data race that silently breaks\n\
+                 bit-identity. C1 walks every function reachable from\n\
+                 `World::dispatch` inside cni-core/cni-nic/cni-dsm and verifies\n\
+                 each per-node container (`nics`, `dsm`, `spaces`, `cpus`,\n\
+                 `metrics_prev`, `util_prev`, `ring_hw`, `ring_used`) is indexed\n\
+                 through exactly one node root per function — no literal\n\
+                 indices, no index arithmetic (`p + 1` reaches a neighbour), no\n\
+                 mixing two roots (`src` and `dst` in one function). Functions\n\
+                 that legitimately span nodes are designated mediators,\n\
+                 allowlisted in the rule with a justification in LINT.md §C1;\n\
+                 everything else must route cross-node effects through\n\
+                 EventQueue scheduling."
+            }
+            Rule::UnsafeNoSafety => {
+                "U1 unsafe-no-safety — undocumented unsafe.\n\
+                 \n\
+                 Every `unsafe` block or function must carry a `// SAFETY:`\n\
+                 comment on the same line or within the three lines above,\n\
+                 stating the invariant that makes it sound."
+            }
+            Rule::BadSuppression => {
+                "S1 bad-suppression — malformed waiver comment.\n\
+                 \n\
+                 The waiver grammar is `// cni-lint: allow(<rule-slug>) -- \n\
+                 <non-empty justification>`. Unknown slugs, missing `--`, and\n\
+                 empty justifications are findings. S1/S2 themselves are not\n\
+                 suppressible."
+            }
+            Rule::UnusedSuppression => {
+                "S2 unused-suppression — stale waiver.\n\
+                 \n\
+                 A suppression that no longer matches any finding is itself a\n\
+                 finding, reported at the waiver comment's own line, so waivers\n\
+                 cannot rot silently after the code they excused is fixed."
+            }
         }
     }
 }
@@ -202,8 +393,12 @@ pub struct Finding {
 pub struct Suppression {
     /// Workspace-relative path.
     pub path: String,
-    /// 1-based line of the comment.
+    /// 1-based line the comment *starts* on — where diagnostics about
+    /// the suppression itself (S2) point.
     pub line: u32,
+    /// 1-based line the comment ends on — findings on this line or the
+    /// next are waived (differs from `line` for block comments).
+    pub match_line: u32,
     /// The waived rule.
     pub rule: Rule,
     /// The mandatory justification text.
@@ -212,7 +407,8 @@ pub struct Suppression {
     pub used: bool,
 }
 
-/// Result of analyzing one file.
+/// Result of analyzing one file (compatibility shape for single-file
+/// callers; the engine itself is workspace-scoped).
 #[derive(Clone, Debug, Default)]
 pub struct FileAnalysis {
     /// Unsuppressed findings.
@@ -221,14 +417,27 @@ pub struct FileAnalysis {
     pub suppressions: Vec<Suppression>,
 }
 
+/// Result of analyzing a set of files as one workspace.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceAnalysis {
+    /// Unsuppressed findings, sorted by (path, line, col).
+    pub findings: Vec<Finding>,
+    /// All well-formed suppressions (used or not), in file order.
+    pub suppressions: Vec<Suppression>,
+}
+
 /// Which crate (by directory name under `crates/`) a path belongs to.
-fn crate_of(path: &str) -> Option<&str> {
+fn crate_dir(path: &str) -> Option<&str> {
     let rest = path.split("crates/").nth(1)?;
     rest.split('/').next()
 }
 
 fn is_sim_crate(path: &str) -> bool {
-    crate_of(path).is_some_and(|c| SIM_CRATES.contains(&c))
+    crate_dir(path).is_some_and(|c| SIM_CRATES.contains(&c))
+}
+
+fn is_c1_crate(path: &str) -> bool {
+    crate_dir(path).is_some_and(|c| C1_CRATES.contains(&c))
 }
 
 fn is_host_time_exempt(path: &str) -> bool {
@@ -251,152 +460,6 @@ fn is_test_path(path: &str) -> bool {
         || path.starts_with("tests/")
         || path.starts_with("benches/")
         || path.starts_with("examples/")
-}
-
-/// Line ranges (inclusive) of `#[cfg(test)]`/`#[test]`-gated items.
-fn test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
-            let start_line = toks[i].line;
-            // Scan the attribute to its closing bracket.
-            let mut j = i + 2;
-            let mut depth = 1i32;
-            let mut has_test = false;
-            let mut has_not = false;
-            while j < toks.len() && depth > 0 {
-                if toks[j].is_punct('[') {
-                    depth += 1;
-                } else if toks[j].is_punct(']') {
-                    depth -= 1;
-                } else if let Some(id) = toks[j].ident() {
-                    if id == "test" {
-                        has_test = true;
-                    }
-                    if id == "not" {
-                        has_not = true;
-                    }
-                }
-                j += 1;
-            }
-            // `cfg(not(test))` code is compiled in production: keep it.
-            if has_test && !has_not {
-                if let Some(end_line) = item_end_line(toks, j) {
-                    out.push((start_line, end_line));
-                    i = j;
-                    continue;
-                }
-            }
-            i = j;
-            continue;
-        }
-        i += 1;
-    }
-    out
-}
-
-/// The last line of the item starting at token `i` (skipping any further
-/// attributes): either the `;` that ends a braceless item or the
-/// matching close of its first `{` block.
-fn item_end_line(toks: &[Token], mut i: usize) -> Option<u32> {
-    // Skip stacked attributes.
-    while i + 1 < toks.len() && toks[i].is_punct('#') && toks[i + 1].is_punct('[') {
-        let mut depth = 0i32;
-        loop {
-            if i >= toks.len() {
-                return None;
-            }
-            if toks[i].is_punct('[') {
-                depth += 1;
-            } else if toks[i].is_punct(']') {
-                depth -= 1;
-                if depth == 0 {
-                    i += 1;
-                    break;
-                }
-            }
-            i += 1;
-        }
-    }
-    let mut paren = 0i32;
-    let mut bracket = 0i32;
-    while i < toks.len() {
-        let t = &toks[i];
-        if t.is_punct('(') {
-            paren += 1;
-        } else if t.is_punct(')') {
-            paren -= 1;
-        } else if t.is_punct('[') {
-            bracket += 1;
-        } else if t.is_punct(']') {
-            bracket -= 1;
-        } else if t.is_punct(';') && paren == 0 && bracket == 0 {
-            return Some(t.line);
-        } else if t.is_punct('{') && paren == 0 && bracket == 0 {
-            return brace_close_line(toks, i);
-        }
-        i += 1;
-    }
-    None
-}
-
-/// Line of the `}` matching the `{` at token index `open`.
-fn brace_close_line(toks: &[Token], open: usize) -> Option<u32> {
-    let mut depth = 0i32;
-    for t in &toks[open..] {
-        if t.is_punct('{') {
-            depth += 1;
-        } else if t.is_punct('}') {
-            depth -= 1;
-            if depth == 0 {
-                return Some(t.line);
-            }
-        }
-    }
-    None
-}
-
-/// Line ranges of the P1 (protocol receive path) functions in `path`.
-fn panic_path_ranges(path: &str, toks: &[Token]) -> Vec<(u32, u32)> {
-    let Some((_, fns)) = PANIC_PATH_REGIONS
-        .iter()
-        .find(|(suffix, _)| path.ends_with(suffix))
-    else {
-        return Vec::new();
-    };
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].ident() == Some("fn") {
-            if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
-                if fns.contains(&name) {
-                    // Find the body's opening brace; a `;` first means a
-                    // bodiless declaration.
-                    let mut j = i + 2;
-                    let mut paren = 0i32;
-                    while j < toks.len() {
-                        let t = &toks[j];
-                        if t.is_punct('(') {
-                            paren += 1;
-                        } else if t.is_punct(')') {
-                            paren -= 1;
-                        } else if t.is_punct(';') && paren == 0 {
-                            break;
-                        } else if t.is_punct('{') && paren == 0 {
-                            if let Some(end) = brace_close_line(toks, j) {
-                                out.push((toks[i].line, end));
-                            }
-                            break;
-                        }
-                        j += 1;
-                    }
-                }
-            }
-        }
-        i += 1;
-    }
-    out
 }
 
 fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
@@ -433,268 +496,495 @@ fn parse_suppression(text: &str) -> Option<Result<(Rule, String), String>> {
     Some(Ok((rule, justification.to_string())))
 }
 
-/// Identifiers that, called as macros (`name!`), abort on the spot.
-const PANIC_MACROS: &[&str] = &[
-    "panic",
-    "unreachable",
-    "todo",
-    "unimplemented",
-    "assert",
-    "assert_eq",
-    "assert_ne",
-];
+/// The candidate accumulator: dedup one finding per (rule, path, line).
+struct Candidates {
+    findings: Vec<Finding>,
+}
 
-/// Analyze one source file. `path` must be workspace-relative with `/`
-/// separators — it selects which rules apply.
-pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
-    let mut out = FileAnalysis::default();
-    if is_test_path(path) {
-        return out;
-    }
-    let (toks, comments) = tokenize(src);
-    let excluded = test_ranges(&toks);
-    let p1_ranges = panic_path_ranges(path, &toks);
-    let sim = is_sim_crate(path);
-    let time_exempt = is_host_time_exempt(path);
-    let snap = is_snapshot_path(path);
-
-    let mut candidates: Vec<Finding> = Vec::new();
-    let push = |candidates: &mut Vec<Finding>, rule: Rule, line: u32, col: u32, msg: String| {
-        // One finding per (rule, line): a `use` naming HashMap twice is
-        // one decision for the author and one suppression.
-        if candidates.iter().any(|f| f.rule == rule && f.line == line) {
+impl Candidates {
+    fn push(&mut self, rule: Rule, path: &str, line: u32, col: u32, message: String) {
+        if self
+            .findings
+            .iter()
+            .any(|f| f.rule == rule && f.path == path && f.line == line)
+        {
             return;
         }
-        candidates.push(Finding {
+        self.findings.push(Finding {
             rule,
             path: path.to_string(),
             line,
             col,
-            message: msg,
+            message,
         });
-    };
+    }
+}
 
-    for (i, t) in toks.iter().enumerate() {
-        if in_ranges(&excluded, t.line) {
-            continue;
+/// Analyze a set of `(workspace-relative path, source)` pairs as one
+/// workspace: parse, build the call graph, evaluate every rule, then
+/// match suppressions per file.
+pub fn analyze_sources(inputs: &[(String, String)]) -> WorkspaceAnalysis {
+    let models: Vec<FileModel> = inputs
+        .iter()
+        .filter(|(p, _)| !is_test_path(p))
+        .map(|(p, s)| parse_file(p, s))
+        .collect();
+    let ws = Workspace::build(models);
+
+    let mut cand = Candidates {
+        findings: Vec::new(),
+    };
+    direct_token_rules(&ws, &mut cand);
+    rule_p1(&ws, &mut cand);
+    rule_c1(&ws, &mut cand);
+    rule_hash_flow(&ws, &mut cand);
+    rule_cross_crate_sources(&ws, &mut cand);
+
+    // Drop candidates that land inside test-gated ranges (facts are
+    // computed per fn and already skip `in_test` fns; the token pass
+    // filters by line — this is the common net for both).
+    let mut out = WorkspaceAnalysis::default();
+    let mut findings = Vec::new();
+
+    for file in &ws.files {
+        // Suppressions for this file.
+        let mut sups: Vec<Suppression> = Vec::new();
+        for c in &file.comments {
+            if in_ranges(&file.test_ranges, c.line) {
+                continue;
+            }
+            // Doc comments (`///`, `//!`, `/** */`) never carry live
+            // suppressions — they may quote the grammar as documentation.
+            if matches!(c.text.as_bytes().first(), Some(b'/' | b'!' | b'*')) {
+                continue;
+            }
+            match parse_suppression(&c.text) {
+                None => {}
+                Some(Err(msg)) => {
+                    findings.push(Finding {
+                        rule: Rule::BadSuppression,
+                        path: file.path.clone(),
+                        line: c.line,
+                        col: 1,
+                        message: msg,
+                    });
+                }
+                Some(Ok((rule, justification))) => {
+                    sups.push(Suppression {
+                        path: file.path.clone(),
+                        line: c.line,
+                        match_line: c.end_line,
+                        rule,
+                        justification,
+                        used: false,
+                    });
+                }
+            }
         }
-        let Some(id) = t.ident() else {
-            // P1: range-slice indexing `buf[a..b]` — the only indexing
-            // form the tokenizer can attribute reliably.
-            if t.is_punct('[')
-                && in_ranges(&p1_ranges, t.line)
-                && i > 0
-                && (toks[i - 1].ident().is_some()
-                    || toks[i - 1].is_punct(')')
-                    || toks[i - 1].is_punct(']'))
-                && index_has_range(&toks, i)
-            {
-                push(
-                    &mut candidates,
+        for f in cand
+            .findings
+            .iter()
+            .filter(|f| f.path == file.path && !in_ranges(&file.test_ranges, f.line))
+        {
+            let waived = sups.iter_mut().find(|s| {
+                s.rule == f.rule && (s.match_line == f.line || s.match_line + 1 == f.line)
+            });
+            match waived {
+                Some(s) => s.used = true,
+                None => findings.push(f.clone()),
+            }
+        }
+        for s in &sups {
+            if !s.used {
+                findings.push(Finding {
+                    rule: Rule::UnusedSuppression,
+                    path: file.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!("suppression for `{}` waives nothing", s.rule.slug()),
+                });
+            }
+        }
+        out.suppressions.extend(sups);
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    out.findings = findings;
+    out
+}
+
+/// Single-file compatibility wrapper over [`analyze_sources`].
+pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
+    let r = analyze_sources(&[(path.to_string(), src.to_string())]);
+    FileAnalysis {
+        findings: r.findings,
+        suppressions: r.suppressions,
+    }
+}
+
+/// The token-level direct rules that need no dataflow: D2 direct clock
+/// reads, D3 direct randomness, D4 host-time presence on snapshot
+/// paths, U1 undocumented unsafe.
+fn direct_token_rules(ws: &Workspace, cand: &mut Candidates) {
+    for file in &ws.files {
+        let path = file.path.as_str();
+        let sim = is_sim_crate(path);
+        let time_exempt = is_host_time_exempt(path);
+        let snap = is_snapshot_path(path);
+        for (i, t) in file.toks.iter().enumerate() {
+            if in_ranges(&file.test_ranges, t.line) {
+                continue;
+            }
+            let Some(id) = t.ident() else { continue };
+            match id {
+                // On snapshot paths any host-time type is banned outright —
+                // even stored or formatted, not just `::now()` reads.
+                "Instant" | "SystemTime" | "UNIX_EPOCH" if snap => {
+                    cand.push(
+                        Rule::SnapNondet,
+                        path,
+                        t.line,
+                        t.col,
+                        format!("host timestamp `{id}` on a snapshot encode/decode path"),
+                    );
+                }
+                "Instant" | "SystemTime"
+                    if !time_exempt && crate::taint::follows_path_call(&file.toks, i, "now") =>
+                {
+                    cand.push(
+                        Rule::HostTime,
+                        path,
+                        t.line,
+                        t.col,
+                        format!("`{id}::now()` outside the designated host-timing modules"),
+                    );
+                }
+                "thread_rng" | "from_entropy" | "RandomState" | "OsRng" if sim => {
+                    cand.push(
+                        Rule::AmbientRng,
+                        path,
+                        t.line,
+                        t.col,
+                        format!("ambient randomness source `{id}` in a sim crate"),
+                    );
+                }
+                "unsafe" => {
+                    let covered = file.comments.iter().any(|c| {
+                        c.text.contains("SAFETY:")
+                            && c.end_line <= t.line
+                            && c.end_line + 3 >= t.line
+                    });
+                    if !covered {
+                        cand.push(
+                            Rule::UnsafeNoSafety,
+                            path,
+                            t.line,
+                            t.col,
+                            "`unsafe` without a `// SAFETY:` comment".to_string(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// P1: interprocedural panic-reachability from the receive roots.
+fn rule_p1(ws: &Workspace, cand: &mut Candidates) {
+    let mut roots = Vec::new();
+    for (suffix, names) in PANIC_PATH_REGIONS {
+        for name in *names {
+            roots.extend(ws.find(suffix, name));
+        }
+    }
+    let parents = ws.bfs(&roots, |m| {
+        is_sim_crate(ws.path(m))
+            && !ws.def(m).in_test
+            && !P1_BOUNDARY_FNS.contains(&ws.def(m).name.as_str())
+    });
+    let root_set: BTreeSet<usize> = roots.iter().copied().collect();
+    // Visit in deterministic node order.
+    for (&n, _) in parents.iter() {
+        let path = ws.path(n).to_string();
+        let facts = &ws.facts[n];
+        let is_root = root_set.contains(&n);
+        let chain = ws.chain(&parents, n);
+        let root_name = chain.first().cloned().unwrap_or_default();
+        let via = chain.join(" → ");
+        for site in facts.panic_unwraps.iter().chain(&facts.panic_macros) {
+            let message = if is_root {
+                format!("{} on a protocol receive path", site.what)
+            } else {
+                format!(
+                    "{} reachable from receive root `{root_name}` (via {via})",
+                    site.what
+                )
+            };
+            cand.push(Rule::PanicPath, &path, site.line, site.col, message);
+        }
+        if is_root {
+            for site in &facts.range_slices {
+                cand.push(
                     Rule::PanicPath,
-                    t.line,
-                    t.col,
+                    &path,
+                    site.line,
+                    site.col,
                     "range-slice indexing on a protocol receive path (panics on short input)"
                         .to_string(),
                 );
             }
+        }
+    }
+}
+
+/// C1: shard isolation over everything reachable from `World::dispatch`.
+fn rule_c1(ws: &Workspace, cand: &mut Candidates) {
+    let roots = ws.find("crates/core/src/world.rs", "dispatch");
+    let parents = ws.bfs(&roots, |m| is_c1_crate(ws.path(m)) && !ws.def(m).in_test);
+    for (&n, _) in parents.iter() {
+        let path = ws.path(n).to_string();
+        let def = ws.def(n);
+        if C1_MEDIATORS
+            .iter()
+            .any(|(suffix, name)| path.ends_with(suffix) && def.name == *name)
+        {
             continue;
-        };
-        match id {
-            // D4 outranks D1 on snapshot paths: same hazard, stricter
-            // contract (the encode bytes themselves must be stable).
-            "HashMap" | "HashSet" if snap => {
-                push(
-                    &mut candidates,
-                    Rule::SnapNondet,
-                    t.line,
-                    t.col,
-                    format!("`{id}` on a snapshot encode/decode path (hashed iteration order)"),
-                );
-            }
-            "HashMap" | "HashSet" if sim => {
-                push(
-                    &mut candidates,
-                    Rule::NondetMap,
-                    t.line,
-                    t.col,
+        }
+        let chain = ws.chain(&parents, n).join(" → ");
+        let fn_name = ws.name(n);
+        let sites: Vec<_> = ws.facts[n]
+            .indexes
+            .iter()
+            .filter(|s| PER_NODE_FIELDS.contains(&s.field.as_str()))
+            .collect();
+        let mut seen_roots: Vec<String> = Vec::new();
+        for s in &sites {
+            if s.literal {
+                cand.push(
+                    Rule::ShardIsolation,
+                    &path,
+                    s.line,
+                    s.col,
                     format!(
-                        "`{id}` in determinism-sensitive crate `{}`",
-                        crate_name(path)
+                        "per-node state `{}` indexed by a literal in `{fn_name}` (reachable via {chain})",
+                        s.field
                     ),
                 );
             }
-            // On snapshot paths any host-time type is banned outright —
-            // even stored or formatted, not just `::now()` reads.
-            "Instant" | "SystemTime" | "UNIX_EPOCH" if snap => {
-                push(
-                    &mut candidates,
-                    Rule::SnapNondet,
-                    t.line,
-                    t.col,
-                    format!("host timestamp `{id}` on a snapshot encode/decode path"),
+            if s.arith {
+                cand.push(
+                    Rule::ShardIsolation,
+                    &path,
+                    s.line,
+                    s.col,
+                    format!(
+                        "per-node state `{}` indexed by an arithmetic expression in `{fn_name}` \
+                         (reachable via {chain}); derive the owning node's index, don't compute \
+                         a neighbour's",
+                        s.field
+                    ),
                 );
             }
-            "Instant" | "SystemTime" if !time_exempt && follows_path_call(&toks, i, "now") => {
-                push(
-                    &mut candidates,
-                    Rule::HostTime,
-                    t.line,
-                    t.col,
-                    format!("`{id}::now()` outside the designated host-timing modules"),
-                );
-            }
-            "thread_rng" | "from_entropy" | "RandomState" | "OsRng" if sim => {
-                push(
-                    &mut candidates,
-                    Rule::AmbientRng,
-                    t.line,
-                    t.col,
-                    format!("ambient randomness source `{id}` in a sim crate"),
-                );
-            }
-            "unwrap" | "expect"
-                if in_ranges(&p1_ranges, t.line)
-                    && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
-            {
-                push(
-                    &mut candidates,
-                    Rule::PanicPath,
-                    t.line,
-                    t.col,
-                    format!("`.{id}()` on a protocol receive path"),
-                );
-            }
-            m if PANIC_MACROS.contains(&m)
-                && in_ranges(&p1_ranges, t.line)
-                && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
-            {
-                push(
-                    &mut candidates,
-                    Rule::PanicPath,
-                    t.line,
-                    t.col,
-                    format!("`{m}!` on a protocol receive path"),
-                );
-            }
-            "unsafe" => {
-                let covered = comments.iter().any(|c| {
-                    c.text.contains("SAFETY:") && c.end_line <= t.line && c.end_line + 3 >= t.line
-                });
-                if !covered {
-                    push(
-                        &mut candidates,
-                        Rule::UnsafeNoSafety,
-                        t.line,
-                        t.col,
-                        "`unsafe` without a `// SAFETY:` comment".to_string(),
-                    );
-                }
-            }
-            _ => {}
-        }
-    }
-
-    // Suppressions: same line as the finding, or the line directly above.
-    let mut suppressions: Vec<Suppression> = Vec::new();
-    for c in &comments {
-        if in_ranges(&excluded, c.line) {
-            continue;
-        }
-        // Doc comments (`///`, `//!`, `/** */`) never carry live
-        // suppressions — they may quote the grammar as documentation.
-        if matches!(c.text.as_bytes().first(), Some(b'/' | b'!' | b'*')) {
-            continue;
-        }
-        match parse_suppression(&c.text) {
-            None => {}
-            Some(Err(msg)) => {
-                out.findings.push(Finding {
-                    rule: Rule::BadSuppression,
-                    path: path.to_string(),
-                    line: c.line,
-                    col: 1,
-                    message: msg,
-                });
-            }
-            Some(Ok((rule, justification))) => {
-                suppressions.push(Suppression {
-                    path: path.to_string(),
-                    line: c.line,
-                    rule,
-                    justification,
-                    used: false,
-                });
-                // Remember the last line the comment spans for matching.
-                if c.end_line != c.line {
-                    if let Some(s) = suppressions.last_mut() {
-                        s.line = c.end_line;
+            for r in &s.roots {
+                if !seen_roots.contains(r) {
+                    if !seen_roots.is_empty() {
+                        cand.push(
+                            Rule::ShardIsolation,
+                            &path,
+                            s.line,
+                            s.col,
+                            format!(
+                                "per-node state reached through multiple index roots (`{}`, `{r}`) \
+                                 in `{fn_name}` (reachable via {chain}); cross-shard access must \
+                                 go through EventQueue scheduling or a designated mediator",
+                                seen_roots.join("`, `")
+                            ),
+                        );
                     }
+                    seen_roots.push(r.clone());
                 }
             }
         }
     }
-
-    for f in candidates {
-        let waived = suppressions
-            .iter_mut()
-            .find(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line));
-        match waived {
-            Some(s) => s.used = true,
-            None => out.findings.push(f),
-        }
-    }
-    for s in &suppressions {
-        if !s.used {
-            out.findings.push(Finding {
-                rule: Rule::UnusedSuppression,
-                path: path.to_string(),
-                line: s.line,
-                col: 1,
-                message: format!("suppression for `{}` waives nothing", s.rule.slug()),
-            });
-        }
-    }
-    out.suppressions = suppressions;
-    out.findings.sort_by_key(|a| (a.line, a.col, a.rule));
-    out
 }
 
-fn crate_name(path: &str) -> String {
-    crate_of(path)
-        .map(|c| format!("cni-{c}"))
-        .unwrap_or_else(|| "cni-suite".to_string())
-}
-
-/// Does `toks[i]` (an ident) begin `Ident::method(`?
-fn follows_path_call(toks: &[Token], i: usize, method: &str) -> bool {
-    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
-        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
-        && toks.get(i + 3).and_then(|t| t.ident()) == Some(method)
-        && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
-}
-
-/// Does the index expression opening at `toks[open] == '['` contain a
-/// `..` at bracket depth 1 (i.e. is it a range slice)?
-fn index_has_range(toks: &[Token], open: usize) -> bool {
-    let mut depth = 0i32;
-    let mut j = open;
-    while j < toks.len() {
-        let t = &toks[j];
-        if t.is_punct('[') || t.is_punct('(') || t.is_punct('{') {
-            depth += 1;
-        } else if t.is_punct(']') || t.is_punct(')') || t.is_punct('}') {
-            depth -= 1;
-            if depth == 0 {
-                return false;
+/// D1/D4 hash part: flow-sensitive order-observation findings plus
+/// interprocedural escapes into order-observing callees.
+fn rule_hash_flow(ws: &Workspace, cand: &mut Candidates) {
+    // Transitive "observes the order of its hash-typed params" with
+    // witness edges for chain reconstruction.
+    let mut obs: Vec<Reach> = (0..ws.nodes.len())
+        .map(|i| {
+            if ws.facts[i].observes_hash_param {
+                Reach::Direct
+            } else {
+                Reach::No
             }
-        } else if depth == 1 && t.is_punct('.') && toks.get(j + 1).is_some_and(|n| n.is_punct('.'))
-        {
-            return true;
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..ws.nodes.len() {
+            if obs[i].holds() {
+                continue;
+            }
+            for &(ci, c) in &ws.resolved_calls[i] {
+                if obs[c].holds() && !ws.facts[i].calls[ci].hash_param_args.is_empty() {
+                    obs[i] = Reach::Via(c);
+                    changed = true;
+                    break;
+                }
+            }
         }
-        j += 1;
+        if !changed {
+            break;
+        }
     }
-    false
+
+    for n in 0..ws.nodes.len() {
+        let path = ws.path(n).to_string();
+        if ws.def(n).in_test {
+            continue;
+        }
+        let sim = is_sim_crate(&path);
+        let snap = is_snapshot_path(&path);
+        if !sim && !snap {
+            continue;
+        }
+        // D4 outranks D1 on snapshot paths: same hazard, stricter contract.
+        let rule = if snap {
+            Rule::SnapNondet
+        } else {
+            Rule::NondetMap
+        };
+        for u in &ws.facts[n].hash_uses {
+            cand.push(
+                rule,
+                &path,
+                u.site.line,
+                u.site.col,
+                format!("hash-ordered `{}`: {}", u.name, u.site.what),
+            );
+        }
+        // Escapes through calls.
+        let resolved: BTreeSet<usize> = ws.resolved_calls[n].iter().map(|&(ci, _)| ci).collect();
+        for &(ci, c) in &ws.resolved_calls[n] {
+            let call = &ws.facts[n].calls[ci];
+            if call.hash_args.is_empty() {
+                continue;
+            }
+            let cpath = ws.path(c);
+            // A callee in a guarded crate gets flagged at its own
+            // observation site; flagging the caller too is noise.
+            if obs[c].holds() && !is_sim_crate(cpath) && !is_snapshot_path(cpath) {
+                let chain = ws.reach_chain(&obs, c).join(" → ");
+                cand.push(
+                    rule,
+                    &path,
+                    call.line,
+                    call.col,
+                    format!(
+                        "hash-ordered `{}` passed to `{}`, which observes its iteration order \
+                         (via {chain})",
+                        call.hash_args.join("`, `"),
+                        ws.name(c)
+                    ),
+                );
+            }
+        }
+        for (ci, call) in ws.facts[n].calls.iter().enumerate() {
+            if resolved.contains(&ci) || call.hash_args.is_empty() {
+                continue;
+            }
+            // Constructors and vetted std operations are order-free or
+            // covered by the chain classifier; anything else unresolved
+            // is conservatively flagged.
+            if call.callee.chars().next().is_some_and(|c| c.is_uppercase())
+                || STD_METHODS.contains(&call.callee.as_str())
+                || KEYED_SAFE.contains(&call.callee.as_str())
+                || PASSTHROUGH.contains(&call.callee.as_str())
+                || ORDER_OBSERVING.contains(&call.callee.as_str())
+            {
+                continue;
+            }
+            cand.push(
+                rule,
+                &path,
+                call.line,
+                call.col,
+                format!(
+                    "hash-ordered `{}` passed to unresolved call `{}`; order-freedom cannot \
+                     be proven",
+                    call.hash_args.join("`, `"),
+                    call.callee
+                ),
+            );
+        }
+    }
+}
+
+/// D2/D3/D4 interprocedural: calls from guarded functions out of the
+/// guarded crates into functions that transitively reach a host clock
+/// or ambient randomness.
+fn rule_cross_crate_sources(ws: &Workspace, cand: &mut Candidates) {
+    let time_reach = ws.reaches(|i| !ws.facts[i].time_now.is_empty());
+    let rng_reach = ws.reaches(|i| !ws.facts[i].rng.is_empty());
+    for n in 0..ws.nodes.len() {
+        let path = ws.path(n).to_string();
+        if ws.def(n).in_test {
+            continue;
+        }
+        let sim = is_sim_crate(&path);
+        let snap = is_snapshot_path(&path);
+        if !sim && !snap {
+            continue;
+        }
+        let caller_name = ws.name(n);
+        for &(ci, c) in &ws.resolved_calls[n] {
+            let cpath = ws.path(c);
+            // Inside the guarded crates the callee is flagged at its own
+            // site (directly or by this same rule one level down).
+            if is_sim_crate(cpath) || is_snapshot_path(cpath) {
+                continue;
+            }
+            let call = &ws.facts[n].calls[ci];
+            if time_reach[c].holds() {
+                let chain = ws.reach_chain(&time_reach, c).join(" → ");
+                let rule = if snap {
+                    Rule::SnapNondet
+                } else {
+                    Rule::HostTime
+                };
+                cand.push(
+                    rule,
+                    &path,
+                    call.line,
+                    call.col,
+                    format!(
+                        "call into `{}` transitively reads the host clock \
+                         (via {caller_name} → {chain})",
+                        ws.name(c)
+                    ),
+                );
+            }
+            if sim && rng_reach[c].holds() {
+                let chain = ws.reach_chain(&rng_reach, c).join(" → ");
+                cand.push(
+                    Rule::AmbientRng,
+                    &path,
+                    call.line,
+                    call.col,
+                    format!(
+                        "call into `{}` transitively draws ambient randomness \
+                         (via {caller_name} → {chain})",
+                        ws.name(c)
+                    ),
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -706,6 +996,10 @@ mod tests {
         assert!(parse_suppression("ordinary comment").is_none());
         let ok = parse_suppression("cni-lint: allow(nondet-map) -- keyed lookups only");
         assert!(matches!(ok, Some(Ok((Rule::NondetMap, _)))));
+        assert!(matches!(
+            parse_suppression("cni-lint: allow(shard-isolation) -- mediator"),
+            Some(Ok((Rule::ShardIsolation, _)))
+        ));
         assert!(matches!(
             parse_suppression("cni-lint: allow(nondet-map)"),
             Some(Err(_))
@@ -739,5 +1033,15 @@ mod tests {
         assert!(is_test_path("crates/nic/tests/msgcache_model.rs"));
         assert!(is_test_path("tests/byte_identity.rs"));
         assert!(!is_test_path("crates/nic/src/msgcache.rs"));
+        assert!(is_c1_crate("crates/nic/src/device.rs"));
+        assert!(!is_c1_crate("crates/atm/src/fabric.rs"));
+    }
+
+    #[test]
+    fn every_rule_has_explain_text() {
+        for r in Rule::all() {
+            assert!(!r.explain().is_empty());
+            assert!(r.explain().contains(r.slug()), "{}", r.slug());
+        }
     }
 }

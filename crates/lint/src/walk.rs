@@ -7,7 +7,7 @@
 //! scope. Files are visited in sorted path order so the lint's own
 //! output is deterministic.
 
-use crate::rules::{analyze_source, Finding, Suppression};
+use crate::rules::{analyze_sources, Finding, Suppression};
 use std::path::{Path, PathBuf};
 
 /// The aggregate result of a workspace run.
@@ -66,7 +66,9 @@ fn source_roots(root: &Path) -> Vec<PathBuf> {
     roots
 }
 
-/// Analyze the workspace rooted at `root`.
+/// Analyze the workspace rooted at `root`: read every first-party
+/// source file, then run the whole set through the workspace engine in
+/// one pass (the call graph needs all files before any rule runs).
 pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
     let mut report = WorkspaceReport::default();
     let mut files = Vec::new();
@@ -74,6 +76,7 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
         collect_rs(&src_root, &mut files);
     }
     files.sort();
+    let mut inputs = Vec::with_capacity(files.len());
     for file in files {
         let rel = file
             .strip_prefix(root)
@@ -81,11 +84,12 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&file)?;
-        let analysis = analyze_source(&rel, &src);
-        report.findings.extend(analysis.findings);
-        report.suppressions.extend(analysis.suppressions);
-        report.files_scanned += 1;
+        inputs.push((rel, src));
     }
+    report.files_scanned = inputs.len();
+    let analysis = analyze_sources(&inputs);
+    report.findings = analysis.findings;
+    report.suppressions = analysis.suppressions;
     Ok(report)
 }
 

@@ -5,7 +5,7 @@
 //! classification (sim vs host-timing vs test code) is derived from the
 //! path, not the file's real location.
 
-use cni_lint::rules::{analyze_source, Rule};
+use cni_lint::rules::{analyze_source, analyze_sources, Rule};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -22,21 +22,22 @@ fn hits(path: &str, src: &str) -> Vec<(Rule, u32)> {
 }
 
 #[test]
-fn d1_fires_on_hash_collections_in_sim_crates() {
+fn d1_fires_on_observed_hash_order_in_sim_crates() {
     let src = fixture("d1_bad.rs");
     assert_eq!(
         hits("crates/dsm/src/fixture.rs", &src),
         vec![
-            (Rule::NondetMap, 1), // use ... HashMap
-            (Rule::NondetMap, 2), // use ... HashSet
-            (Rule::NondetMap, 5), // field: HashMap<..>
-            (Rule::NondetMap, 6), // field: HashSet<..>
+            (Rule::NondetMap, 9),  // self.flows.iter() feeding collect
+            (Rule::NondetMap, 14), // for .. in self.flows.values()
         ]
     );
 }
 
 #[test]
-fn d1_quiet_on_btree_collections() {
+fn d1_quiet_on_keyed_hash_access() {
+    // Flow sensitivity: *declaring* a HashMap is fine; only observing
+    // its iteration order is a finding. Keyed get/insert/len stay quiet
+    // — this is what let the standing per-field waivers be deleted.
     let src = fixture("d1_clean.rs");
     assert!(hits("crates/dsm/src/fixture.rs", &src).is_empty());
 }
@@ -60,7 +61,7 @@ fn d1_suppression_waives_and_is_reported_used() {
     let src = fixture("d1_suppressed.rs");
     let analysis = analyze_source("crates/nic/src/fixture.rs", &src);
     assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
-    assert_eq!(analysis.suppressions.len(), 2);
+    assert_eq!(analysis.suppressions.len(), 1);
     for s in &analysis.suppressions {
         assert!(s.used, "suppression at line {} unused", s.line);
         assert!(!s.justification.is_empty());
@@ -103,10 +104,9 @@ fn d3_quiet_on_config_seeded_rng() {
 fn d4_fires_on_snapshot_encode_paths() {
     let src = fixture("d4_bad.rs");
     let expected = vec![
-        (Rule::SnapNondet, 1), // use ... HashMap
-        (Rule::SnapNondet, 2), // use ... SystemTime
-        (Rule::SnapNondet, 4), // arg: &HashMap<..>
+        (Rule::SnapNondet, 2), // use ... SystemTime (type ban stays presence-based)
         (Rule::SnapNondet, 5), // stored SystemTime (even without ::now())
+        (Rule::SnapNondet, 7), // map.iter() observes hashed order during encode
     ];
     assert_eq!(hits("crates/snap/src/fixture.rs", &src), expected);
     assert_eq!(hits("crates/core/src/snapshot.rs", &src), expected);
@@ -141,7 +141,7 @@ fn d4_suppression_waives_and_is_reported_used() {
     let src = fixture("d4_suppressed.rs");
     let analysis = analyze_source("crates/snap/src/fixture.rs", &src);
     assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
-    assert_eq!(analysis.suppressions.len(), 2);
+    assert_eq!(analysis.suppressions.len(), 1);
     for s in &analysis.suppressions {
         assert!(s.used, "suppression at line {} unused", s.line);
     }
@@ -300,6 +300,130 @@ fn s1_fires_on_malformed_suppressions() {
             (Rule::BadSuppression, 4), // missing `-- <justification>`
         ]
     );
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural trios: bad / clean / suppressed for the v2 call-graph
+// rules. Each bad fixture hides the hazard behind at least one call so a
+// token scanner could never find it.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn p1_interproc_finds_panic_two_calls_below_a_receive_root() {
+    let src = fixture("p1_interproc_bad.rs");
+    let analysis = analyze_source("crates/core/src/world.rs", &src);
+    let f: Vec<_> = analysis.findings.iter().collect();
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!((f[0].rule, f[0].line), (Rule::PanicPath, 15));
+    // The diagnostic must carry the full call chain from the root.
+    assert!(
+        f[0].message.contains("receive root `World::on_frame_rx`"),
+        "{}",
+        f[0].message
+    );
+    assert!(
+        f[0].message
+            .contains("World::on_frame_rx → World::validate_seq → World::window_slot"),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn p1_interproc_quiet_when_the_leaf_returns_option() {
+    let src = fixture("p1_interproc_clean.rs");
+    assert!(hits("crates/core/src/world.rs", &src).is_empty());
+}
+
+#[test]
+fn p1_interproc_suppression_at_the_leaf_waives() {
+    let src = fixture("p1_interproc_suppressed.rs");
+    let analysis = analyze_source("crates/core/src/world.rs", &src);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    assert_eq!(analysis.suppressions.len(), 1);
+    assert!(analysis.suppressions[0].used);
+}
+
+/// Run a caller fixture together with the shared `d1_helper.rs` (a
+/// non-sim utility crate) so the hash-escape rule sees both sides.
+fn with_helper(caller_name: &str) -> cni_lint::rules::WorkspaceAnalysis {
+    let inputs = vec![
+        (
+            "crates/core/src/report.rs".to_string(),
+            fixture(caller_name),
+        ),
+        (
+            "crates/apps/src/rows.rs".to_string(),
+            fixture("d1_helper.rs"),
+        ),
+    ];
+    analyze_sources(&inputs)
+}
+
+#[test]
+fn d1_interproc_finds_iteration_laundered_through_a_helper_crate() {
+    // The sim-crate caller never iterates; it hands its HashMap to a
+    // helper in a non-guarded crate that does. The finding lands on the
+    // caller's call site, naming the observing callee.
+    let analysis = with_helper("d1_interproc_bad.rs");
+    let f: Vec<_> = analysis.findings.iter().collect();
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].path, "crates/core/src/report.rs");
+    assert_eq!((f[0].rule, f[0].line), (Rule::NondetMap, 8));
+    assert!(
+        f[0].message.contains("passed to `rows_of`"),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn d1_interproc_quiet_when_the_helper_is_keyed() {
+    let analysis = with_helper("d1_interproc_clean.rs");
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+}
+
+#[test]
+fn d1_interproc_suppression_at_the_call_site_waives() {
+    let analysis = with_helper("d1_interproc_suppressed.rs");
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    assert_eq!(analysis.suppressions.len(), 1);
+    assert!(analysis.suppressions[0].used);
+}
+
+#[test]
+fn c1_interproc_finds_cross_node_access_via_a_free_function() {
+    let src = fixture("c1_interproc_bad.rs");
+    let analysis = analyze_source("crates/core/src/world.rs", &src);
+    let f: Vec<_> = analysis.findings.iter().collect();
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!((f[0].rule, f[0].line), (Rule::ShardIsolation, 13));
+    assert!(
+        f[0].message.contains("multiple index roots (`src`, `dst`)"),
+        "{}",
+        f[0].message
+    );
+    assert!(
+        f[0].message.contains("World::dispatch → forward"),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn c1_interproc_quiet_on_single_root_access() {
+    let src = fixture("c1_interproc_clean.rs");
+    assert!(hits("crates/core/src/world.rs", &src).is_empty());
+}
+
+#[test]
+fn c1_interproc_suppression_marks_a_mediator() {
+    let src = fixture("c1_interproc_suppressed.rs");
+    let analysis = analyze_source("crates/core/src/world.rs", &src);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    assert_eq!(analysis.suppressions.len(), 1);
+    assert_eq!(analysis.suppressions[0].rule, Rule::ShardIsolation);
+    assert!(analysis.suppressions[0].used);
 }
 
 #[test]

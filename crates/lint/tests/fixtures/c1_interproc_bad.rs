@@ -1,0 +1,14 @@
+pub struct World {
+    pub nics: Vec<u32>,
+}
+
+impl World {
+    pub fn dispatch(&mut self, src: usize, dst: usize) {
+        forward(self, src, dst);
+    }
+}
+
+fn forward(w: &mut World, src: usize, dst: usize) {
+    let v = w.nics[src];
+    w.nics[dst] = v;
+}

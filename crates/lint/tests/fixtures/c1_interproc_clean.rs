@@ -1,0 +1,14 @@
+pub struct World {
+    pub nics: Vec<u32>,
+}
+
+impl World {
+    pub fn dispatch(&mut self, dst: usize) {
+        forward(self, dst);
+    }
+}
+
+fn forward(w: &mut World, dst: usize) {
+    let v = w.nics[dst];
+    w.nics[dst] = v + 1;
+}

@@ -1,0 +1,15 @@
+pub struct World {
+    pub nics: Vec<u32>,
+}
+
+impl World {
+    pub fn dispatch(&mut self, src: usize, dst: usize) {
+        forward(self, src, dst);
+    }
+}
+
+fn forward(w: &mut World, src: usize, dst: usize) {
+    let v = w.nics[src];
+    // cni-lint: allow(shard-isolation) -- fixture mediator: models a designated cross-shard handoff point
+    w.nics[dst] = v;
+}

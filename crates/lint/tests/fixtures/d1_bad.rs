@@ -1,7 +1,19 @@
 use std::collections::HashMap;
-use std::collections::HashSet;
 
 pub struct FlowTable {
     flows: HashMap<u32, u64>,
-    seen: HashSet<u32>,
+}
+
+impl FlowTable {
+    pub fn dump(&self) -> Vec<(u32, u64)> {
+        self.flows.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for v in self.flows.values() {
+            sum += v;
+        }
+        sum
+    }
 }

@@ -1,7 +1,19 @@
-use std::collections::BTreeMap;
-use std::collections::BTreeSet;
+use std::collections::HashMap;
 
 pub struct FlowTable {
-    flows: BTreeMap<u32, u64>,
-    seen: BTreeSet<u32>,
+    flows: HashMap<u32, u64>,
+}
+
+impl FlowTable {
+    pub fn lookup(&self, k: u32) -> Option<u64> {
+        self.flows.get(&k).copied()
+    }
+
+    pub fn bind(&mut self, k: u32, v: u64) {
+        self.flows.insert(k, v);
+    }
+
+    pub fn occupancy(&self) -> usize {
+        self.flows.len()
+    }
 }

@@ -1,0 +1,7 @@
+pub fn rows_of(flows: &std::collections::HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    flows.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+pub fn row_of(flows: &std::collections::HashMap<u32, u64>, k: u32) -> Option<(u32, u64)> {
+    flows.get(&k).map(|v| (k, *v))
+}

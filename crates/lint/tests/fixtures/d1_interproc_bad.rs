@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub struct RunReport {
+    pub rows: Vec<(u32, u64)>,
+}
+
+pub fn fill_report(flows: &HashMap<u32, u64>, out: &mut RunReport) {
+    out.rows = rows_of(flows);
+}

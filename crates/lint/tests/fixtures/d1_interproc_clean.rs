@@ -1,0 +1,13 @@
+use std::collections::HashMap;
+
+pub struct RunReport {
+    pub rows: Vec<(u32, u64)>,
+}
+
+pub fn fill_report(flows: &HashMap<u32, u64>, keys: &[u32], out: &mut RunReport) {
+    for &k in keys {
+        if let Some(row) = row_of(flows, k) {
+            out.rows.push(row);
+        }
+    }
+}

@@ -1,7 +1,9 @@
-// cni-lint: allow(snap-nondet) -- keyed lookups only; encode walks the sorted key list
 use std::collections::HashMap;
 
-pub struct Index {
-    // cni-lint: allow(snap-nondet) -- never iterated during encode
-    pub slots: HashMap<u64, u64>,
+pub fn encode(map: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> =
+        // cni-lint: allow(snap-nondet) -- collected then sorted: the hashed visit order cannot reach the snapshot bytes
+        map.iter().map(|(k, v)| (*k, *v)).collect();
+    out.sort_unstable();
+    out
 }

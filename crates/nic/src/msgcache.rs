@@ -23,7 +23,6 @@
 //! ([`crate::NicConfig::msg_cache_buffers`]).
 
 use serde::{Deserialize, Serialize};
-// cni-lint: allow(nondet-map) -- page→slot index, keyed ops only; CLOCK order lives in the slots Vec
 use std::collections::HashMap;
 
 /// Statistics of one Message Cache.
@@ -125,7 +124,6 @@ impl Rtlb {
 /// ```
 pub struct MessageCache {
     slots: Vec<Slot>,
-    // cni-lint: allow(nondet-map) -- keyed get/insert/remove only; eviction order is the CLOCK hand
     map: HashMap<u64, usize>,
     hand: usize,
     rtlb: Rtlb,
@@ -144,7 +142,6 @@ impl MessageCache {
                 };
                 buffers
             ],
-            // cni-lint: allow(nondet-map) -- see field declaration: keyed ops only
             map: HashMap::with_capacity(buffers * 2),
             hand: 0,
             rtlb: Rtlb::new(rtlb_entries),

@@ -14,7 +14,6 @@
 
 use crate::pattern::{FieldTest, Pattern, PatternId};
 use cni_trace::{TraceEvent, TraceSink};
-// cni-lint: allow(nondet-map) -- VCI→verdict flow table, keyed O(1) ops only; never iterated
 use std::collections::HashMap;
 
 /// A successful classification.
@@ -68,7 +67,6 @@ struct NodeChildren {
 pub struct Classifier<T> {
     installed: Vec<Installed<T>>,
     roots: Vec<Node>,
-    // cni-lint: allow(nondet-map) -- keyed bind/lookup/unbind only; order never observed
     flows: HashMap<u16, T>,
     classifications: u64,
     cells_total: u64,
@@ -86,7 +84,6 @@ impl<T: Clone> Classifier<T> {
         Classifier {
             installed: Vec::new(),
             roots: Vec::new(),
-            // cni-lint: allow(nondet-map) -- see field declaration: keyed ops only
             flows: HashMap::new(),
             classifications: 0,
             cells_total: 0,

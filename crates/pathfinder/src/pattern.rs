@@ -82,6 +82,7 @@ impl FieldTest {
                 packet[start + 2],
                 packet[start + 3],
             ]),
+            // cni-lint: allow(panic-path) -- the width comes from the classifier program built by the host, not from the packet; programs are validated at construction
             w => panic!("unsupported field width {w}"),
         };
         Some(raw & self.mask)

@@ -104,6 +104,7 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is in the past — the simulation has no time machine,
     /// and a retrograde event is always a modelling bug.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        // cni-lint: allow(panic-path) -- the DES's central sanity check, documented under # Panics: a retrograde event is always a modelling bug and must never be absorbed
         assert!(
             at >= self.now,
             "event scheduled in the past: {:?} < {:?}",

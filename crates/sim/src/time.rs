@@ -196,6 +196,7 @@ impl Clock {
         SimTime(
             cycles
                 .checked_mul(self.period_ps)
+                // cni-lint: allow(panic-path) -- u64 picoseconds overflow at ~5000 sim-hours; a wrap would silently corrupt every later timestamp, so die loudly
                 .expect("cycle count overflow"),
         )
     }
