@@ -84,6 +84,11 @@ fn usage() -> ! {
            --collectives       NIC-resident barrier/release combining\n\
                                (implies --tree-barrier; CNI only)\n\
            --seed N            timing-jitter seed (workloads are fixed)\n\
+           --engine-workers N  parallel event-executor threads per run\n\
+                               (default 1 = the exact serial engine).\n\
+                               Reports are byte-identical at any count;\n\
+                               traced/obs/checkpointing runs stay serial.\n\
+                               See DESIGN.md section 4.11\n\
            --loss-prob P       per-cell drop probability in [0,1) (default 0)\n\
            --corrupt-prob P    per-cell bit-corruption probability (default 0)\n\
            --jitter-ps N       max per-cell delivery jitter in ps (default 0)\n\
@@ -260,8 +265,11 @@ fn parse_brownout(s: &str) -> Result<BrownoutWindow, String> {
 /// Execute `--resume PATH` / `--fork-at PATH`: rebuild the snapshot's
 /// world, replay its journal and run to completion. A fork swaps the
 /// stored fault plan for `fork_plan`; a plain resume keeps the stored
-/// configuration in full.
-fn run_resume(path: &str, fork_plan: Option<FaultPlan>, json: bool) -> ExitCode {
+/// configuration in full — except `--engine-workers`, which is an
+/// execution-resource knob, not part of the experiment: a serially
+/// checkpointed run may finish on N workers (and vice versa) with a
+/// byte-identical report.
+fn run_resume(path: &str, fork_plan: Option<FaultPlan>, workers: usize, json: bool) -> ExitCode {
     let snap = match read_snapshot(Path::new(path)) {
         Ok(s) => s,
         Err(e) => {
@@ -272,7 +280,8 @@ fn run_resume(path: &str, fork_plan: Option<FaultPlan>, json: bool) -> ExitCode 
     let cfg = match fork_plan {
         None => snap.config,
         Some(plan) => snap.config.with_faults(plan),
-    };
+    }
+    .with_engine_workers(workers);
     eprintln!(
         "{} {} ({} procs, {}) from {} at {} events",
         if fork_plan.is_some() {
@@ -306,19 +315,32 @@ fn run_resumable_job(cfg: Config, app: App, every: u64, ck_dir: &Path, label: &s
     use serde::Serialize;
     if let Some(snap_path) = newest_snapshot(ck_dir) {
         match read_snapshot(&snap_path) {
-            Ok(snap) if snap.config.to_value() == cfg.to_value() => match snap.resume() {
-                Ok(r) => {
-                    eprintln!(
-                        "[resume] {label}: resumed from {} ({} events)",
-                        snap_path.display(),
-                        snap.events
-                    );
-                    return r;
+            // Worker count is an execution resource, not an experiment
+            // axis: a snapshot taken at any `--engine-workers` resumes
+            // under the sweep's current one, byte-identically.
+            Ok(snap)
+                if snap
+                    .config
+                    .with_engine_workers(cfg.engine_workers)
+                    .to_value()
+                    == cfg.to_value() =>
+            {
+                match snap.resume_with(cfg) {
+                    Ok(r) => {
+                        eprintln!(
+                            "[resume] {label}: resumed from {} ({} events)",
+                            snap_path.display(),
+                            snap.events
+                        );
+                        return r;
+                    }
+                    Err(e) => {
+                        eprint!(
+                            "[resume] {label}: checkpoint unusable, rerunning from scratch\n{e}"
+                        )
+                    }
                 }
-                Err(e) => {
-                    eprint!("[resume] {label}: checkpoint unusable, rerunning from scratch\n{e}")
-                }
-            },
+            }
             Ok(_) => eprintln!(
                 "[resume] {label}: checkpoint was taken under a different config, rerunning"
             ),
@@ -344,6 +366,11 @@ fn run_resumable_job(cfg: Config, app: App, every: u64, ck_dir: &Path, label: &s
 fn run_sweep(args: &HashMap<String, String>, spec_path: &str) -> ExitCode {
     let json = args.contains_key("json");
     let jobs: usize = get(args, "jobs", cni_batch::default_jobs());
+    let engine_workers: usize = get(args, "engine-workers", 1);
+    if engine_workers == 0 {
+        eprintln!("--engine-workers must be at least 1");
+        return ExitCode::from(2);
+    }
     let trace_format = args
         .get("trace-format")
         .map(String::as_str)
@@ -400,7 +427,10 @@ fn run_sweep(args: &HashMap<String, String>, spec_path: &str) -> ExitCode {
         "jsonl"
     };
     let report = Pool::new(jobs).run_batch(specs, |i, spec| {
-        let cfg = spec.effective_config();
+        // One knob for the whole batch: per-run parallelism multiplies
+        // with `--jobs`, so it is a command-line resource setting (like
+        // `--jobs` itself), not a per-entry sweep axis.
+        let cfg = spec.effective_config().with_engine_workers(engine_workers);
         if let Some(dir) = &resume_dir {
             let dir = Path::new(dir);
             let report_path = job_trace_path(dir, i, &spec.label, "report.json");
@@ -544,6 +574,12 @@ fn main() -> ExitCode {
         .with_page_bytes(get(&args, "page-bytes", 2048))
         .with_msg_cache_bytes(get(&args, "msg-cache-bytes", 32 * 1024));
     base.seed = get(&args, "seed", 0x5EED_u64);
+    let engine_workers: usize = get(&args, "engine-workers", 1);
+    if engine_workers == 0 {
+        eprintln!("--engine-workers must be at least 1");
+        return ExitCode::from(2);
+    }
+    base = base.with_engine_workers(engine_workers);
     if args.contains_key("jumbo") {
         base = base.with_unrestricted_cells();
     }
@@ -579,9 +615,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         // Plain resume: everything comes from the snapshot.
-        (Some(path), None) => return run_resume(path, None, json),
+        (Some(path), None) => return run_resume(path, None, engine_workers, json),
         // Fork: the command line's fault plan replaces the snapshot's.
-        (None, Some(path)) => return run_resume(path, Some(plan), json),
+        (None, Some(path)) => return run_resume(path, Some(plan), engine_workers, json),
         (None, None) => {}
     }
 

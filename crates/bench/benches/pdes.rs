@@ -1,0 +1,152 @@
+//! Serial-vs-parallel microbench for the conservative-lookahead event
+//! executor (cni-pdes, DESIGN.md §4.11).
+//!
+//! Runs the 256-host fat-tree configurations at engine worker counts
+//! {1, 2, 4, 8}, checks that every parallel report is **byte-identical**
+//! to the serial one, and writes `BENCH_pdes.json` (repo root when run
+//! via `cargo bench -p cni-bench --bench pdes`) with the measured walls
+//! and speedups. `-- --quick` shrinks the workload and the worker grid
+//! for CI smoke runs.
+//!
+//! The numbers are honest wall-clock measurements on whatever machine
+//! runs the bench: the report records `host_cores`, and the achievable
+//! speedup is capped by it — on a single-core host the parallel engine
+//! can only demonstrate identity plus its (small) coordination overhead,
+//! not a speedup. Identity, not speed, is the regression gate here; the
+//! speedup column is reporting, so a laptop run and a 32-core CI run
+//! both produce a valid artifact.
+
+use cni::{Config, RunReport};
+use cni_apps::experiments::{run_app, App};
+use serde::Serialize;
+use std::hint::black_box;
+use std::io::Write;
+
+/// One measured point: a worker count on one configuration.
+#[derive(Serialize)]
+struct Point {
+    workers: usize,
+    /// Median host wall-clock of the run, in seconds.
+    wall_s: f64,
+    /// Serial median wall divided by this wall.
+    speedup: f64,
+    /// The run's report is byte-identical (as JSON) to the serial run's.
+    identical: bool,
+}
+
+#[derive(Serialize)]
+struct ConfigRows {
+    label: String,
+    hosts: usize,
+    procs: usize,
+    points: Vec<Point>,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    /// Physical parallelism of the machine that produced the numbers —
+    /// the hard ceiling on any measured speedup.
+    host_cores: usize,
+    quick: bool,
+    configs: Vec<ConfigRows>,
+}
+
+/// Median wall seconds over `reps` runs, plus one report for identity.
+fn measure(cfg: Config, app: App, reps: usize) -> (f64, RunReport) {
+    let mut samples = Vec::with_capacity(reps);
+    let mut report = None;
+    for _ in 0..reps {
+        #[allow(clippy::disallowed_methods)]
+        let t = std::time::Instant::now();
+        let r = black_box(run_app(cfg, app));
+        samples.push(t.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (samples[samples.len() / 2], report.expect("reps >= 1"))
+}
+
+fn bench_config(label: &str, cfg: Config, app: App, workers: &[usize], reps: usize) -> ConfigRows {
+    let (serial_wall, serial_report) = measure(cfg.with_engine_workers(1), app, reps);
+    let serial_json = serde_json::to_string(&serial_report).expect("report serializes");
+    let mut points = vec![Point {
+        workers: 1,
+        wall_s: serial_wall,
+        speedup: 1.0,
+        identical: true,
+    }];
+    for &w in workers.iter().filter(|&&w| w > 1) {
+        let (wall, report) = measure(cfg.with_engine_workers(w), app, reps);
+        let json = serde_json::to_string(&report).expect("report serializes");
+        let identical = json == serial_json;
+        assert!(
+            identical,
+            "{label}: report at {w} workers diverged from serial"
+        );
+        points.push(Point {
+            workers: w,
+            wall_s: wall,
+            speedup: serial_wall / wall,
+            identical,
+        });
+    }
+    ConfigRows {
+        label: label.to_string(),
+        hosts: cfg.atm.hosts(),
+        procs: cfg.procs,
+        points,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "quick");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let reps = if quick { 1 } else { 3 };
+    let iters = if quick { 4 } else { 25 };
+
+    // The 256-host 2-level fat-tree (16 leaves x 16 down x 16 uplinks),
+    // fully populated — the topology the tentpole targets. One config
+    // per barrier flavour: AIH dispatches vs NIC-resident collectives.
+    let ft = Config::paper_default()
+        .with_fat_tree(16, 16, 16)
+        .with_procs(256);
+    let app = App::Jacobi { n: 256, iters };
+    let configs = vec![
+        bench_config("jacobi256-ft-aih", ft, app, workers, reps),
+        bench_config(
+            "jacobi256-ft-collectives",
+            ft.with_collectives(),
+            app,
+            workers,
+            reps,
+        ),
+    ];
+
+    println!(
+        "{:<26} {:>8} {:>12} {:>9} {:>10}",
+        "config", "workers", "wall(s)", "speedup", "identical"
+    );
+    for c in &configs {
+        for p in &c.points {
+            println!(
+                "{:<26} {:>8} {:>12.3} {:>8.2}x {:>10}",
+                c.label, p.workers, p.wall_s, p.speedup, p.identical
+            );
+        }
+    }
+    println!("host cores: {host_cores} (speedup ceiling)");
+
+    let report = BenchReport {
+        host_cores,
+        quick,
+        configs,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    // Cargo runs bench binaries with CWD = the package dir; anchor the
+    // report at the workspace root so CI can pick it up from one place.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pdes.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_pdes.json");
+    writeln!(f, "{json}").expect("write BENCH_pdes.json");
+    println!("wrote BENCH_pdes.json");
+}

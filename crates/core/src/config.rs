@@ -77,6 +77,13 @@ pub struct Config {
     /// (the default) keeps the simulation on the lossless fast path with
     /// bit-identical timing.
     pub faults: FaultPlan,
+    /// Worker threads for the parallel event executor (DESIGN.md §4.11).
+    /// `1` (the default) is the exact serial engine; any larger value
+    /// shards the run per node under conservative lookahead and produces
+    /// byte-identical results. Purely an execution-resource knob: it is
+    /// deliberately excluded from sweep axes and report comparisons,
+    /// which treat configs differing only here as the same experiment.
+    pub engine_workers: usize,
 }
 
 impl Config {
@@ -93,6 +100,7 @@ impl Config {
             collectives: false,
             seed: 0x5EED,
             faults: FaultPlan::none(),
+            engine_workers: 1,
         }
     }
 
@@ -187,6 +195,14 @@ impl Config {
     /// built). A zero plan is equivalent to not calling this at all.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Run the engine on `workers` threads (`cni-run --engine-workers`).
+    /// Results are byte-identical at any count; `1` is the serial engine.
+    pub fn with_engine_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "at least one engine worker");
+        self.engine_workers = workers;
         self
     }
 

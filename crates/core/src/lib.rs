@@ -32,6 +32,7 @@
 
 pub mod config;
 pub mod ctx;
+pub(crate) mod pdes;
 pub mod report;
 pub mod snapshot;
 pub mod world;

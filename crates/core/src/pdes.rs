@@ -1,0 +1,144 @@
+//! The [`cni_sim::pdes`] driver for [`World`]: shards the engine per
+//! node and runs it on the conservative lookahead-based parallel
+//! executor (DESIGN.md §4.11).
+//!
+//! The split follows the engine's own structure. Every event acts on
+//! behalf of exactly one node (its *shard*), and its dispatch touches
+//! only that node's state: its CPU and co-thread, NIC, DSM protocol
+//! state, reliability channels and jitter stream. Everything shared —
+//! the fabric's link registers, the fault injector, global counters,
+//! the event queue itself — is reached only through [`SendIntent`]s
+//! that [`World::commit_send`] applies inside the executor's serial
+//! replay barrier, in exact serial dispatch order. The lookahead is the
+//! fabric's [`min_remote_latency`](cni_atm::AtmConfig::min_remote_latency):
+//! no cross-node effect can land earlier than one switch traversal away,
+//! so events inside a window can never affect each other across shards.
+//!
+//! Determinism is therefore structural, not accidental: the serial
+//! engine and the replay barrier run the *same* commit code in the
+//! *same* order with the *same* sequence-number allocation, so every
+//! RunReport, snapshot and histogram is byte-identical at any worker
+//! count.
+
+use crate::world::{Ev, PdesOut, PdesState, SendIntent, World};
+use cni_sim::pdes::{Driver, Executor, Outbox};
+use cni_sim::SimTime;
+
+/// Borrow of a [`World`] shaped for the executor.
+///
+/// The raw pointer (instead of `&mut World`) is what lets `dispatch`
+/// reach node-owned state from worker threads while the coordinating
+/// thread retains the driver. The safety argument is the shard contract:
+/// concurrent `dispatch` calls are for distinct shards and, per the
+/// [`Driver`] safety contract (checked mechanically by cni-lint's C1
+/// rule), only touch disjoint per-node state; every other trait method
+/// is called serially by the coordinator.
+pub(crate) struct WorldDriver {
+    pub(crate) world: *mut World,
+}
+
+// SAFETY: the executor shares `&WorldDriver` across its workers only to
+// call `dispatch`, and the Driver safety contract restricts each such
+// call to its own shard's disjoint state (see the struct docs).
+unsafe impl Sync for WorldDriver {}
+
+// The event partition below routes every event to the node whose state
+// its handler mutates, and cni-lint's C1 shard-isolation rule walks the
+// dispatch call graph to verify the handlers honour that.
+// SAFETY: dispatch touches only state owned by `shard` (see above).
+unsafe impl Driver for WorldDriver {
+    type Ev = Ev;
+    type Intent = SendIntent;
+
+    fn shards(&self) -> usize {
+        // SAFETY: called serially from the coordinating thread.
+        unsafe { (*self.world).cfg.procs }
+    }
+
+    fn shard_of(&self, ev: &Ev) -> usize {
+        match ev {
+            Ev::Resume(p) | Ev::Wake { p, .. } => *p,
+            Ev::Xmit { src, .. } | Ev::XmitApp { src, .. } | Ev::RxmitTimer { src, .. } => *src,
+            Ev::Proto { msg, .. } => msg.dst.0 as usize,
+            Ev::App { dst, .. } | Ev::FrameRx { dst, .. } | Ev::RingRelease { dst } => *dst,
+            Ev::AckRx { to, .. } => *to,
+            // Metrics ticks exist only on traced runs, which never take
+            // the parallel engine (`World::pdes_eligible`).
+            Ev::MetricsTick => unreachable!("metrics ticks are serial-only"),
+        }
+    }
+
+    fn pop_if_before(&mut self, horizon: SimTime) -> Option<(SimTime, u64, Ev)> {
+        // SAFETY: `&mut self` — called serially from the coordinator.
+        unsafe { (*self.world).q.pop_if_before(horizon) }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        // SAFETY: called serially from the coordinating thread.
+        unsafe { (*self.world).q.peek_time() }
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        // SAFETY: `&mut self` — called serially from the coordinator.
+        unsafe { (*self.world).q.alloc_seq() }
+    }
+
+    fn insert_with_seq(&mut self, at: SimTime, seq: u64, ev: Ev) {
+        // SAFETY: `&mut self` — called serially from the coordinator.
+        unsafe { (*self.world).q.insert_with_seq(at, seq, ev) }
+    }
+
+    fn advance_now(&mut self, t: SimTime) {
+        // SAFETY: `&mut self` — called serially from the coordinator.
+        unsafe { (*self.world).q.advance_now(t) }
+    }
+
+    fn dispatch(&self, shard: usize, t: SimTime, ev: Ev, out: &mut Outbox<Ev, SendIntent>) {
+        // The Driver contract guarantees concurrent calls use distinct
+        // `shard` values, and `World::dispatch` under `pdes.active`
+        // touches only shard-owned state (plus `pdes.out[shard]`, also
+        // owned by this call) — the C1 lint rule checks this property.
+        // SAFETY: shard isolation, as above, makes this deref sound.
+        let w = unsafe { &mut *self.world };
+        w.dispatch(t, ev);
+        for item in std::mem::take(&mut w.pdes.out[shard]) {
+            match item {
+                PdesOut::Local(at, ev) => out.local(at, ev),
+                PdesOut::Send(intent) => out.send(intent),
+            }
+        }
+    }
+
+    fn commit(&mut self, _t: SimTime, intent: SendIntent) {
+        // SAFETY: `&mut self` — called serially from the coordinator.
+        unsafe { (*self.world).commit_send(intent) }
+    }
+
+    fn window_begin(&mut self, horizon: SimTime) {
+        // SAFETY: `&mut self` — called serially from the coordinator.
+        unsafe { (*self.world).pdes.horizon = horizon }
+    }
+
+    fn window_end(&mut self, dispatched: u64) {
+        // SAFETY: `&mut self` — called serially from the coordinator.
+        unsafe { (*self.world).events_dispatched += dispatched }
+    }
+}
+
+impl World {
+    /// Drive this run on the parallel executor. Entered only through
+    /// [`World::run_loop`] when the run is eligible; produces the exact
+    /// byte sequence the serial loop would.
+    pub(crate) fn run_pdes(&mut self) {
+        let lookahead = self.cfg.atm.min_remote_latency();
+        let workers = self.cfg.engine_workers.min(self.cfg.procs);
+        self.pdes.out = (0..self.cfg.procs).map(|_| Vec::new()).collect();
+        self.pdes.active = true;
+        let exec = Executor::new(workers, lookahead);
+        let mut driver = WorldDriver {
+            world: self as *mut World,
+        };
+        exec.run(&mut driver);
+        self.pdes = PdesState::new();
+    }
+}

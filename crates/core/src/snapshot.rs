@@ -80,8 +80,11 @@ use std::sync::Arc;
 ///
 /// History: 2 switched the reliable channels from a dense N×N matrix to
 /// sparse `(src, dst, state)` triples and added the multi-switch fabric
-/// fields, when hierarchical topologies raised N to 1024.
-pub const SNAPSHOT_SCHEMA: u64 = 2;
+/// fields, when hierarchical topologies raised N to 1024. 3 made the
+/// protocol-jitter generator a per-node vector, and added the inner
+/// fragment and first-transmission time to in-flight `FrameRx` events,
+/// when the parallel engine required shard-isolated dispatch state.
+pub const SNAPSHOT_SCHEMA: u64 = 3;
 
 // --- encode helpers ---------------------------------------------------------
 
@@ -556,6 +559,8 @@ fn ev_to_value(ev: &Ev, b: &mut Blobs) -> Value {
             seq,
             cells,
             span,
+            frag,
+            sent_at,
         } => Value::Array(vec![
             tag(7),
             Value::from(*src as u64),
@@ -563,6 +568,8 @@ fn ev_to_value(ev: &Ev, b: &mut Blobs) -> Value {
             Value::from(*seq),
             Value::Array(cells.iter().map(|c| cell_to_value(c, b)).collect()),
             Value::from(*span),
+            frag_to_value(frag, b),
+            ps(*sent_at),
         ]),
         Ev::AckRx {
             to,
@@ -906,6 +913,8 @@ fn ev_from_value(v: &Value, t: &BlobTable<'_>, what: &str) -> Result<Ev, String>
                 .map(|c| cell_from_value(c, t, what))
                 .collect::<Result<_, _>>()?,
             span: u64_of(at(a, 5, what)?, what)?,
+            frag: frag_from_value(at(a, 6, what)?, t, what)?,
+            sent_at: time_of(at(a, 7, what)?, what)?,
         }),
         8 => Ok(Ev::AckRx {
             to: usize_of(at(a, 1, what)?, what)?,
@@ -1087,7 +1096,10 @@ impl World {
                     .collect(),
             ),
         );
-        m.insert("jitter".into(), Value::from(self.jitter.state()));
+        m.insert(
+            "jitter".into(),
+            Value::Array(self.jitter.iter().map(|j| Value::from(j.state())).collect()),
+        );
         m.insert("next_span".into(), Value::from(self.next_span));
         m.insert("latency".into(), self.latency.to_value());
         m.insert("fabric".into(), self.fabric.snapshot_state().to_value());
@@ -1115,7 +1127,9 @@ impl World {
             Value::Array(
                 self.rel_tx
                     .iter()
-                    .map(|(&(src, dst), ch)| {
+                    .enumerate()
+                    .flat_map(|(src, chans)| chans.iter().map(move |(&dst, ch)| (src, dst, ch)))
+                    .map(|(src, dst, ch)| {
                         Value::Array(vec![
                             Value::from(src as u64),
                             Value::from(dst as u64),
@@ -1130,7 +1144,9 @@ impl World {
             Value::Array(
                 self.rel_rx
                     .iter()
-                    .map(|(&(dst, src), ch)| {
+                    .enumerate()
+                    .flat_map(|(dst, chans)| chans.iter().map(move |(&src, ch)| (dst, src, ch)))
+                    .map(|(dst, src, ch)| {
                         Value::Array(vec![
                             Value::from(dst as u64),
                             Value::from(src as u64),
@@ -1291,7 +1307,16 @@ impl World {
                 u64_of(at(a, 1, "wait_stats")?, "wait_stats count")?,
             );
         }
-        let jitter = u64_of(field(m, "jitter")?, "jitter")?;
+        let jitter_states: Vec<u64> = arr(field(m, "jitter")?, "jitter")?
+            .iter()
+            .map(|v| u64_of(v, "jitter"))
+            .collect::<Result<_, _>>()?;
+        if jitter_states.len() != procs {
+            return Err(format!(
+                "snapshot has {} jitter streams, expected {procs}",
+                jitter_states.len()
+            ));
+        }
         let next_span = u64_of(field(m, "next_span")?, "next_span")?;
         let latency: Vec<Histogram> = de(field(m, "latency")?, "latency")?;
         if latency.len() != 10 {
@@ -1319,7 +1344,7 @@ impl World {
                     .into(),
             );
         }
-        let mut rel_tx: BTreeMap<(u32, u32), ChanTx> = BTreeMap::new();
+        let mut rel_tx: Vec<BTreeMap<u32, ChanTx>> = (0..procs).map(|_| BTreeMap::new()).collect();
         for e in arr(field(m, "rel_tx")?, "rel_tx")? {
             let t = arr(e, "rel_tx entry")?;
             let src = u64_of(at(t, 0, "rel_tx")?, "rel_tx src")?;
@@ -1328,11 +1353,11 @@ impl World {
                 return Err("snapshot reliable-channel endpoint out of range".into());
             }
             let ch = chan_tx_from_value(at(t, 2, "rel_tx")?, &blobs, "rel_tx")?;
-            if rel_tx.insert((src as u32, dst as u32), ch).is_some() {
+            if rel_tx[src as usize].insert(dst as u32, ch).is_some() {
                 return Err("snapshot repeats a reliable-channel (src, dst) pair".into());
             }
         }
-        let mut rel_rx: BTreeMap<(u32, u32), ChanRx> = BTreeMap::new();
+        let mut rel_rx: Vec<BTreeMap<u32, ChanRx>> = (0..procs).map(|_| BTreeMap::new()).collect();
         for e in arr(field(m, "rel_rx")?, "rel_rx")? {
             let t = arr(e, "rel_rx entry")?;
             let dst = u64_of(at(t, 0, "rel_rx")?, "rel_rx dst")?;
@@ -1341,8 +1366,8 @@ impl World {
                 return Err("snapshot reliable-channel endpoint out of range".into());
             }
             let expected = u64_of(at(t, 2, "rel_rx")?, "rel_rx expected")?;
-            if rel_rx
-                .insert((dst as u32, src as u32), ChanRx { expected })
+            if rel_rx[dst as usize]
+                .insert(src as u32, ChanRx { expected })
                 .is_some()
             {
                 return Err("snapshot repeats a reliable-channel (dst, src) pair".into());
@@ -1421,8 +1446,8 @@ impl World {
             // forked plan diverges only from here on.
             self.injector = Some(FaultInjector::from_snapshot(self.cfg.faults, s));
         }
-        self.rel_tx = rel_tx;
-        self.rel_rx = rel_rx;
+        self.rel_tx = rel_tx.into_boxed_slice();
+        self.rel_rx = rel_rx.into_boxed_slice();
         self.rel_stats = rel_stats;
         self.ring_used = ring_used.into_boxed_slice();
         self.ring_hw = ring_hw.into_boxed_slice();
@@ -1432,13 +1457,16 @@ impl World {
         self.proto_messages = proto_messages;
         self.msg_kinds = msg_kinds;
         self.wait_stats = wait_stats;
-        self.jitter = SplitMix64::from_state(jitter);
+        self.jitter = jitter_states
+            .into_iter()
+            .map(SplitMix64::from_state)
+            .collect();
         self.next_span = next_span;
         self.latency = latency.into_boxed_slice();
         self.events_dispatched = events_dispatched;
 
         // --- run the tail -------------------------------------------------
-        self.event_loop();
+        self.run_loop();
         if self.live != 0 {
             return Err(format!(
                 "resumed simulation ran out of events with {} programs unfinished",

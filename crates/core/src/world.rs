@@ -96,6 +96,14 @@ pub(crate) enum Ev {
         cells: Vec<Cell>,
         /// The frame's transmission-attempt span.
         span: u64,
+        /// The fragment the frame carries. Shipping it with the event
+        /// (instead of looking it up in the sender's window on receipt)
+        /// keeps the receive path free of cross-node state — the shard
+        /// isolation the parallel engine depends on.
+        frag: Frag,
+        /// When the fragment was *first* transmitted (one-way latency is
+        /// measured from the first attempt, not a retransmission).
+        sent_at: SimTime,
     },
     /// A reliable-layer acknowledgement frame arrived back at sender `to`.
     AckRx {
@@ -158,6 +166,97 @@ pub(crate) struct Frag {
     /// The message span this fragment carries (the receiver closes it
     /// when the final fragment dispatches).
     pub(crate) span: u64,
+}
+
+/// A send's serial half: everything the acting node decided locally
+/// (NIC transmit timing, payload, spans), waiting for the global parts —
+/// fabric link occupancy, fault-injector draws, arrival-event scheduling,
+/// global counters — which must be applied in exact serial `(time, seq)`
+/// order. On the serial path [`World::emit_send`] commits an intent
+/// immediately, so the code path (and therefore every timing and every
+/// counter) is identical with and without the parallel engine.
+pub(crate) enum SendIntent {
+    /// A lossless-path protocol PDU (no fault plan active).
+    Proto {
+        src: usize,
+        msg: Msg,
+        span: u64,
+        now: SimTime,
+        host_done: SimTime,
+        wire_start: SimTime,
+        cell_gap: SimTime,
+    },
+    /// A lossless-path application PDU.
+    App {
+        src: usize,
+        dst: usize,
+        len: u32,
+        page: Option<u64>,
+        cacheable: bool,
+        data: Option<Arc<Vec<u64>>>,
+        span: u64,
+        now: SimTime,
+        host_done: SimTime,
+        wire_start: SimTime,
+        cell_gap: SimTime,
+    },
+    /// A reliable-layer data frame entering the faulty fabric.
+    Frame {
+        src: usize,
+        dst: usize,
+        seq: u64,
+        frag: Frag,
+        sent_at: SimTime,
+        /// First 16 bytes of the frame image (header + sequence number);
+        /// the rest is zero fill the segmenter materialises.
+        prefix: [u8; 16],
+        prefix_len: u8,
+        bytes: u32,
+        span: u64,
+        now: SimTime,
+        host_done: SimTime,
+        wire_start: SimTime,
+        cell_gap: SimTime,
+    },
+    /// A reliable-layer cumulative acknowledgement frame.
+    Ack {
+        from: usize,
+        to: usize,
+        ack: u64,
+        image: [u8; 16],
+        span: u64,
+        now: SimTime,
+        host_done: SimTime,
+        wire_start: SimTime,
+        cell_gap: SimTime,
+    },
+    /// A global-counter delta recorded mid-dispatch. Deltas commute, but
+    /// routing them through the commit path keeps every global-state
+    /// mutation out of the (possibly concurrent) dispatch phase.
+    Stat(StatDelta),
+}
+
+/// Global-counter deltas produced during dispatch (see
+/// [`SendIntent::Stat`]).
+pub(crate) enum StatDelta {
+    /// One protocol message of `kind` entered the reliable layer.
+    ProtoMsg { kind: u8 },
+    /// A one-way latency sample for `latency[idx]`, in microseconds.
+    Latency { idx: usize, us: u64 },
+    /// The receiver discarded a duplicate frame.
+    Duplicate,
+    /// The receiver dropped an in-order frame for lack of ring space.
+    RingOverflow,
+    /// Two duplicate acks triggered a fast retransmit.
+    FastRetransmit,
+    /// One frame retransmission.
+    Retransmit,
+    /// One retransmission-timer expiry.
+    Timeout,
+    /// A processor unblocked after waiting `raw` on op-kind `kind`.
+    Wait { kind: usize, raw: SimTime },
+    /// A program finished.
+    ProcDone,
 }
 
 /// One unacknowledged frame in a sender window.
@@ -299,12 +398,16 @@ pub struct World {
     /// Wait-time diagnostics per blocking-op kind (lock, fault, barrier,
     /// recv): (total wait, count). Enabled by `CNI_WAIT_STATS`.
     pub(crate) wait_stats: [(SimTime, u64); 4],
-    /// Deterministic jitter source for protocol-handling costs. Identical
-    /// critical-section durations phase-lock into pathological convoys that
-    /// no real machine exhibits (cache and DRAM variance break them); a few
-    /// percent of seeded jitter restores realistic desynchronisation while
-    /// keeping runs bit-reproducible.
-    pub(crate) jitter: SplitMix64,
+    /// Deterministic jitter sources for protocol-handling costs, one per
+    /// node. Identical critical-section durations phase-lock into
+    /// pathological convoys that no real machine exhibits (cache and DRAM
+    /// variance break them); a few percent of seeded jitter restores
+    /// realistic desynchronisation while keeping runs bit-reproducible.
+    /// Per-node streams (rather than one engine-wide generator) make each
+    /// draw a function of the drawing node's own history, independent of
+    /// how other nodes' dispatches interleave — a shard-isolation
+    /// requirement of the parallel engine.
+    pub(crate) jitter: Box<[SplitMix64]>,
     /// The trace sink cloned into every instrumented component
     /// (disabled by default: figure runs pay a single enum branch).
     pub(crate) trace: TraceSink,
@@ -332,14 +435,18 @@ pub struct World {
     /// every transmission takes the legacy lossless path and timing is
     /// bit-identical to a build without the faults layer.
     pub(crate) injector: Option<FaultInjector>,
-    /// Go-back-N transmit channels, keyed `(src, dst)` and materialised
-    /// on first use. Keyed lookups only — never iterated on the timing
-    /// path — so the map's order cannot perturb the simulation, and a
-    /// lossless run (no fault plan) allocates no channels at all instead
-    /// of the former dense N² matrix (the 1024-node memory fix).
-    pub(crate) rel_tx: BTreeMap<(u32, u32), ChanTx>,
-    /// Receive channels, keyed `(dst, src)`, materialised on first use.
-    pub(crate) rel_rx: BTreeMap<(u32, u32), ChanRx>,
+    /// Go-back-N transmit channels: `rel_tx[src]` maps `dst` to the
+    /// channel, materialised on first use. Keyed lookups only — never
+    /// iterated on the timing path — so the map's order cannot perturb
+    /// the simulation, and a lossless run (no fault plan) allocates no
+    /// channels at all instead of the former dense N² matrix (the
+    /// 1024-node memory fix). Per-node outer slices (instead of one map
+    /// keyed `(src, dst)`) give every shard sole ownership of its own
+    /// channel states under the parallel engine.
+    pub(crate) rel_tx: Box<[BTreeMap<u32, ChanTx>]>,
+    /// Receive channels: `rel_rx[dst]` maps `src` to the channel,
+    /// materialised on first use.
+    pub(crate) rel_rx: Box<[BTreeMap<u32, ChanRx>]>,
     /// Base retransmission timeout for newly materialised channels.
     pub(crate) rel_rto0: SimTime,
     /// Reliability-protocol counters (retransmits, duplicates, overflows).
@@ -359,6 +466,41 @@ pub struct World {
     /// Where checkpoints go. The engine stays IO-free: the embedder's
     /// closure decides what a snapshot becomes (a file, a test buffer).
     checkpoint_sink: Option<CheckpointSink>,
+    /// Parallel-engine window state (see [`crate::pdes`]). Inactive (and
+    /// empty) whenever the serial loop runs; never serialized.
+    pub(crate) pdes: PdesState,
+}
+
+/// Routing state for the conservative parallel engine: while a window is
+/// being dispatched, every queue schedule and cross-shard side effect is
+/// diverted into the acting shard's buffer instead of being applied, and
+/// the executor's replay barrier applies them in exact serial order.
+pub(crate) struct PdesState {
+    /// True only while [`World::run_pdes`] is dispatching windows.
+    pub(crate) active: bool,
+    /// The current window's horizon: every cross-shard arrival committed
+    /// during replay must land at or past it (the lookahead contract).
+    pub(crate) horizon: SimTime,
+    /// Per-shard buffers of captured effects, drained after each dispatch.
+    pub(crate) out: Box<[Vec<PdesOut>]>,
+}
+
+impl PdesState {
+    pub(crate) fn new() -> Self {
+        PdesState {
+            active: false,
+            horizon: SimTime::ZERO,
+            out: Box::new([]),
+        }
+    }
+}
+
+/// One captured effect, in dispatch call order.
+pub(crate) enum PdesOut {
+    /// The serial engine would have called `schedule_at(at, ev)` here.
+    Local(SimTime, Ev),
+    /// The serial engine would have applied this side effect here.
+    Send(SendIntent),
 }
 
 /// The embedder's checkpoint callback (see `World::set_checkpoint`).
@@ -430,7 +572,9 @@ impl World {
             proto_messages: 0,
             msg_kinds: [0; 9],
             wait_stats: [(SimTime::ZERO, 0); 4],
-            jitter: SplitMix64::new(cfg.seed ^ 0xC31_0C31),
+            jitter: (0..cfg.procs)
+                .map(|p| SplitMix64::new(cfg.seed ^ 0xC31_0C31 ^ p as u64))
+                .collect(),
             trace: TraceSink::Disabled,
             metrics_interval: None,
             metrics_prev: vec![MetricsSample::default(); cfg.procs].into_boxed_slice(),
@@ -439,8 +583,8 @@ impl World {
             ring_hw: vec![0; cfg.procs].into_boxed_slice(),
             latency: vec![Histogram::new(); 10].into_boxed_slice(),
             injector,
-            rel_tx: BTreeMap::new(),
-            rel_rx: BTreeMap::new(),
+            rel_tx: (0..cfg.procs).map(|_| BTreeMap::new()).collect(),
+            rel_rx: (0..cfg.procs).map(|_| BTreeMap::new()).collect(),
             rel_rto0: rto0,
             rel_stats: FaultStats::default(),
             ring_used: vec![0; cfg.procs].into_boxed_slice(),
@@ -448,6 +592,7 @@ impl World {
             events_dispatched: 0,
             checkpoint_every: None,
             checkpoint_sink: None,
+            pdes: PdesState::new(),
             cfg,
         }
     }
@@ -597,7 +742,7 @@ impl World {
                 self.q.schedule_at(SimTime::ZERO + iv, Ev::MetricsTick);
             }
         }
-        self.event_loop();
+        self.run_loop();
         assert_eq!(
             self.live, 0,
             "simulation ran out of events with {} programs unfinished (deadlock)",
@@ -634,6 +779,31 @@ impl World {
     /// dry), taking a checkpoint after every `checkpoint_every`-th event
     /// when configured. Checkpoints run *between* dispatches, when every
     /// co-thread is parked at a yield and the engine state is quiescent.
+    /// Drive the run to completion on whichever engine the configuration
+    /// selects: the serial event loop, or — when more than one engine
+    /// worker is requested and the run is eligible (no live trace, no
+    /// checkpoint cadence) — the conservative lookahead-based parallel
+    /// executor (DESIGN.md §4.11). Both produce byte-identical results.
+    pub(crate) fn run_loop(&mut self) {
+        if self.pdes_eligible() {
+            self.run_pdes();
+        } else {
+            self.event_loop();
+        }
+    }
+
+    /// Whether this run may use the parallel executor: the operator asked
+    /// for more than one worker, there are at least two shards to spread,
+    /// and nothing serial-only is active. Live tracing observes engine
+    /// internals mid-window and checkpoint cadences count dispatches
+    /// between pops, so both pin the run to the serial loop.
+    fn pdes_eligible(&self) -> bool {
+        self.cfg.engine_workers > 1
+            && self.cfg.procs >= 2
+            && !self.trace.is_enabled()
+            && self.checkpoint_every.is_none()
+    }
+
     pub(crate) fn event_loop(&mut self) {
         while let Some((t, ev)) = self.q.pop() {
             self.dispatch(t, ev);
@@ -653,7 +823,7 @@ impl World {
         }
     }
 
-    fn dispatch(&mut self, t: SimTime, ev: Ev) {
+    pub(crate) fn dispatch(&mut self, t: SimTime, ev: Ev) {
         match ev {
             Ev::Resume(p) => self.resume(p, Reply::Ok),
             Ev::Xmit { src, msg, cause } => {
@@ -686,7 +856,9 @@ impl World {
                 seq,
                 cells,
                 span,
-            } => self.on_frame_rx(t, src, dst, seq, cells, span),
+                frag,
+                sent_at,
+            } => self.on_frame_rx(t, src, dst, seq, cells, span, frag, sent_at),
             Ev::AckRx {
                 to,
                 from,
@@ -928,9 +1100,10 @@ impl World {
     }
 
     /// Add deterministic jitter of up to ~6% to a protocol-handling cycle
-    /// count.
-    fn jittered(&mut self, cycles: u64) -> u64 {
-        cycles + self.jitter.next_below(cycles / 16 + 1)
+    /// count, drawn from node `p`'s private stream so concurrent shards
+    /// never race on a shared generator.
+    fn jittered(&mut self, p: usize, cycles: u64) -> u64 {
+        cycles + self.jitter[p].next_below(cycles / 16 + 1)
     }
 
     /// Charge host overhead synchronously on `p`'s clock.
@@ -1106,7 +1279,8 @@ impl World {
                 }
                 let at = self.cpus[p].clock;
                 let cause = self.cpus[p].last_wake_span;
-                self.q.schedule_at(
+                self.sched(
+                    p,
                     at,
                     Ev::XmitApp {
                         src: p,
@@ -1118,19 +1292,20 @@ impl World {
                         cause,
                     },
                 );
-                self.q.schedule_at(at, Ev::Resume(p));
+                self.sched(p, at, Ev::Resume(p));
             }
             Op::Backoff(cycles) => {
                 self.charge_ov(p, cycles);
                 let at = self.cpus[p].clock;
-                self.q.schedule_at(at, Ev::Resume(p));
+                self.sched(p, at, Ev::Resume(p));
             }
             Op::Recv => {
                 if let Some((src, len, data)) = self.cpus[p].inbox.pop_front() {
                     self.charge_ov(p, self.cfg.nic.poll_cycles);
                     let at = self.cpus[p].clock;
                     self.cpus[p].pending_reply = Some(Reply::Received { src, len, data });
-                    self.q.schedule_at(
+                    self.sched(
+                        p,
                         at,
                         Ev::Wake {
                             p,
@@ -1148,7 +1323,9 @@ impl World {
             }
             Op::Done => {
                 self.cpus[p].done = true;
-                self.live -= 1;
+                // `live` is a global counter: route the decrement through
+                // the commit path so a parallel window applies it serially.
+                self.emit_send(p, SendIntent::Stat(StatDelta::ProcDone));
                 // Let the co-thread run to completion.
                 self.resume(p, Reply::Ok);
             }
@@ -1174,7 +1351,7 @@ impl World {
         }
         if res.wakeup.is_some() || !blocking {
             let at = self.cpus[p].clock;
-            self.q.schedule_at(at, Ev::Resume(p));
+            self.sched(p, at, Ev::Resume(p));
         } else {
             self.cpus[p].blocked_at = Some(self.cpus[p].clock);
         }
@@ -1216,20 +1393,333 @@ impl World {
         self.charge_ov(p, self.host_send_cycles());
         let at = self.cpus[p].clock;
         let cause = self.cpus[p].last_wake_span;
-        self.q.schedule_at(at, Ev::Xmit { src: p, msg, cause });
+        self.sched(p, at, Ev::Xmit { src: p, msg, cause });
     }
 
-    /// Push `msg` through `src`'s NIC and the fabric; returns when the
-    /// host-side part is finished (== `now` for board-origin sends).
-    /// Opens the message's span as a child of `cause`.
-    fn transport(
+    // --- effect routing (serial vs parallel engine) ---------------------------
+
+    /// Schedule `ev`, acting as `node`. On the serial path this is plain
+    /// `schedule_at`; while the parallel engine dispatches a window the
+    /// schedule is captured in `node`'s shard buffer and applied by the
+    /// replay barrier with an identically allocated sequence number.
+    fn sched(&mut self, node: usize, at: SimTime, ev: Ev) {
+        if self.pdes.active {
+            self.pdes.out[node].push(PdesOut::Local(at, ev));
+        } else {
+            self.q.schedule_at(at, ev);
+        }
+    }
+
+    /// Route a send intent produced while acting as node `src`: committed
+    /// immediately on the serial path, deferred to the replay barrier
+    /// under the parallel engine.
+    fn emit_send(&mut self, src: usize, intent: SendIntent) {
+        if self.pdes.active {
+            self.pdes.out[src].push(PdesOut::Send(intent));
+        } else {
+            self.commit_send(intent);
+        }
+    }
+
+    /// Schedule a cross-shard arrival from a commit. Under the parallel
+    /// engine every arrival must land at or past the window horizon — the
+    /// conservative-lookahead contract (see [`crate::pdes`]); a violation
+    /// means the configured lookahead overstates the fabric's minimum
+    /// cross-node latency and the run must die loudly, not corrupt the
+    /// order.
+    fn sched_arrival(&mut self, at: SimTime, ev: Ev) {
+        // cni-lint: allow(panic-path) -- the horizon is engine configuration, not wire data: a violation means the lookahead constant is wrong and every parallel run is unsound
+        assert!(
+            !self.pdes.active || at >= self.pdes.horizon,
+            "lookahead violation: arrival at {at:?} inside the window horizon {:?}",
+            self.pdes.horizon,
+        );
+        self.q.schedule_at(at, ev);
+    }
+
+    /// Apply one [`SendIntent`]: the serial half of a send. Besides the
+    /// serial event loop itself, this is the only place that touches the
+    /// fabric's link state, the fault injector, the global queue and the
+    /// global counters — under the parallel engine it runs exclusively on
+    /// the coordinating thread, in exact serial dispatch order.
+    pub(crate) fn commit_send(&mut self, intent: SendIntent) {
+        match intent {
+            SendIntent::Proto {
+                src,
+                msg,
+                span,
+                now,
+                host_done,
+                wire_start,
+                cell_gap,
+            } => {
+                let dst = msg.dst.0 as usize;
+                let bytes = msg.payload.wire_bytes();
+                let kind = msg.payload.kind();
+                let timing = self.fabric.send_pdu(wire_start, src, dst, bytes, cell_gap);
+                let lat = timing.last_cell_arrival - now;
+                self.latency[(kind - 0xD0) as usize].record(lat.as_ps() / 1000);
+                self.trace.emit_at(
+                    timing.last_cell_arrival.as_ps(),
+                    src as u32,
+                    TraceEvent::ProtoTx {
+                        kind,
+                        bytes: bytes as u32,
+                        dur_ps: lat.as_ps(),
+                    },
+                );
+                self.trace.emit_at(
+                    timing.last_cell_arrival.as_ps(),
+                    src as u32,
+                    TraceEvent::SpanTx {
+                        span,
+                        host_dma_ps: host_done.saturating_sub(now).as_ps(),
+                        tx_queue_ps: wire_start.saturating_sub(host_done).as_ps(),
+                        wire_ps: timing.last_cell_arrival.saturating_sub(wire_start).as_ps(),
+                    },
+                );
+                self.sched_arrival(timing.last_cell_arrival, Ev::Proto { msg, span });
+                self.proto_messages += 1;
+                self.msg_kinds[(kind - 0xD0) as usize] += 1;
+            }
+            SendIntent::App {
+                src,
+                dst,
+                len,
+                page,
+                cacheable,
+                data,
+                span,
+                now,
+                host_done,
+                wire_start,
+                cell_gap,
+            } => {
+                let timing = self
+                    .fabric
+                    .send_pdu(wire_start, src, dst, len as usize, cell_gap);
+                let lat = timing.last_cell_arrival - now;
+                self.latency[9].record(lat.as_ps() / 1000);
+                self.trace.emit_at(
+                    timing.last_cell_arrival.as_ps(),
+                    src as u32,
+                    TraceEvent::ProtoTx {
+                        kind: 0xA0,
+                        bytes: len,
+                        dur_ps: lat.as_ps(),
+                    },
+                );
+                self.trace.emit_at(
+                    timing.last_cell_arrival.as_ps(),
+                    src as u32,
+                    TraceEvent::SpanTx {
+                        span,
+                        host_dma_ps: host_done.saturating_sub(now).as_ps(),
+                        tx_queue_ps: wire_start.saturating_sub(host_done).as_ps(),
+                        wire_ps: timing.last_cell_arrival.saturating_sub(wire_start).as_ps(),
+                    },
+                );
+                self.sched_arrival(
+                    timing.last_cell_arrival,
+                    Ev::App {
+                        dst,
+                        src,
+                        len,
+                        page,
+                        cacheable,
+                        data,
+                        span,
+                    },
+                );
+            }
+            SendIntent::Frame {
+                src,
+                dst,
+                seq,
+                frag,
+                sent_at,
+                prefix,
+                prefix_len,
+                bytes,
+                span,
+                now,
+                host_done,
+                wire_start,
+                cell_gap,
+            } => {
+                // Data frames travel on VCI `src * 2`; acknowledgements on
+                // `src * 2 + 1`, so a retransmission can never interleave
+                // with the reverse stream inside the destination's per-VCI
+                // reassembler.
+                let vci = (src * 2) as u16;
+                let (cells, done) = self.commit_faulty(
+                    src,
+                    dst,
+                    vci,
+                    &prefix[..prefix_len as usize],
+                    bytes as usize,
+                    span,
+                    now,
+                    host_done,
+                    wire_start,
+                    cell_gap,
+                );
+                if let Some(arrival) = done {
+                    self.trace.emit_at(
+                        arrival.as_ps(),
+                        src as u32,
+                        TraceEvent::ProtoTx {
+                            kind: prefix[0],
+                            bytes,
+                            dur_ps: (arrival - now).as_ps(),
+                        },
+                    );
+                    self.sched_arrival(
+                        arrival,
+                        Ev::FrameRx {
+                            src,
+                            dst,
+                            seq,
+                            cells,
+                            span,
+                            frag,
+                            sent_at,
+                        },
+                    );
+                }
+            }
+            SendIntent::Ack {
+                from,
+                to,
+                ack,
+                image,
+                span,
+                now,
+                host_done,
+                wire_start,
+                cell_gap,
+            } => {
+                self.rel_stats.acks_sent += 1;
+                let vci = (from * 2 + 1) as u16;
+                let (cells, done) = self.commit_faulty(
+                    from, to, vci, &image, 16, span, now, host_done, wire_start, cell_gap,
+                );
+                if let Some(arrival) = done {
+                    self.sched_arrival(
+                        arrival,
+                        Ev::AckRx {
+                            to,
+                            from,
+                            ack,
+                            cells,
+                            span,
+                        },
+                    );
+                }
+            }
+            SendIntent::Stat(delta) => self.commit_stat(delta),
+        }
+    }
+
+    /// The serial half of a faulty-fabric frame transmission: segment the
+    /// image, draw the injector's per-cell fates, occupy the fabric, and
+    /// return the surviving cells plus the reassembly-complete time (the
+    /// NIC-side transmit already ran on the acting shard — its timings
+    /// arrive as `host_done`/`wire_start`/`cell_gap`).
+    #[allow(clippy::too_many_arguments)]
+    fn commit_faulty(
         &mut self,
         src: usize,
-        msg: Msg,
-        origin: TxOrigin,
+        dst: usize,
+        vci: u16,
+        prefix: &[u8],
+        bytes: usize,
+        span: u64,
         now: SimTime,
-        cause: u64,
-    ) -> SimTime {
+        host_done: SimTime,
+        wire_start: SimTime,
+        cell_gap: SimTime,
+    ) -> (Vec<Cell>, Option<SimTime>) {
+        let cells = self.fabric.segmenter().segment_prefixed(vci, prefix, bytes);
+        let inj = self
+            .injector
+            .as_mut()
+            // cni-lint: allow(panic-path) -- frame intents are only emitted behind an injector.is_some() check; this Option is engine state, not wire data
+            .expect("fault transmit needs an injector");
+        let fpt = self
+            .fabric
+            .send_pdu_faulty(wire_start, src, dst, bytes, cell_gap, inj);
+        debug_assert_eq!(fpt.cells, cells.len());
+        let mut delivered = Vec::with_capacity(cells.len());
+        for (i, mut cell) in cells.into_iter().enumerate() {
+            match fpt.fates[i] {
+                CellFate::Drop => {
+                    self.trace.emit_at(
+                        now.as_ps(),
+                        src as u32,
+                        TraceEvent::CellDropped {
+                            vci: vci as u32,
+                            cell: i as u32,
+                        },
+                    );
+                    continue;
+                }
+                CellFate::Corrupt { byte, bit } => {
+                    // Copy-on-write: only this cell's view materialises a
+                    // private copy; the train's other cells keep sharing
+                    // the segmented image.
+                    cell.payload.xor_bit(byte as usize, bit);
+                }
+                CellFate::Deliver => {}
+            }
+            delivered.push(cell);
+        }
+        let done = if fpt.eop_delivered() {
+            fpt.last_delivered
+        } else {
+            None
+        };
+        if let Some(arrival) = done {
+            self.trace.emit_at(
+                arrival.as_ps(),
+                src as u32,
+                TraceEvent::SpanTx {
+                    span,
+                    host_dma_ps: host_done.saturating_sub(now).as_ps(),
+                    tx_queue_ps: wire_start.saturating_sub(host_done).as_ps(),
+                    wire_ps: arrival.saturating_sub(wire_start).as_ps(),
+                },
+            );
+        }
+        (delivered, done)
+    }
+
+    /// Apply one recorded global-counter delta.
+    fn commit_stat(&mut self, delta: StatDelta) {
+        match delta {
+            StatDelta::ProtoMsg { kind } => {
+                self.proto_messages += 1;
+                self.msg_kinds[(kind - 0xD0) as usize] += 1;
+            }
+            StatDelta::Latency { idx, us } => self.latency[idx].record(us),
+            StatDelta::Duplicate => self.rel_stats.duplicates += 1,
+            StatDelta::RingOverflow => self.rel_stats.ring_overflows += 1,
+            StatDelta::FastRetransmit => self.rel_stats.fast_retransmits += 1,
+            StatDelta::Retransmit => self.rel_stats.retransmits += 1,
+            StatDelta::Timeout => self.rel_stats.timeouts += 1,
+            StatDelta::Wait { kind, raw } => {
+                let slot = &mut self.wait_stats[kind];
+                slot.0 += raw;
+                slot.1 += 1;
+            }
+            StatDelta::ProcDone => self.live -= 1,
+        }
+    }
+
+    /// Push `msg` through `src`'s NIC and the fabric; the host-side part
+    /// finishes at `now` for board-origin sends.
+    /// Opens the message's span as a child of `cause`.
+    fn transport(&mut self, src: usize, msg: Msg, origin: TxOrigin, now: SimTime, cause: u64) {
         let dst = msg.dst.0 as usize;
         debug_assert_ne!(src, dst, "protocol self-sends are handled locally");
         let bytes = msg.payload.wire_bytes();
@@ -1238,7 +1728,7 @@ impl World {
         if self.injector.is_some() {
             debug_assert_eq!(origin, TxOrigin::Board);
             self.queue_reliable(now, src, dst, WireMsg::Proto(msg), span);
-            return now;
+            return;
         }
         let cells = self.fabric.segmenter().cell_count(bytes);
         let tx = self.nics[src].transmit(
@@ -1252,38 +1742,18 @@ impl World {
                 origin,
             },
         );
-        let timing = self
-            .fabric
-            .send_pdu(tx.wire_start, src, dst, bytes, tx.cell_gap);
-        let lat = timing.last_cell_arrival - now;
-        self.latency[(kind - 0xD0) as usize].record(lat.as_ps() / 1000);
-        self.trace.emit_at(
-            timing.last_cell_arrival.as_ps(),
-            src as u32,
-            TraceEvent::ProtoTx {
-                kind,
-                bytes: bytes as u32,
-                dur_ps: lat.as_ps(),
-            },
-        );
-        self.trace.emit_at(
-            timing.last_cell_arrival.as_ps(),
-            src as u32,
-            TraceEvent::SpanTx {
+        self.emit_send(
+            src,
+            SendIntent::Proto {
+                src,
+                msg,
                 span,
-                host_dma_ps: tx.host_done.saturating_sub(now).as_ps(),
-                tx_queue_ps: tx.wire_start.saturating_sub(tx.host_done).as_ps(),
-                wire_ps: timing
-                    .last_cell_arrival
-                    .saturating_sub(tx.wire_start)
-                    .as_ps(),
+                now,
+                host_done: tx.host_done,
+                wire_start: tx.wire_start,
+                cell_gap: tx.cell_gap,
             },
         );
-        self.q
-            .schedule_at(timing.last_cell_arrival, Ev::Proto { msg, span });
-        self.proto_messages += 1;
-        self.msg_kinds[(kind - 0xD0) as usize] += 1;
-        tx.host_done
     }
 
     // --- network-side event handling -----------------------------------------
@@ -1325,43 +1795,20 @@ impl World {
                 origin: TxOrigin::Board,
             },
         );
-        let timing = self
-            .fabric
-            .send_pdu(tx.wire_start, src, dst, len as usize, tx.cell_gap);
-        let lat = timing.last_cell_arrival - t;
-        self.latency[9].record(lat.as_ps() / 1000);
-        self.trace.emit_at(
-            timing.last_cell_arrival.as_ps(),
-            src as u32,
-            TraceEvent::ProtoTx {
-                kind: 0xA0,
-                bytes: len,
-                dur_ps: lat.as_ps(),
-            },
-        );
-        self.trace.emit_at(
-            timing.last_cell_arrival.as_ps(),
-            src as u32,
-            TraceEvent::SpanTx {
-                span,
-                host_dma_ps: tx.host_done.saturating_sub(t).as_ps(),
-                tx_queue_ps: tx.wire_start.saturating_sub(tx.host_done).as_ps(),
-                wire_ps: timing
-                    .last_cell_arrival
-                    .saturating_sub(tx.wire_start)
-                    .as_ps(),
-            },
-        );
-        self.q.schedule_at(
-            timing.last_cell_arrival,
-            Ev::App {
-                dst,
+        self.emit_send(
+            src,
+            SendIntent::App {
                 src,
+                dst,
                 len,
                 page,
                 cacheable,
                 data,
                 span,
+                now: t,
+                host_done: tx.host_done,
+                wire_start: tx.wire_start,
+                cell_gap: tx.cell_gap,
             },
         );
     }
@@ -1374,15 +1821,15 @@ impl World {
     /// lossless run allocates nothing here.
     fn chan_tx(&mut self, src: usize, dst: usize) -> &mut ChanTx {
         let rto0 = self.rel_rto0;
-        self.rel_tx
-            .entry((src as u32, dst as u32))
+        self.rel_tx[src]
+            .entry(dst as u32)
             .or_insert_with(|| ChanTx::new(rto0))
     }
 
     /// The `dst <- src` receive channel, materialised on first use.
     fn chan_rx(&mut self, dst: usize, src: usize) -> &mut ChanRx {
-        self.rel_rx
-            .entry((dst as u32, src as u32))
+        self.rel_rx[dst]
+            .entry(src as u32)
             .or_insert(ChanRx { expected: 0 })
     }
 
@@ -1393,8 +1840,7 @@ impl World {
     fn queue_reliable(&mut self, now: SimTime, src: usize, dst: usize, wire: WireMsg, span: u64) {
         if let WireMsg::Proto(msg) = &wire {
             let kind = msg.payload.kind();
-            self.proto_messages += 1;
-            self.msg_kinds[(kind - 0xD0) as usize] += 1;
+            self.emit_send(src, SendIntent::Stat(StatDelta::ProtoMsg { kind }));
         }
         let total = wire_len(&wire).max(1);
         let fmax = self.cfg.faults.max_frame_bytes as usize;
@@ -1423,7 +1869,7 @@ impl World {
             let seq = ch.next_seq;
             ch.next_seq += 1;
             let was_empty = ch.window.is_empty();
-            let fspan = self.send_frame(now, src, dst, seq, &frag, span);
+            let fspan = self.send_frame(now, src, dst, seq, &frag, now, span);
             let ch = self.chan_tx(src, dst);
             ch.window.push_back(InFlight {
                 seq,
@@ -1440,11 +1886,15 @@ impl World {
     }
 
     /// Transmit one data frame: build its byte image (header, sequence
-    /// number, zero fill), push it through the NIC and the faulty fabric,
-    /// and schedule the receive event if the end-of-PDU cell survived.
+    /// number, zero fill), push it through the NIC, and emit the
+    /// fabric-facing half as a [`SendIntent::Frame`] (which draws the
+    /// injector fates and schedules the receive event if the end-of-PDU
+    /// cell survives). `sent_at` is the fragment's *first* transmission
+    /// time, carried to the receiver for one-way latency accounting.
     /// Opens a frame span under `parent` (the message span on a first
     /// attempt, the first attempt's frame span on a retransmission) and
     /// returns it.
+    #[allow(clippy::too_many_arguments)]
     fn send_frame(
         &mut self,
         now: SimTime,
@@ -1452,6 +1902,7 @@ impl World {
         dst: usize,
         seq: u64,
         frag: &Frag,
+        sent_at: SimTime,
         parent: u64,
     ) -> u64 {
         let (header, page, cacheable) = match &*frag.wire {
@@ -1492,10 +1943,6 @@ impl World {
         if end > 8 {
             prefix[8..end].copy_from_slice(&seq.to_le_bytes()[..end - 8]);
         }
-        // Data frames travel on VCI `src * 2`; acknowledgements on
-        // `src * 2 + 1`, so a retransmission can never interleave with the
-        // reverse stream inside the destination's per-VCI reassembler.
-        let vci = (src * 2) as u16;
         let fspan = self.open_span(
             now,
             parent,
@@ -1505,62 +1952,6 @@ impl World {
             dst,
             bytes,
         );
-        let (cells, done) = self.fault_transmit(
-            now,
-            src,
-            dst,
-            vci,
-            &prefix[..end],
-            bytes,
-            page,
-            cacheable,
-            fspan,
-        );
-        if let Some(arrival) = done {
-            self.trace.emit_at(
-                arrival.as_ps(),
-                src as u32,
-                TraceEvent::ProtoTx {
-                    kind: header[0],
-                    bytes: bytes as u32,
-                    dur_ps: (arrival - now).as_ps(),
-                },
-            );
-            self.q.schedule_at(
-                arrival,
-                Ev::FrameRx {
-                    src,
-                    dst,
-                    seq,
-                    cells,
-                    span: fspan,
-                },
-            );
-        }
-        fspan
-    }
-
-    /// Push one raw frame through `src`'s NIC and the faulty fabric:
-    /// segment it (the frame is `prefix` followed by zero fill to `bytes`),
-    /// apply the injector's per-cell fates (dropping or bit-flipping
-    /// cells), and return the surviving cells plus the reassembly-complete
-    /// time when the end-of-PDU cell was delivered. When the frame
-    /// completes, its transmit-stage durations are recorded on `span`
-    /// (a dropped end-of-PDU cell leaves the span without stages — the
-    /// attempt never finished).
-    #[allow(clippy::too_many_arguments)]
-    fn fault_transmit(
-        &mut self,
-        now: SimTime,
-        src: usize,
-        dst: usize,
-        vci: u16,
-        prefix: &[u8],
-        bytes: usize,
-        page: Option<u64>,
-        cacheable: bool,
-        span: u64,
-    ) -> (Vec<Cell>, Option<SimTime>) {
         let cells_n = self.fabric.segmenter().cell_count(bytes);
         let tx = self.nics[src].transmit(
             now,
@@ -1573,58 +1964,25 @@ impl World {
                 origin: TxOrigin::Board,
             },
         );
-        let cells = self.fabric.segmenter().segment_prefixed(vci, prefix, bytes);
-        let inj = self
-            .injector
-            .as_mut()
-            // cni-lint: allow(panic-path) -- fault_transmit is only entered behind an injector.is_some() check; this Option is engine state, not wire data
-            .expect("fault transmit needs an injector");
-        let fpt = self
-            .fabric
-            .send_pdu_faulty(tx.wire_start, src, dst, bytes, tx.cell_gap, inj);
-        debug_assert_eq!(fpt.cells, cells.len());
-        let mut delivered = Vec::with_capacity(cells.len());
-        for (i, mut cell) in cells.into_iter().enumerate() {
-            match fpt.fates[i] {
-                CellFate::Drop => {
-                    self.trace.emit_at(
-                        now.as_ps(),
-                        src as u32,
-                        TraceEvent::CellDropped {
-                            vci: vci as u32,
-                            cell: i as u32,
-                        },
-                    );
-                    continue;
-                }
-                CellFate::Corrupt { byte, bit } => {
-                    // Copy-on-write: only this cell's view materialises a
-                    // private copy; the train's other cells keep sharing
-                    // the segmented image.
-                    cell.payload.xor_bit(byte as usize, bit);
-                }
-                CellFate::Deliver => {}
-            }
-            delivered.push(cell);
-        }
-        let done = if fpt.eop_delivered() {
-            fpt.last_delivered
-        } else {
-            None
-        };
-        if let Some(arrival) = done {
-            self.trace.emit_at(
-                arrival.as_ps(),
-                src as u32,
-                TraceEvent::SpanTx {
-                    span,
-                    host_dma_ps: tx.host_done.saturating_sub(now).as_ps(),
-                    tx_queue_ps: tx.wire_start.saturating_sub(tx.host_done).as_ps(),
-                    wire_ps: arrival.saturating_sub(tx.wire_start).as_ps(),
-                },
-            );
-        }
-        (delivered, done)
+        self.emit_send(
+            src,
+            SendIntent::Frame {
+                src,
+                dst,
+                seq,
+                frag: frag.clone(),
+                sent_at,
+                prefix,
+                prefix_len: end as u8,
+                bytes: bytes as u32,
+                span: fspan,
+                now,
+                host_done: tx.host_done,
+                wire_start: tx.wire_start,
+                cell_gap: tx.cell_gap,
+            },
+        );
+        fspan
     }
 
     /// Restart the `src -> dst` retransmission timer (invalidating any
@@ -1633,8 +1991,7 @@ impl World {
         let ch = self.chan_tx(src, dst);
         ch.timer_gen += 1;
         let (gen, rto, seq) = (ch.timer_gen, ch.rto, ch.base);
-        self.q
-            .schedule_at(now + rto, Ev::RxmitTimer { src, dst, gen });
+        self.sched(src, now + rto, Ev::RxmitTimer { src, dst, gen });
         self.trace.emit_at(
             now.as_ps(),
             src as u32,
@@ -1655,26 +2012,36 @@ impl World {
     /// span is a child of `parent`, the frame span whose receipt (or
     /// rejection) provoked it.
     fn send_ack(&mut self, now: SimTime, from: usize, to: usize, ack: u64, parent: u64) {
-        self.rel_stats.acks_sent += 1;
         let mut image = [0u8; 16];
         image[0] = 0xF1;
         image[1] = from as u8;
         image[8..16].copy_from_slice(&ack.to_le_bytes());
-        let vci = (from * 2 + 1) as u16;
         let aspan = self.open_span(now, parent, cni_trace::SPAN_ACK, 0xF1, from, to, 16);
-        let (cells, done) = self.fault_transmit(now, from, to, vci, &image, 16, None, false, aspan);
-        if let Some(arrival) = done {
-            self.q.schedule_at(
-                arrival,
-                Ev::AckRx {
-                    to,
-                    from,
-                    ack,
-                    cells,
-                    span: aspan,
-                },
-            );
-        }
+        let tx = self.nics[from].transmit(
+            now,
+            &TxRequest {
+                len: 16,
+                cells: self.fabric.segmenter().cell_count(16),
+                page: None,
+                cacheable: false,
+                dirty_lines: 0,
+                origin: TxOrigin::Board,
+            },
+        );
+        self.emit_send(
+            from,
+            SendIntent::Ack {
+                from,
+                to,
+                ack,
+                image,
+                span: aspan,
+                now,
+                host_done: tx.host_done,
+                wire_start: tx.wire_start,
+                cell_gap: tx.cell_gap,
+            },
+        );
     }
 
     /// A data frame's surviving cells reached `dst`: reassemble and
@@ -1683,6 +2050,7 @@ impl World {
     /// message exactly once. Every outcome is acknowledged — a corrupt or
     /// out-of-order frame re-acknowledges the current expectation, which
     /// doubles as a NAK for go-back-N.
+    #[allow(clippy::too_many_arguments)]
     fn on_frame_rx(
         &mut self,
         t: SimTime,
@@ -1691,6 +2059,8 @@ impl World {
         seq: u64,
         cells: Vec<Cell>,
         span: u64,
+        frag: Frag,
+        sent_at: SimTime,
     ) {
         match self.nics[dst].ingest_frame(&cells) {
             Some(Ok(pdu)) => {
@@ -1716,21 +2086,11 @@ impl World {
         let expected = self.chan_rx(dst, src).expected;
         if seq != expected {
             if seq < expected {
-                self.rel_stats.duplicates += 1;
+                self.emit_send(dst, SendIntent::Stat(StatDelta::Duplicate));
             }
             self.send_ack(t, dst, src, expected, span);
             return;
         }
-        let (frag, sent_at) = {
-            let inflight = self
-                .chan_tx(src, dst)
-                .window
-                .iter()
-                .find(|f| f.seq == seq)
-                // cni-lint: allow(panic-path) -- both endpoints are in-process: an in-order seq is in the sender window by construction, not by trusting the wire
-                .expect("in-order frame still sits in the sender window");
-            (inflight.frag.clone(), inflight.sent_at)
-        };
         if frag.frag + 1 < frag.nfrags {
             // An interior fragment: accept and acknowledge it, but the
             // message dispatches only with its final fragment.
@@ -1741,7 +2101,7 @@ impl World {
         // Only whole messages occupy receive-ring slots.
         let ring = self.cfg.faults.rx_ring_frames;
         if ring > 0 && self.ring_used[dst] >= ring {
-            self.rel_stats.ring_overflows += 1;
+            self.emit_send(dst, SendIntent::Stat(StatDelta::RingOverflow));
             self.trace.emit_at(
                 t.as_ps(),
                 dst as u32,
@@ -1766,7 +2126,13 @@ impl World {
         } else {
             (kind - 0xD0) as usize
         };
-        self.latency[li].record((t - sent_at).as_ps() / 1000);
+        self.emit_send(
+            dst,
+            SendIntent::Stat(StatDelta::Latency {
+                idx: li,
+                us: (t - sent_at).as_ps() / 1000,
+            }),
+        );
         match (*frag.wire).clone() {
             WireMsg::Proto(msg) => self.arrive_proto(t, msg, frag.span),
             WireMsg::App {
@@ -1781,7 +2147,7 @@ impl World {
         // The frame occupies its ring slot until the NIC processor is done
         // handling it.
         let release = self.nics[dst].nic_busy_until().max(t);
-        self.q.schedule_at(release, Ev::RingRelease { dst });
+        self.sched(dst, release, Ev::RingRelease { dst });
         self.send_ack(t, dst, src, seq + 1, span);
     }
 
@@ -1834,7 +2200,7 @@ impl World {
             }
             let empty = ch.window.is_empty();
             for (seq, frag) in &admitted {
-                let fspan = self.send_frame(t, to, from, *seq, frag, frag.span);
+                let fspan = self.send_frame(t, to, from, *seq, frag, t, frag.span);
                 if let Some(f) = self
                     .chan_tx(to, from)
                     .window
@@ -1853,7 +2219,7 @@ impl World {
             ch.dup_acks += 1;
             if ch.dup_acks >= 2 && !ch.window.is_empty() {
                 ch.dup_acks = 0;
-                self.rel_stats.fast_retransmits += 1;
+                self.emit_send(to, SendIntent::Stat(StatDelta::FastRetransmit));
                 // Resend only the frame the receiver is missing. Resending
                 // the whole window here is unstable: every duplicate frame
                 // provokes another duplicate ack, so a W-frame window turns
@@ -1867,30 +2233,25 @@ impl World {
     /// Fast-retransmit the oldest unacknowledged frame on `src -> dst`
     /// (the one the duplicate acks say is missing) and restart the timer.
     fn resend_front(&mut self, t: SimTime, src: usize, dst: usize) {
-        let rx_expected = self.chan_rx(dst, src).expected;
-        let ring_used = self.ring_used[dst];
-        let ring_cap = self.cfg.faults.rx_ring_frames;
         let ch = self.chan_tx(src, dst);
         let Some(f) = ch.window.front_mut() else {
             return;
         };
         f.attempts += 1;
-        let (seq, frag, attempt, first_span) = (f.seq, f.frag.clone(), f.attempts, f.span);
+        let (seq, frag, attempt, sent_at, first_span) =
+            (f.seq, f.frag.clone(), f.attempts, f.sent_at, f.span);
         if attempt >= 10_000 {
             // cni-lint: allow(panic-path) -- deliberate livelock detector: 10k resends of one seq means the retransmit logic is broken and the run must die loudly, not spin forever
             panic!(
                 "reliable delivery cannot make progress: {src}->{dst} seq {seq} resent {attempt} times \
-                 (base {}, next {}, window {}, pending {}, rx expected {}, ring {}/{})",
+                 (base {}, next {}, window {}, pending {})",
                 ch.base,
                 ch.next_seq,
                 ch.window.len(),
                 ch.pending.len(),
-                rx_expected,
-                ring_used,
-                ring_cap,
             );
         }
-        self.rel_stats.retransmits += 1;
+        self.emit_send(src, SendIntent::Stat(StatDelta::Retransmit));
         self.trace.emit_at(
             t.as_ps(),
             src as u32,
@@ -1898,14 +2259,14 @@ impl World {
         );
         // The retransmission's span is a child of the first attempt's, so
         // every wire attempt hangs off the originating send.
-        self.send_frame(t, src, dst, seq, &frag, first_span);
+        self.send_frame(t, src, dst, seq, &frag, sent_at, first_span);
         self.arm_timer(t, src, dst);
     }
 
     /// Resend every unacknowledged frame on the `src -> dst` channel
     /// (go-back-N recovers the whole window) and restart the timer.
     fn resend_window(&mut self, t: SimTime, src: usize, dst: usize) {
-        let frames: Vec<(u64, Frag, u32, u64)> = self
+        let frames: Vec<(u64, Frag, u32, SimTime, u64)> = self
             .chan_tx(src, dst)
             .window
             .iter_mut()
@@ -1917,11 +2278,11 @@ impl World {
                     f.seq,
                     f.attempts
                 );
-                (f.seq, f.frag.clone(), f.attempts, f.span)
+                (f.seq, f.frag.clone(), f.attempts, f.sent_at, f.span)
             })
             .collect();
-        for (seq, frag, attempt, first_span) in &frames {
-            self.rel_stats.retransmits += 1;
+        for (seq, frag, attempt, sent_at, first_span) in &frames {
+            self.emit_send(src, SendIntent::Stat(StatDelta::Retransmit));
             self.trace.emit_at(
                 t.as_ps(),
                 src as u32,
@@ -1930,7 +2291,7 @@ impl World {
                     attempt: *attempt,
                 },
             );
-            self.send_frame(t, src, dst, *seq, frag, *first_span);
+            self.send_frame(t, src, dst, *seq, frag, *sent_at, *first_span);
         }
         self.arm_timer(t, src, dst);
     }
@@ -1945,7 +2306,7 @@ impl World {
             return;
         }
         ch.rto = SimTime::from_ps((ch.rto.as_ps() * 2).min(cap_ps));
-        self.rel_stats.timeouts += 1;
+        self.emit_send(src, SendIntent::Stat(StatDelta::Timeout));
         self.resend_window(t, src, dst);
     }
 
@@ -1992,7 +2353,7 @@ impl World {
                 } else {
                     self.work_cycles_nic(&res.work)
                 };
-                let cycles = self.jittered(cycles);
+                let cycles = self.jittered(dst, cycles);
                 let t_done = self.nics[dst].run_handler(rx.ready_at, cycles);
                 // AIH replies leave straight from the board, as children
                 // of the message that provoked them.
@@ -2023,7 +2384,8 @@ impl World {
                     let cacheable = cacheable && migratory;
                     let d = self.nics[dst].deliver_to_host(t_done, len, page, cacheable, true);
                     let ov = self.host(d.host_cycles);
-                    self.q.schedule_at(
+                    self.sched(
+                        dst,
                         d.at + ov,
                         Ev::Wake {
                             p: dst,
@@ -2051,15 +2413,18 @@ impl World {
                 // interrupt cost is pipeline/cache disruption charged to
                 // whatever was running.
                 let n = &self.cfg.nic;
-                let occupancy =
-                    self.jittered(n.interrupt_occupancy_cycles + n.kernel_recv_cycles + work);
+                let occupancy = self.jittered(
+                    dst,
+                    n.interrupt_occupancy_cycles + n.kernel_recv_cycles + work,
+                );
                 let full = d.host_cycles + work;
                 let start = d.at.max(self.cpus[dst].async_busy);
                 let mut t_occ = start + self.host(occupancy);
                 debug_assert!(res.flushed.is_empty());
                 for m in res.out {
                     t_occ += self.host(self.cfg.nic.kernel_send_cycles);
-                    self.q.schedule_at(
+                    self.sched(
+                        dst,
                         t_occ,
                         Ev::Xmit {
                             src: dst,
@@ -2071,7 +2436,8 @@ impl World {
                 self.cpus[dst].async_busy = t_occ;
                 if res.wakeup.is_some() {
                     let wake_t = t_occ.max(start + self.host(full));
-                    self.q.schedule_at(
+                    self.sched(
+                        dst,
                         wake_t,
                         Ev::Wake {
                             p: dst,
@@ -2095,13 +2461,14 @@ impl World {
                 let res = self.dsm[dst].on_message(msg);
                 let work = self.work_cycles(&res.work);
                 let n = &self.cfg.nic;
-                let occupancy = self.jittered(n.interrupt_occupancy_cycles + work);
+                let occupancy = self.jittered(dst, n.interrupt_occupancy_cycles + work);
                 let full = d.host_cycles + work;
                 let start = d.at.max(self.cpus[dst].async_busy);
                 let mut t_occ = start + self.host(occupancy);
                 for m in res.out {
                     t_occ += self.host(self.cfg.nic.adc_enqueue_cycles);
-                    self.q.schedule_at(
+                    self.sched(
+                        dst,
                         t_occ,
                         Ev::Xmit {
                             src: dst,
@@ -2113,7 +2480,8 @@ impl World {
                 self.cpus[dst].async_busy = t_occ;
                 if res.wakeup.is_some() {
                     let wake_t = t_occ.max(start + self.host(full));
-                    self.q.schedule_at(
+                    self.sched(
+                        dst,
                         wake_t,
                         Ev::Wake {
                             p: dst,
@@ -2166,7 +2534,8 @@ impl World {
                 len: l,
                 data,
             });
-            self.q.schedule_at(
+            self.sched(
+                dst,
                 d.at + ov,
                 Ev::Wake {
                     p: dst,
@@ -2184,16 +2553,13 @@ impl World {
     }
 
     fn wake(&mut self, t: SimTime, p: usize, overhead: SimTime) {
-        let reply = {
+        let (reply, wait_kind, wait_raw) = {
             let cpu = &mut self.cpus[p];
             let blocked_at = cpu
                 .blocked_at
                 .take()
                 .expect("wake of a processor that is not blocked");
             let raw = t.saturating_sub(blocked_at);
-            let slot = &mut self.wait_stats[cpu.blocked_kind.min(3)];
-            slot.0 += raw;
-            slot.1 += 1;
             if raw > SimTime::from_ms(2) && std::env::var_os("CNI_WAIT_DUMP").is_some() {
                 eprintln!(
                     "[p{p}] kind={} detail={:#x} wait={} at t={}",
@@ -2205,8 +2571,19 @@ impl World {
             cpu.delay += raw - ov;
             cpu.overhead += ov;
             cpu.clock = cpu.clock.max(t);
-            cpu.pending_reply.take().unwrap_or(Reply::Ok)
+            (
+                cpu.pending_reply.take().unwrap_or(Reply::Ok),
+                cpu.blocked_kind.min(3),
+                raw,
+            )
         };
+        self.emit_send(
+            p,
+            SendIntent::Stat(StatDelta::Wait {
+                kind: wait_kind,
+                raw: wait_raw,
+            }),
+        );
         self.resume(p, reply);
     }
 }

@@ -13,6 +13,7 @@
 //! cross-thread ordering.
 
 use crate::types::PageId;
+// cni-lint: allow(host-thread) -- page table shared with application co-threads; the engine runs at most one thread at a time (see module docs), the lock satisfies Send/Sync bounds
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -145,6 +146,7 @@ pub struct PageHandle {
 pub struct NodeSpace {
     page_bytes: usize,
     line_bytes: usize,
+    // cni-lint: allow(host-thread) -- keyed-only page map handed to co-threads; never contended (one runnable thread) and never iterated
     pages: RwLock<HashMap<PageId, PageHandle>>,
 }
 
@@ -156,6 +158,7 @@ impl NodeSpace {
         NodeSpace {
             page_bytes,
             line_bytes,
+            // cni-lint: allow(host-thread) -- constructor for the waived field above
             pages: RwLock::new(HashMap::new()),
         }
     }

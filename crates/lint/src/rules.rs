@@ -51,6 +51,18 @@ const HOST_TIME_EXEMPT: &[&str] = &["crates/batch/src/lib.rs", "crates/bench/"];
 /// iterate hashed collections or embed host timestamps in any form.
 const SNAPSHOT_PATHS: &[&str] = &["crates/snap/", "crates/core/src/snapshot.rs"];
 
+/// Files allowed to use host threading primitives (T1): the parallel
+/// executor itself, its `World` driver, and the co-thread runtime —
+/// the three places where the engine deliberately meets the host's
+/// scheduler. Everywhere else in the sim crates, a mutex or channel is
+/// either dead weight on the serial path or an invitation to leak host
+/// scheduling order into results.
+const THREAD_EXEMPT: &[&str] = &[
+    "crates/sim/src/pdes.rs",
+    "crates/sim/src/cothread.rs",
+    "crates/core/src/pdes.rs",
+];
+
 /// Protocol receive/reassembly roots: (file suffix, function names).
 /// Corrupt input is expected on these paths post-PR2; P1 bans
 /// panicking operators in them **and in everything they transitively
@@ -105,9 +117,19 @@ pub const PANIC_PATH_REGIONS: &[(&str, &[&str])] = &[
 /// receive-path hazard. Documented in LINT.md.
 const P1_BOUNDARY_FNS: &[&str] = &["resume", "wake"];
 
-/// The crates C1 guards: everything that will live inside a shard when
-/// the event queue is partitioned per node/switch (ROADMAP item 2).
+/// The crates C1 guards: everything that lives inside a shard now that
+/// the event queue is partitioned per node (the cni-pdes engine).
 pub const C1_CRATES: &[&str] = &["core", "nic", "dsm"];
+
+/// C1 walk roots: (file suffix, function name). The serial event loop's
+/// dispatcher and the parallel executor's per-shard dispatch entry — the
+/// latter is the root that matters under `--engine-workers N`, where a
+/// cross-shard access is no longer merely nondeterministic but a data
+/// race.
+pub const C1_ROOTS: &[(&str, &str)] = &[
+    ("crates/core/src/world.rs", "dispatch"),
+    ("crates/core/src/pdes.rs", "dispatch"),
+];
 
 /// Per-node state containers on `World` (and mirrors reached through
 /// free functions taking the world): C1 verifies each function
@@ -122,6 +144,13 @@ pub const PER_NODE_FIELDS: &[&str] = &[
     "util_prev",
     "ring_hw",
     "ring_used",
+    // Parallel-engine additions: the per-node jitter streams, the
+    // per-sender/per-receiver reliability channel maps, and the
+    // per-shard outbox lanes (`pdes.out`) a dispatch appends to.
+    "jitter",
+    "rel_tx",
+    "rel_rx",
+    "out",
 ];
 
 /// Designated mediators: (file suffix, function name) pairs allowed to
@@ -155,6 +184,9 @@ pub enum Rule {
     PanicPath,
     /// C1: per-node state reached outside the owning node's index.
     ShardIsolation,
+    /// T1: host threading primitives outside the designated executor
+    /// modules.
+    HostThread,
     /// U1: `unsafe` without a `// SAFETY:` comment.
     UnsafeNoSafety,
     /// A malformed suppression comment (unknown rule, missing `--`
@@ -174,6 +206,7 @@ impl Rule {
             Rule::SnapNondet => "D4",
             Rule::PanicPath => "P1",
             Rule::ShardIsolation => "C1",
+            Rule::HostThread => "T1",
             Rule::UnsafeNoSafety => "U1",
             Rule::BadSuppression => "S1",
             Rule::UnusedSuppression => "S2",
@@ -189,6 +222,7 @@ impl Rule {
             Rule::SnapNondet => "snap-nondet",
             Rule::PanicPath => "panic-path",
             Rule::ShardIsolation => "shard-isolation",
+            Rule::HostThread => "host-thread",
             Rule::UnsafeNoSafety => "unsafe-no-safety",
             Rule::BadSuppression => "bad-suppression",
             Rule::UnusedSuppression => "unused-suppression",
@@ -204,6 +238,7 @@ impl Rule {
             Rule::SnapNondet,
             Rule::PanicPath,
             Rule::ShardIsolation,
+            Rule::HostThread,
             Rule::UnsafeNoSafety,
             Rule::BadSuppression,
             Rule::UnusedSuppression,
@@ -220,6 +255,7 @@ impl Rule {
             "snap-nondet" => Some(Rule::SnapNondet),
             "panic-path" => Some(Rule::PanicPath),
             "shard-isolation" => Some(Rule::ShardIsolation),
+            "host-thread" => Some(Rule::HostThread),
             "unsafe-no-safety" => Some(Rule::UnsafeNoSafety),
             _ => None,
         }
@@ -247,6 +283,11 @@ impl Rule {
             Rule::ShardIsolation => {
                 "reach per-node state only through the owning node's index or EventQueue \
                  scheduling; designated mediators are listed in LINT.md"
+            }
+            Rule::HostThread => {
+                "host threading primitives live only in the designated executor modules \
+                 (sim::pdes, sim::cothread, core::pdes); route cross-shard effects through \
+                 the event queue"
             }
             Rule::UnsafeNoSafety => "add a `// SAFETY:` comment on or directly above the block",
             Rule::BadSuppression => {
@@ -346,6 +387,22 @@ impl Rule {
                  allowlisted in the rule with a justification in LINT.md §C1;\n\
                  everything else must route cross-node effects through\n\
                  EventQueue scheduling."
+            }
+            Rule::HostThread => {
+                "T1 host-thread — host threading primitives outside the executor.\n\
+                 \n\
+                 The parallel engine's determinism rests on exactly one piece of\n\
+                 host concurrency: the conservative-lookahead executor and its\n\
+                 replay barrier (sim::pdes, driven through core::pdes), plus the\n\
+                 co-thread runtime that implements execution-driven processors\n\
+                 (sim::cothread). A `Mutex`, `RwLock`, `Condvar`, `mpsc` channel\n\
+                 or `thread::spawn` anywhere else in the sim crates either does\n\
+                 nothing on the serial path or — worse — invites ad-hoc\n\
+                 cross-shard communication whose ordering depends on the host\n\
+                 scheduler, silently breaking byte-identity at worker counts\n\
+                 above one. Route cross-shard effects through the event queue\n\
+                 and `SendIntent` commits; shared read-only state may be waived\n\
+                 with a justification."
             }
             Rule::UnsafeNoSafety => {
                 "U1 unsafe-no-safety — undocumented unsafe.\n\
@@ -632,6 +689,7 @@ fn direct_token_rules(ws: &Workspace, cand: &mut Candidates) {
         let sim = is_sim_crate(path);
         let time_exempt = is_host_time_exempt(path);
         let snap = is_snapshot_path(path);
+        let thread_exempt = THREAD_EXEMPT.iter().any(|e| path.ends_with(e));
         for (i, t) in file.toks.iter().enumerate() {
             if in_ranges(&file.test_ranges, t.line) {
                 continue;
@@ -658,6 +716,28 @@ fn direct_token_rules(ws: &Workspace, cand: &mut Candidates) {
                         t.line,
                         t.col,
                         format!("`{id}::now()` outside the designated host-timing modules"),
+                    );
+                }
+                "Mutex" | "RwLock" | "Condvar" | "mpsc" if sim && !thread_exempt => {
+                    cand.push(
+                        Rule::HostThread,
+                        path,
+                        t.line,
+                        t.col,
+                        format!("host threading primitive `{id}` outside the executor modules"),
+                    );
+                }
+                "thread"
+                    if sim
+                        && !thread_exempt
+                        && crate::taint::follows_path_call(&file.toks, i, "spawn") =>
+                {
+                    cand.push(
+                        Rule::HostThread,
+                        path,
+                        t.line,
+                        t.col,
+                        "`thread::spawn` outside the executor modules".to_string(),
                     );
                 }
                 "thread_rng" | "from_entropy" | "RandomState" | "OsRng" if sim => {
@@ -739,9 +819,13 @@ fn rule_p1(ws: &Workspace, cand: &mut Candidates) {
     }
 }
 
-/// C1: shard isolation over everything reachable from `World::dispatch`.
+/// C1: shard isolation over everything reachable from the dispatch
+/// roots (the serial loop's dispatcher and the parallel driver's entry).
 fn rule_c1(ws: &Workspace, cand: &mut Candidates) {
-    let roots = ws.find("crates/core/src/world.rs", "dispatch");
+    let mut roots = Vec::new();
+    for (suffix, name) in C1_ROOTS {
+        roots.extend(ws.find(suffix, name));
+    }
     let parents = ws.bfs(&roots, |m| is_c1_crate(ws.path(m)) && !ws.def(m).in_test);
     for (&n, _) in parents.iter() {
         let path = ws.path(n).to_string();

@@ -276,6 +276,55 @@ fn p1_suppression_on_line_above_waives() {
 }
 
 #[test]
+fn t1_fires_on_host_threading_in_sim_crates() {
+    let src = fixture("t1_bad.rs");
+    assert_eq!(
+        hits("crates/dsm/src/fixture.rs", &src),
+        vec![
+            (Rule::HostThread, 1), // use std::sync::{mpsc, Mutex}
+            (Rule::HostThread, 4), // Mutex field
+            (Rule::HostThread, 8), // mpsc::channel()
+            (Rule::HostThread, 9), // std::thread::spawn
+        ]
+    );
+}
+
+#[test]
+fn t1_quiet_on_event_queue_style_code() {
+    let src = fixture("t1_clean.rs");
+    assert!(hits("crates/dsm/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
+fn t1_quiet_in_the_designated_executor_modules() {
+    // The executor, its World driver, and the co-thread runtime are the
+    // three sanctioned host-concurrency sites.
+    let src = fixture("t1_bad.rs");
+    assert!(hits("crates/sim/src/pdes.rs", &src).is_empty());
+    assert!(hits("crates/sim/src/cothread.rs", &src).is_empty());
+    assert!(hits("crates/core/src/pdes.rs", &src).is_empty());
+}
+
+#[test]
+fn t1_quiet_outside_sim_crates() {
+    // cni-batch is a host-side work-stealing pool: threads are its job.
+    let src = fixture("t1_bad.rs");
+    assert!(hits("crates/batch/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
+fn t1_suppression_waives_and_is_reported_used() {
+    let src = fixture("t1_suppressed.rs");
+    let analysis = analyze_source("crates/trace/src/fixture.rs", &src);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    assert_eq!(analysis.suppressions.len(), 2);
+    for s in &analysis.suppressions {
+        assert_eq!(s.rule, Rule::HostThread);
+        assert!(s.used, "suppression at line {} unused", s.line);
+    }
+}
+
+#[test]
 fn u1_fires_on_unsafe_without_safety_comment() {
     let src = fixture("u1_bad.rs");
     assert_eq!(

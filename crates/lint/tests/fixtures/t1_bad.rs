@@ -1,0 +1,15 @@
+use std::sync::{mpsc, Mutex};
+
+pub struct NodeState {
+    inbox: Mutex<Vec<u64>>,
+}
+
+pub fn fan_out(states: &[NodeState]) {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(1u64);
+    });
+    for v in rx.iter() {
+        states[0].inbox.lock().unwrap().push(v);
+    }
+}

@@ -1,0 +1,9 @@
+pub struct NodeState {
+    inbox: Vec<u64>,
+}
+
+/// Cross-node effects ride the event queue: the handler records an
+/// intent and the engine applies it at the destination's own dispatch.
+pub fn fan_out(state: &mut NodeState, v: u64) {
+    state.inbox.push(v);
+}

@@ -11,6 +11,11 @@
 //! * [`queue`] — a deterministic event queue: events at equal timestamps
 //!   fire in insertion order, so a simulation run is a pure function of its
 //!   inputs.
+//! * [`pdes`] — a conservative lookahead-based parallel executor over the
+//!   event queue: per-shard lanes advance concurrently inside a safe
+//!   window and a serial replay barrier reconstructs the exact serial
+//!   `(time, seq)` order, so results stay byte-identical at any worker
+//!   count (DESIGN.md §4.11).
 //! * [`cothread`] — coroutine processors. Each simulated CPU runs *real*
 //!   application code on an OS thread; exactly one thread runs at a time and
 //!   control transfers to the engine whenever the program needs a simulated
@@ -24,12 +29,14 @@
 #![deny(missing_docs)]
 
 pub mod cothread;
+pub mod pdes;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use cothread::{CoThread, Port, Yield};
+pub use pdes::{Driver, Executor, Outbox};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use stats::{Accum, Counter, Histogram};

@@ -15,6 +15,19 @@
 //! The five configs cover the matrix that matters: both NIC kinds, the
 //! lossless fast path and the go-back-N fault path, single-switch and
 //! fat-tree fabrics, and three process counts.
+//!
+//! What a fixture may pin: anything observable through the `(time, seq)`
+//! event order — timings, counters, histograms, fault statistics. What it
+//! must not pin: engine-internal execution order (which worker dispatched
+//! an event, how a window was sharded). The parallel executor
+//! (DESIGN.md §4.11) reconstructs the serial `(time, seq)` order exactly,
+//! and `tests/pdes_identity.rs` holds these same reports byte-identical
+//! at every `--engine-workers` count — so a fixture that encoded anything
+//! beyond `(time, seq)` would show up there as a divergence. Audited when
+//! the parallel engine landed: the one such leak (protocol-cost jitter
+//! drawn from a single engine-wide RNG, making each draw depend on the
+//! global dispatch interleaving rather than the drawing node's own
+//! history) was replaced by per-node streams, and the fixtures re-blessed.
 
 use cni::Config;
 use cni_apps::cholesky::CholeskyMatrix;
@@ -80,6 +93,9 @@ fn check_golden(name: &str, cfg: Config, app: App) {
 
 #[test]
 fn jacobi8_cni_report_is_golden() {
+    // The paper's canonical configuration: pins the CNI fast path —
+    // Message Cache hit/miss counters, AIH dispatch costs, per-op
+    // latency histograms — on a lossless single switch.
     check_golden(
         "jacobi8_cni",
         Config::paper_default(),
@@ -89,6 +105,9 @@ fn jacobi8_cni_report_is_golden() {
 
 #[test]
 fn jacobi8_standard_report_is_golden() {
+    // Same cluster under the baseline NIC: pins the interrupt-driven
+    // receive path and kernel-mediated send costs the CNI numbers are
+    // compared against.
     check_golden(
         "jacobi8_std",
         Config::paper_default().standard(),
@@ -134,6 +153,9 @@ fn jacobi64_fat_tree_report_is_golden() {
 
 #[test]
 fn cholesky4_report_is_golden() {
+    // Irregular task-graph workload on 4 processors: pins lock-chain
+    // forwarding and the wait-time decomposition under contention, the
+    // counters most sensitive to protocol-handling cost jitter.
     check_golden(
         "cholesky4",
         Config::paper_default().with_procs(4),
